@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the core building blocks (not tied to one paper table):
+sorted intersections, triangle counting via the E/I operator, optimizer
+planning time, and catalogue construction.  Useful for tracking performance
+regressions of the substrate itself.
+"""
+
+import numpy as np
+
+from repro.catalogue.construction import build_catalogue
+from repro.graph.intersect import intersect_multiway, intersect_sorted
+from repro.planner.cost_model import CostModel
+from repro.planner.dp_optimizer import DynamicProgrammingOptimizer
+from repro.executor.pipeline import execute_plan
+from repro.planner.plan import wco_plan_from_order
+from repro.query import catalog_queries as cq
+
+
+def test_bench_intersect_sorted(benchmark):
+    rng = np.random.default_rng(0)
+    a = np.unique(rng.integers(0, 200_000, size=5_000))
+    b = np.unique(rng.integers(0, 200_000, size=5_000))
+    result = benchmark(intersect_sorted, a, b)
+    assert len(result) > 0
+
+
+def test_bench_intersect_multiway(benchmark):
+    rng = np.random.default_rng(1)
+    lists = [np.unique(rng.integers(0, 50_000, size=4_000)) for _ in range(4)]
+    result = benchmark(intersect_multiway, lists)
+    assert len(result) >= 0
+
+
+def test_bench_triangle_counting(benchmark, amazon):
+    plan = wco_plan_from_order(cq.triangle(), ("a1", "a2", "a3"))
+    result = benchmark.pedantic(execute_plan, args=(plan, amazon), iterations=1, rounds=3)
+    assert result.num_matches > 0
+
+
+def test_bench_catalogue_construction(benchmark, amazon):
+    catalogue = benchmark.pedantic(
+        build_catalogue, args=(amazon,), kwargs={"z": 200, "queries": [cq.diamond_x()]},
+        iterations=1, rounds=2,
+    )
+    assert catalogue.num_entries > 0
+
+
+def test_bench_optimizer_planning_time(benchmark, amazon):
+    catalogue = build_catalogue(amazon, z=200, queries=[cq.q8()])
+    optimizer = DynamicProgrammingOptimizer(CostModel(amazon, catalogue))
+    plan = benchmark.pedantic(optimizer.optimize, args=(cq.q8(),), iterations=1, rounds=3)
+    assert set(plan.root.out_vertices) == set(cq.q8().vertices)

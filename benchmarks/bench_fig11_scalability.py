@@ -1,0 +1,28 @@
+"""Figure 11: scalability with the number of workers.
+
+Paper result: near-linear scaling up to 16 cores on the JVM.  The reproduction
+partitions SCAN ranges into morsels exactly as the paper's work-stealing
+scheme does; because CPython's GIL serialises Python-level work, the benchmark
+reports both the measured wall clock and the work-based speed-up implied by
+the partition (the quantity that scales linearly).
+"""
+
+from repro.experiments import tables
+from repro.experiments.harness import format_table
+from repro.query import catalog_queries as cq
+
+
+def test_fig11_scalability(benchmark, livejournal):
+    rows = benchmark.pedantic(
+        tables.figure11_scalability,
+        args=(livejournal,),
+        kwargs={"query": cq.triangle(), "worker_counts": (1, 2, 4, 8), "catalogue_z": 150},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 11 — scalability, Q1 on the livejournal archetype"))
+    assert len({r["matches"] for r in rows}) == 1
+    # The work partition itself balances: with 8 workers the work-based
+    # speed-up should exceed 4x.
+    assert rows[-1]["work_based_speedup"] >= 4.0

@@ -1,0 +1,23 @@
+"""Table 6: cache-utilising vs cache-oblivious orderings of the symmetric
+diamond-X query (Section 3.2.3): equivalent orderings that perform the same
+intersections in a different order differ because only some of them can reuse
+the intersection cache.
+"""
+
+from repro.experiments import tables
+from repro.experiments.harness import format_table
+
+
+def test_table6_symmetric_diamond_x(benchmark, amazon, epinions):
+    graphs = {"amazon": amazon, "epinions": epinions}
+    rows = benchmark.pedantic(
+        tables.table6_symmetric_diamond_x, args=(graphs,), iterations=1, rounds=1
+    )
+    print()
+    print(format_table(rows, title="Table 6 — symmetric diamond-X QVOs (cache effects)"))
+    for name in graphs:
+        subset = [r for r in rows if r["graph"] == name]
+        assert len({r["matches"] for r in subset}) == 1
+        # The cheapest ordering must have strictly lower i-cost than the most
+        # expensive one (the cache skips repeated intersections).
+        assert min(r["i_cost"] for r in subset) < max(r["i_cost"] for r in subset)

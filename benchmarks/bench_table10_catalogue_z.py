@@ -1,0 +1,27 @@
+"""Table 10 (Appendix B): catalogue q-error and construction time vs the
+sampling size z.
+
+Paper result: larger z gives lower q-error at the cost of longer construction;
+the biggest jump is from z=100 to z=500.
+"""
+
+from repro.experiments import tables
+from repro.experiments.harness import format_table
+
+
+def test_table10_catalogue_sample_size(benchmark, amazon):
+    rows = benchmark.pedantic(
+        tables.table10_catalogue_sample_size,
+        args=(amazon,),
+        kwargs={"z_values": (50, 200, 800), "num_queries": 16, "query_vertices": 5},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table(rows, title="Table 10 — q-error vs sampling size z (amazon archetype)"))
+    assert len(rows) == 3
+    # Construction time grows with z.
+    assert rows[-1]["build_s"] >= rows[0]["build_s"]
+    # Accuracy does not collapse as z grows: the largest-z catalogue answers
+    # at least as many queries within q-error 10 as the smallest-z one - 2.
+    assert rows[-1]["<=10"] >= rows[0]["<=10"] - 2

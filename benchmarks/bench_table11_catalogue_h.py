@@ -1,0 +1,28 @@
+"""Table 11 (Appendix B): catalogue q-error and size vs the maximum sub-query
+size h, with an independence-assumption (PostgreSQL-style) estimator baseline.
+
+Paper result: larger h gives better estimates and (much) larger catalogues;
+every catalogue configuration beats PostgreSQL's estimates by a wide margin.
+"""
+
+from repro.experiments import tables
+from repro.experiments.harness import format_table
+
+
+def test_table11_catalogue_h(benchmark, amazon):
+    rows = benchmark.pedantic(
+        tables.table11_catalogue_h,
+        args=(amazon,),
+        kwargs={"h_values": (2, 3), "z": 300, "num_queries": 16, "query_vertices": 5},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table(rows, title="Table 11 — q-error vs h, with independence-estimator baseline"))
+    catalogue_rows = [r for r in rows if r["estimator"].startswith("catalogue")]
+    baseline = [r for r in rows if r["estimator"].startswith("independence")][0]
+    # Larger h stores more entries.
+    assert catalogue_rows[-1]["entries"] >= catalogue_rows[0]["entries"]
+    # The best catalogue dominates the independence baseline at tau <= 10.
+    best = max(catalogue_rows, key=lambda r: r["<=10"])
+    assert best["<=10"] >= baseline["<=10"]

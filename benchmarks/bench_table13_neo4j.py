@@ -1,0 +1,31 @@
+"""Table 13 (Appendix D): Graphflow vs a naive binary-join engine (the Neo4j
+stand-in: no sorted adjacency lists, no multiway intersections).
+
+Paper result: Graphflow is up to 837x faster; several Neo4j runs hit the
+30-minute limit.  The reproduction asserts the same direction (the naive
+engine never wins on the cyclic queries).
+"""
+
+from repro.experiments import tables
+from repro.experiments.harness import format_table
+
+
+def test_table13_neo4j_comparison(benchmark, amazon, epinions):
+    graphs = {"amazon": amazon, "epinions": epinions}
+    rows = benchmark.pedantic(
+        tables.table13_neo4j_comparison,
+        args=(graphs,),
+        kwargs={"query_names": ("Q1", "Q2", "Q4"), "catalogue_z": 150, "time_limit": 30.0},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table(rows, title="Table 13 — Graphflow vs naive BJ engine (Neo4j stand-in)"))
+    cyclic = [r for r in rows if r["query"] in ("Q1", "Q4")]
+    # On cyclic queries the WCO plans must win (or the naive engine timed out).
+    # Individual sub-second timings are noisy at the reproduction's scale, so
+    # allow small per-row noise but require the average direction to hold.
+    assert all(r["ratio"] >= 0.7 or r["timed_out"] for r in cyclic)
+    finished = [r["ratio"] for r in cyclic if not r["timed_out"]]
+    if finished:
+        assert sum(finished) / len(finished) >= 1.0

@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on the
+scaled-down dataset archetypes (see DESIGN.md for the substitutions).  The
+rows are printed so that ``pytest benchmarks/ --benchmark-only -s`` shows the
+reproduced tables; the pytest-benchmark timings measure the end-to-end cost of
+regenerating each artefact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import datasets
+from repro.catalogue.construction import build_catalogue
+from repro.planner.cost_model import CostModel
+from repro.planner.dp_optimizer import DynamicProgrammingOptimizer
+
+# A single scale knob for all benchmarks: large enough to show the effects,
+# small enough that the pure-Python executor finishes in seconds per plan.
+BENCH_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def amazon():
+    return datasets.load("amazon", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def epinions():
+    return datasets.load("epinions", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def google():
+    return datasets.load("google", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def berkstan():
+    return datasets.load("berkstan", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def livejournal():
+    return datasets.load("livejournal", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def human():
+    return datasets.load("human", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def amazon_optimizer(amazon):
+    catalogue = build_catalogue(amazon, z=300)
+    return DynamicProgrammingOptimizer(CostModel(amazon, catalogue))

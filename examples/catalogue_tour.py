@@ -1,0 +1,78 @@
+"""Catalogue tour: build, inspect, persist, and reuse the optimizer's statistics.
+
+The subgraph catalogue (Section 5 of the paper) is the statistics store behind
+every cost estimate the optimizer makes.  This example shows the full life
+cycle a deployment would follow:
+
+1. build a catalogue for a graph by sampling,
+2. inspect its entries (the paper's Table 7),
+3. use it for cardinality estimation and check the q-error,
+4. save it to disk and reload it so later sessions skip resampling,
+5. merge two independently sampled catalogues to refine the estimates.
+
+Run:  python examples/catalogue_tour.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import GraphflowDB, datasets, queries
+from repro.catalogue.construction import build_catalogue
+from repro.catalogue.persistence import (
+    load_catalogue,
+    merge_catalogues,
+    render_entries,
+    save_catalogue,
+)
+from repro.catalogue.qerror import q_error
+from repro.executor.pipeline import execute_plan
+from repro.planner.plan import wco_plan_from_order
+from repro.planner.qvo import enumerate_orderings
+
+
+def main() -> None:
+    graph = datasets.load("amazon", scale=0.2)
+    print(f"graph: {graph}")
+
+    # 1. Build a catalogue by sampling (h = max sub-query size, z = samples).
+    warm_queries = [queries.q1(), queries.diamond_x(), queries.tailed_triangle()]
+    catalogue = build_catalogue(graph, h=3, z=500, seed=0, queries=warm_queries)
+    print(f"\nbuilt: {catalogue.summary()}")
+
+    # 2. Inspect entries, Table-7 style.
+    print("\ncatalogue entries (|A| = avg adjacency list sizes, mu = selectivity):")
+    print(render_entries(catalogue, limit=8, sort_by_mu=True))
+
+    # 3. Cardinality estimation quality.
+    db = GraphflowDB(graph, catalogue=catalogue)
+    print("\ncardinality estimates vs. true counts:")
+    for query in warm_queries:
+        estimate = db.estimate_cardinality(query)
+        ordering = enumerate_orderings(query)[0]
+        true = execute_plan(wco_plan_from_order(query, ordering), graph).num_matches
+        print(
+            f"  {query.name:<18} estimated={estimate:>10.1f}  true={true:>8d}  "
+            f"q-error={q_error(estimate, true):.2f}"
+        )
+
+    # 4. Persist and reload.
+    path = os.path.join(tempfile.gettempdir(), "amazon-catalogue.json")
+    save_catalogue(catalogue, path)
+    reloaded = load_catalogue(path)
+    print(f"\nsaved to {path} and reloaded: {reloaded.summary()}")
+
+    # 5. Merge with a second, independently seeded catalogue.
+    second = build_catalogue(graph, h=3, z=500, seed=99, queries=warm_queries)
+    merged = merge_catalogues(catalogue, second)
+    print(f"merged catalogue: {merged.summary()}")
+    merged_db = GraphflowDB(graph, catalogue=merged)
+    print(
+        "diamond-X estimate after merging: "
+        f"{merged_db.estimate_cardinality(queries.diamond_x()):.1f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

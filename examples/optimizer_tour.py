@@ -1,0 +1,75 @@
+"""A tour of the optimizer internals: plan spectrums, i-cost, the catalogue,
+and the baselines.
+
+This example reproduces, at small scale, the analysis style of the paper's
+evaluation: it generates the full plan spectrum of a query, shows where the
+cost-based optimizer's pick lands, compares cache-conscious vs cache-oblivious
+costing, and pits the chosen plan against the EmptyHeaded-style baseline.
+"""
+
+from repro import GraphflowDB, datasets
+from repro.baselines.emptyheaded import EmptyHeadedPlanner
+from repro.catalogue.estimation import estimate_cardinality
+from repro.executor.pipeline import execute_plan
+from repro.experiments.harness import format_table
+from repro.experiments.spectrum import generate_spectrum
+from repro.planner.cost_model import CostModel
+from repro.planner.dp_optimizer import DynamicProgrammingOptimizer
+from repro.query import catalog_queries as queries
+
+
+def main() -> None:
+    graph = datasets.load("google", scale=0.25)
+    db = GraphflowDB(graph)
+    db.build_catalogue(h=3, z=400)
+    cost_model = db.cost_model
+    query = queries.q8()
+    print(f"graph: {graph}\nquery: {query.name} "
+          f"({query.num_vertices} vertices, {query.num_edges} edges)")
+
+    # 1. Cardinality estimation from the catalogue.
+    estimate = estimate_cardinality(db.catalogue, query, graph)
+    true_count = db.count(query)
+    print(f"\ncatalogue estimate: {estimate:.0f}   true count: {true_count}")
+
+    # 2. The optimizer's pick, and the full plan spectrum around it.
+    chosen = db.plan(query)
+    spectrum = generate_spectrum(query, graph, catalogue=db.catalogue,
+                                 chosen_plan=chosen, max_plans=40)
+    rows = [
+        {
+            "type": p.plan_type,
+            "seconds": p.seconds,
+            "i_cost": p.i_cost,
+            "chosen": "<=== optimizer" if p.is_optimizer_choice else "",
+        }
+        for p in sorted(spectrum.points, key=lambda p: p.seconds)
+    ]
+    print("\n" + format_table(rows[:15], title=f"fastest 15 plans of {query.name} (of {len(rows)})"))
+    print(f"\noptimizer within {spectrum.optimality_ratio():.2f}x of the best plan")
+
+    # 3. Cache-conscious vs cache-oblivious costing (Section 5.2).
+    oblivious_model = CostModel(graph, db.catalogue, cache_conscious=False)
+    conscious_pick = DynamicProgrammingOptimizer(cost_model, enable_binary_joins=False).optimize(
+        queries.symmetric_diamond_x()
+    )
+    oblivious_pick = DynamicProgrammingOptimizer(oblivious_model, enable_binary_joins=False).optimize(
+        queries.symmetric_diamond_x()
+    )
+    print(f"\nsymmetric diamond-X QVO, cache-conscious optimizer:  {conscious_pick.qvo()}")
+    print(f"symmetric diamond-X QVO, cache-oblivious optimizer:  {oblivious_pick.qvo()}")
+
+    # 4. EmptyHeaded comparison (Section 8.4).
+    eh = EmptyHeadedPlanner()
+    eh_bad = eh.plan(query)
+    eh_good = eh.plan_with_good_orderings(query, cost_model)
+    ours = execute_plan(chosen, graph)
+    bad = execute_plan(eh_bad.plan, graph)
+    good = execute_plan(eh_good.plan, graph)
+    print(f"\nGraphflow plan:        {ours.profile.elapsed_seconds:.3f}s ({chosen.plan_type})")
+    print(f"EmptyHeaded (bad QVO): {bad.profile.elapsed_seconds:.3f}s  [{eh_bad.describe()}]")
+    print(f"EmptyHeaded (good QVO):{good.profile.elapsed_seconds:.3f}s  [{eh_good.describe()}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Setup shim so that editable installs work without the ``wheel`` package
+(the offline environment has setuptools but no wheel; metadata lives in
+pyproject.toml)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Optimizing Subgraph Queries by Combining Binary and "
+        "Worst-Case Optimal Joins' (Mhedhbi & Salihoglu, VLDB 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7", "networkx>=2.6"],
+)

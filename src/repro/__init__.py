@@ -1,0 +1,42 @@
+"""Reproduction of "Optimizing Subgraph Queries by Combining Binary and
+Worst-Case Optimal Joins" (Mhedhbi & Salihoglu, VLDB 2019).
+
+The package implements the Graphflow-style optimizer and runtime described in
+the paper: worst-case optimal (WCO) plans built from multiway intersections,
+binary-join plans, hybrid plans mixing the two, a cost-based dynamic
+programming optimizer driven by the i-cost metric and a sampled subgraph
+catalogue, adaptive query-vertex-ordering selection, and the baselines used in
+the paper's evaluation (EmptyHeaded-style GHD plans, binary-join-only planners,
+a simplified CFL matcher, and a naive backtracking engine).
+
+The most convenient entry point is :class:`repro.api.GraphflowDB`:
+
+    >>> from repro import GraphflowDB, datasets, queries
+    >>> db = GraphflowDB(datasets.load("amazon"))
+    >>> db.build_catalogue()
+    >>> result = db.execute(queries.triangle())
+    >>> result.num_matches  # doctest: +SKIP
+    217
+"""
+
+from repro.api import GraphflowDB, QueryResult
+from repro.graph.graph import Graph, Direction
+from repro.graph.builder import GraphBuilder
+from repro.query.query_graph import QueryGraph, QueryEdge
+from repro.query import catalog_queries as queries
+from repro import datasets
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphflowDB",
+    "QueryResult",
+    "Graph",
+    "GraphBuilder",
+    "Direction",
+    "QueryGraph",
+    "QueryEdge",
+    "queries",
+    "datasets",
+    "__version__",
+]

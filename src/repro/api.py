@@ -1,0 +1,211 @@
+"""High-level API: the :class:`GraphflowDB` facade.
+
+This is the entry point downstream users interact with: load or build a graph,
+build the subgraph catalogue once, then plan and execute subgraph queries with
+the cost-based optimizer, optionally with adaptive ordering selection or
+parallel execution.
+
+Example
+-------
+>>> from repro import GraphflowDB, queries, datasets
+>>> db = GraphflowDB(datasets.load("amazon", scale=0.2))
+>>> db.build_catalogue(h=3, z=200)
+>>> result = db.execute(queries.triangle())
+>>> result.num_matches >= 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.catalogue.catalogue import SubgraphCatalogue
+from repro.catalogue.construction import build_catalogue
+from repro.catalogue.estimation import estimate_cardinality
+from repro.errors import OptimizerError
+from repro.executor.adaptive import execute_adaptive
+from repro.executor.operators import ExecutionConfig
+from repro.executor.parallel import ParallelResult, execute_parallel
+from repro.executor.pipeline import ExecutionResult, execute_plan
+from repro.graph.graph import Graph
+from repro.graph.schema import GraphSchema
+from repro.planner.cost_model import CostModel
+from repro.planner.dp_optimizer import DynamicProgrammingOptimizer
+from repro.planner.full_enumeration import FullEnumerationOptimizer
+from repro.planner.plan import Plan
+from repro.query.cypher import looks_like_cypher, parse_cypher
+from repro.query.parser import parse_query
+from repro.query.query_graph import QueryGraph
+
+
+@dataclass
+class QueryResult:
+    """User-facing result of a query execution."""
+
+    query: QueryGraph
+    plan: Plan
+    num_matches: int
+    elapsed_seconds: float
+    i_cost: int
+    intermediate_matches: int
+    matches: Optional[List[dict]] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult(query={self.query.name!r}, matches={self.num_matches}, "
+            f"elapsed={self.elapsed_seconds:.3f}s, plan={self.plan.plan_type})"
+        )
+
+
+class GraphflowDB:
+    """A single-machine, in-memory graph database with the paper's optimizer."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        catalogue: Optional[SubgraphCatalogue] = None,
+        schema: Optional[GraphSchema] = None,
+    ) -> None:
+        self.graph = graph
+        self.catalogue = catalogue
+        self.schema = schema
+        self._cost_model: Optional[CostModel] = None
+
+    # ------------------------------------------------------------------ #
+    # catalogue / cost model management
+    # ------------------------------------------------------------------ #
+    def build_catalogue(
+        self,
+        h: int = 3,
+        z: int = 1000,
+        seed: int = 0,
+        queries: Optional[Sequence[QueryGraph]] = None,
+    ) -> SubgraphCatalogue:
+        """Build (or rebuild) the subgraph catalogue for the loaded graph.
+
+        Entries are measured lazily as the optimizer needs them unless a set
+        of queries to precompute for is given.
+        """
+        self.catalogue = build_catalogue(self.graph, h=h, z=z, seed=seed, queries=queries)
+        self._cost_model = None
+        return self.catalogue
+
+    @property
+    def cost_model(self) -> CostModel:
+        if self.catalogue is None:
+            self.build_catalogue(z=200)
+        if self._cost_model is None:
+            self._cost_model = CostModel(self.graph, self.catalogue)
+        return self._cost_model
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def _as_query(self, query: Union[QueryGraph, str]) -> QueryGraph:
+        if isinstance(query, QueryGraph):
+            return query
+        if looks_like_cypher(query):
+            return parse_cypher(query, schema=self.schema)
+        return parse_query(query)
+
+    def plan(
+        self,
+        query: Union[QueryGraph, str],
+        full_enumeration: bool = False,
+        enable_binary_joins: bool = True,
+    ) -> Plan:
+        """Run the optimizer and return the chosen plan."""
+        query = self._as_query(query)
+        if full_enumeration:
+            optimizer = FullEnumerationOptimizer(
+                self.cost_model, enable_binary_joins=enable_binary_joins
+            )
+        else:
+            optimizer = DynamicProgrammingOptimizer(
+                self.cost_model, enable_binary_joins=enable_binary_joins
+            )
+        return optimizer.optimize(query)
+
+    def explain(self, query: Union[QueryGraph, str]) -> str:
+        """A human-readable description of the chosen plan with its costs."""
+        query = self._as_query(query)
+        plan = self.plan(query)
+        breakdown = self.cost_model.cost_breakdown(plan)
+        lines = [plan.describe(), "", "estimated cost per operator:"]
+        for name, cost in breakdown.per_operator:
+            lines.append(f"  {cost:>14.1f}  {name}")
+        lines.append(f"  {'total':>14}: {breakdown.total:.1f}")
+        lines.append(
+            f"estimated cardinality: {estimate_cardinality(self.catalogue, query, self.graph):.1f}"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: Union[QueryGraph, str, Plan],
+        adaptive: bool = False,
+        collect: bool = False,
+        num_workers: int = 1,
+        config: Optional[ExecutionConfig] = None,
+    ) -> QueryResult:
+        """Plan (if needed) and execute a query.
+
+        Parameters
+        ----------
+        adaptive:
+            Re-pick query-vertex orderings per partial match at runtime
+            (Section 6).
+        collect:
+            Materialise matches (as dictionaries keyed by query vertex name).
+        num_workers:
+            When > 1, execute with the morsel-parallel executor.
+        """
+        if isinstance(query, Plan):
+            plan = query
+            query_graph = plan.query
+        else:
+            query_graph = self._as_query(query)
+            plan = self.plan(query_graph)
+
+        if num_workers > 1:
+            parallel: ParallelResult = execute_parallel(
+                plan, self.graph, num_workers=num_workers, config=config
+            )
+            return QueryResult(
+                query=query_graph,
+                plan=plan,
+                num_matches=parallel.num_matches,
+                elapsed_seconds=parallel.elapsed_seconds,
+                i_cost=parallel.profile.intersection_cost,
+                intermediate_matches=parallel.profile.intermediate_matches,
+            )
+        if adaptive:
+            result: ExecutionResult = execute_adaptive(
+                plan, self.graph, catalogue=self.catalogue, config=config, collect=collect
+            )
+        else:
+            result = execute_plan(plan, self.graph, config=config, collect=collect)
+        return QueryResult(
+            query=query_graph,
+            plan=plan,
+            num_matches=result.num_matches,
+            elapsed_seconds=result.elapsed_seconds,
+            i_cost=result.profile.intersection_cost,
+            intermediate_matches=result.profile.intermediate_matches,
+            matches=result.matches_as_dicts() if collect else None,
+        )
+
+    def count(self, query: Union[QueryGraph, str]) -> int:
+        """Shorthand: number of matches of the query."""
+        return self.execute(query).num_matches
+
+    def estimate_cardinality(self, query: Union[QueryGraph, str]) -> float:
+        """The catalogue's cardinality estimate for the query."""
+        query = self._as_query(query)
+        if self.catalogue is None:
+            self.build_catalogue(z=200)
+        return estimate_cardinality(self.catalogue, query, self.graph)

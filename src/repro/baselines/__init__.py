@@ -1,0 +1,27 @@
+"""Baseline systems the paper compares against, re-implemented on top of the
+same graph substrate and executor so that comparisons isolate *plan choice*:
+
+* :mod:`repro.baselines.emptyheaded` — GHD-based planner (EmptyHeaded),
+* :mod:`repro.baselines.binary_join` — binary-join-only planner,
+* :mod:`repro.baselines.generic_join` — BiGJoin / LogicBlox-style orderings,
+* :mod:`repro.baselines.cfl` — simplified CFL subgraph matcher,
+* :mod:`repro.baselines.naive_matcher` — Neo4j stand-in (no sorted intersections),
+* :mod:`repro.baselines.postgres_estimator` — independence-assumption estimator.
+"""
+
+from repro.baselines.emptyheaded import EmptyHeadedPlanner
+from repro.baselines.binary_join import BinaryJoinPlanner
+from repro.baselines.generic_join import arbitrary_ordering_plan, heuristic_ordering_plan
+from repro.baselines.cfl import CFLMatcher
+from repro.baselines.naive_matcher import NaiveMatcher
+from repro.baselines.postgres_estimator import IndependenceEstimator
+
+__all__ = [
+    "EmptyHeadedPlanner",
+    "BinaryJoinPlanner",
+    "arbitrary_ordering_plan",
+    "heuristic_ordering_plan",
+    "CFLMatcher",
+    "NaiveMatcher",
+    "IndependenceEstimator",
+]

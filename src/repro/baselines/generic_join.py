@@ -1,0 +1,47 @@
+"""Generic Join with non-cost-based query-vertex orderings.
+
+The paper's Table 1 contrasts Graphflow with prior WCOJ systems:
+
+* **BiGJoin** picks query-vertex orderings arbitrarily,
+* **LogicBlox** uses heuristics (or sampling-based costs in a later variant).
+
+These helpers produce the corresponding WCO plans so that they can be compared
+against the cost-based optimizer on the same executor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.planner.plan import Plan, wco_plan_from_order
+from repro.planner.qvo import degree_heuristic_ordering, enumerate_orderings, lexicographic_ordering
+from repro.query.query_graph import QueryGraph
+
+
+def arbitrary_ordering_plan(query: QueryGraph, seed: Optional[int] = None) -> Plan:
+    """BiGJoin-style: an arbitrary (lexicographic, or seeded random) valid QVO."""
+    orderings = enumerate_orderings(query)
+    if seed is None:
+        lex = lexicographic_ordering(query)
+        ordering = lex if lex in orderings else orderings[0]
+    else:
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        ordering = orderings[int(rng.integers(0, len(orderings)))]
+    plan = wco_plan_from_order(query, ordering)
+    plan.label = "bigjoin-arbitrary"
+    return plan
+
+
+def heuristic_ordering_plan(query: QueryGraph) -> Plan:
+    """LogicBlox-style heuristic: greedily order query vertices by how many
+    query edges connect them to the already-ordered prefix (a proxy for the
+    selectivity heuristics described in the LogicBlox papers)."""
+    ordering = degree_heuristic_ordering(query)
+    orderings = enumerate_orderings(query)
+    if ordering not in orderings:
+        ordering = orderings[0]
+    plan = wco_plan_from_order(query, ordering)
+    plan.label = "logicblox-heuristic"
+    return plan

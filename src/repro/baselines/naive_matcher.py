@@ -1,0 +1,148 @@
+"""A naive binary-join / backtracking engine standing in for Neo4j (Appendix D).
+
+The paper's Neo4j comparison illustrates how much slower a traditional
+edge-at-a-time engine is on cyclic queries when it (i) uses only binary joins
+with no multiway intersections, and (ii) stores adjacency as unsorted linked
+structures so that closing edges are verified by linear scans.  This stand-in
+reproduces both properties: it extends partial matches one *query edge* at a
+time in an arbitrary (lexicographic) order and checks every closing edge by a
+linear membership scan over an unsorted copy of the adjacency list.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Direction, Graph
+from repro.query.query_graph import QueryEdge, QueryGraph
+
+
+@dataclass
+class NaiveResult:
+    num_matches: int
+    elapsed_seconds: float
+    truncated: bool
+    edge_order: Tuple[Tuple[str, str], ...]
+
+
+class NaiveMatcher:
+    """Edge-at-a-time matcher with linear-scan edge checks."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        # Unsorted adjacency copies (python lists) to mimic pointer-chasing
+        # storage; lookups are linear scans.
+        self._fwd: Dict[int, List[Tuple[int, int]]] = {}
+        for s, d, l in graph.iter_edges():
+            self._fwd.setdefault(s, []).append((d, l))
+
+    def _has_edge_linear(self, src: int, dst: int, label: Optional[int]) -> bool:
+        for d, l in self._fwd.get(src, ()):  # linear scan on purpose
+            if d == dst and (label is None or l == label):
+                return True
+        return False
+
+    def _edge_order(self, query: QueryGraph) -> List[QueryEdge]:
+        """Left-deep, lexicographic join order over the query edges, keeping
+        each next edge connected to the already-joined prefix."""
+        edges = sorted(query.edges, key=lambda e: (e.src, e.dst))
+        ordered: List[QueryEdge] = [edges[0]]
+        matched = {edges[0].src, edges[0].dst}
+        remaining = edges[1:]
+        while remaining:
+            pick = None
+            for e in remaining:
+                if e.src in matched or e.dst in matched:
+                    pick = e
+                    break
+            if pick is None:
+                pick = remaining[0]
+            ordered.append(pick)
+            matched.update((pick.src, pick.dst))
+            remaining.remove(pick)
+        return ordered
+
+    def count_matches(
+        self, query: QueryGraph, output_limit: Optional[int] = None, time_limit: Optional[float] = None
+    ) -> NaiveResult:
+        start = time.perf_counter()
+        order = self._edge_order(query)
+        count = 0
+        truncated = False
+
+        def expired() -> bool:
+            return time_limit is not None and (time.perf_counter() - start) > time_limit
+
+        def backtrack(position: int, assignment: Dict[str, int]) -> None:
+            nonlocal count, truncated
+            if truncated or expired():
+                truncated = truncated or expired()
+                return
+            if position == len(order):
+                count += 1
+                if output_limit is not None and count >= output_limit:
+                    truncated = True
+                return
+            edge = order[position]
+            src_known = edge.src in assignment
+            dst_known = edge.dst in assignment
+            if src_known and dst_known:
+                if self._has_edge_linear(assignment[edge.src], assignment[edge.dst], edge.label):
+                    backtrack(position + 1, assignment)
+                return
+            if src_known:
+                src_id = assignment[edge.src]
+                for d, l in self._fwd.get(src_id, ()):
+                    if edge.label is not None and l != edge.label:
+                        continue
+                    dst_label = query.vertex_label(edge.dst)
+                    if dst_label is not None and self.graph.vertex_label(d) != dst_label:
+                        continue
+                    assignment[edge.dst] = d
+                    backtrack(position + 1, assignment)
+                    del assignment[edge.dst]
+                    if truncated:
+                        return
+                return
+            if dst_known:
+                dst_id = assignment[edge.dst]
+                # No backward index: scan every edge (Neo4j would chase
+                # incoming relationship pointers; a full scan is our stand-in
+                # for the slower access path).
+                for s, lists in self._fwd.items():
+                    for d, l in lists:
+                        if d != dst_id:
+                            continue
+                        if edge.label is not None and l != edge.label:
+                            continue
+                        src_label = query.vertex_label(edge.src)
+                        if src_label is not None and self.graph.vertex_label(s) != src_label:
+                            continue
+                        assignment[edge.src] = s
+                        backtrack(position + 1, assignment)
+                        del assignment[edge.src]
+                        if truncated:
+                            return
+                return
+            # Neither endpoint known: scan all edges.
+            for s, lists in self._fwd.items():
+                for d, l in lists:
+                    if edge.label is not None and l != edge.label:
+                        continue
+                    assignment[edge.src] = s
+                    assignment[edge.dst] = d
+                    backtrack(position + 1, assignment)
+                    del assignment[edge.src]
+                    del assignment[edge.dst]
+                    if truncated:
+                        return
+
+        backtrack(0, {})
+        return NaiveResult(
+            num_matches=count,
+            elapsed_seconds=time.perf_counter() - start,
+            truncated=truncated,
+            edge_order=tuple((e.src, e.dst) for e in order),
+        )

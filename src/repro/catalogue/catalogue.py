@@ -1,0 +1,177 @@
+"""The subgraph catalogue data structure.
+
+Each entry is keyed by ``(Q_{k-1}, A, l_k)`` — a small sub-query, a set of
+adjacency-list descriptors that extend it by one query vertex, and the label
+of that new vertex — and stores two measurements obtained by sampling
+(Section 5.1):
+
+* ``|A|``: the average size of each adjacency list in ``A``, and
+* ``mu``: the average number of extensions (new matches of ``Q_k``) produced
+  per match of ``Q_{k-1}``.
+
+Keys are canonicalised so that lookups are isomorphism-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogueError
+from repro.graph.graph import Direction
+from repro.planner.descriptors import AdjListDescriptor
+from repro.query.query_graph import QueryGraph
+
+# Canonical key components.
+_EdgeCode = Tuple[int, int, Optional[int]]
+_DescCode = Tuple[int, str, Optional[int]]
+CatalogueKey = Tuple[
+    Tuple[_EdgeCode, ...],  # canonical edges of Q_{k-1}
+    Tuple[Optional[int], ...],  # canonical vertex labels of Q_{k-1}
+    Tuple[_DescCode, ...],  # descriptors, positions in canonical order
+    Optional[int],  # label of the new query vertex
+]
+
+
+def canonical_key(
+    sub_query: QueryGraph,
+    descriptors: Sequence[AdjListDescriptor],
+    to_vertex_label: Optional[int],
+) -> CatalogueKey:
+    """Canonicalise ``(Q_{k-1}, A, l_k)``.
+
+    We take the minimum, over all vertex orderings of the sub-query, of the
+    combined (edges, vertex labels, descriptors) code.  Including the
+    descriptors in the minimisation makes two keys equal exactly when there is
+    an isomorphism of the sub-queries that also maps one descriptor set onto
+    the other.
+    """
+    best: Optional[CatalogueKey] = None
+    desc_list = list(descriptors)
+    for order in permutations(sub_query.vertices):
+        index = {v: i for i, v in enumerate(order)}
+        edges = tuple(sorted((index[e.src], index[e.dst], e.label) for e in sub_query.edges))
+        labels = tuple(sub_query.vertex_label(v) for v in order)
+        descs = tuple(
+            sorted((index[d.from_vertex], d.direction.value, d.edge_label) for d in desc_list)
+        )
+        key: CatalogueKey = (edges, labels, descs, to_vertex_label)
+        if best is None or key < best:
+            best = key
+    if best is None:
+        raise CatalogueError("cannot canonicalise an empty sub-query")
+    return best
+
+
+@dataclass
+class CatalogueEntry:
+    """Measurements for one ``(Q_{k-1}, A, l_k)`` extension."""
+
+    key: CatalogueKey
+    avg_list_sizes: Tuple[float, ...]
+    mu: float
+    num_samples: int = 0
+
+    @property
+    def total_list_size(self) -> float:
+        """Sum of the average adjacency-list sizes (the i-cost of one
+        uncached intersection, Eq. 2)."""
+        return float(sum(self.avg_list_sizes))
+
+
+@dataclass
+class SubgraphCatalogue:
+    """Container for catalogue entries plus base edge-label selectivities."""
+
+    h: int = 3
+    z: int = 1000
+    entries: Dict[CatalogueKey, CatalogueEntry] = field(default_factory=dict)
+    # selectivity (count) of single query edges keyed by
+    # (edge_label, src_vertex_label, dst_vertex_label); None = wildcard.
+    edge_counts: Dict[Tuple[Optional[int], Optional[int], Optional[int]], int] = field(
+        default_factory=dict
+    )
+    num_graph_vertices: int = 0
+    num_graph_edges: int = 0
+    construction_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def put(
+        self,
+        sub_query: QueryGraph,
+        descriptors: Sequence[AdjListDescriptor],
+        to_vertex_label: Optional[int],
+        avg_list_sizes: Sequence[float],
+        mu: float,
+        num_samples: int,
+    ) -> CatalogueEntry:
+        key = canonical_key(sub_query, descriptors, to_vertex_label)
+        entry = CatalogueEntry(
+            key=key,
+            avg_list_sizes=tuple(float(x) for x in avg_list_sizes),
+            mu=float(mu),
+            num_samples=num_samples,
+        )
+        self.entries[key] = entry
+        return entry
+
+    def get(
+        self,
+        sub_query: QueryGraph,
+        descriptors: Sequence[AdjListDescriptor],
+        to_vertex_label: Optional[int],
+    ) -> Optional[CatalogueEntry]:
+        return self.entries.get(canonical_key(sub_query, descriptors, to_vertex_label))
+
+    def has(
+        self,
+        sub_query: QueryGraph,
+        descriptors: Sequence[AdjListDescriptor],
+        to_vertex_label: Optional[int],
+    ) -> bool:
+        return self.get(sub_query, descriptors, to_vertex_label) is not None
+
+    # ------------------------------------------------------------------ #
+    def edge_count(
+        self,
+        edge_label: Optional[int],
+        src_label: Optional[int] = None,
+        dst_label: Optional[int] = None,
+    ) -> float:
+        """Selectivity of a single (labeled) query edge — the DP's base case."""
+        key = (edge_label, src_label, dst_label)
+        if key in self.edge_counts:
+            return float(self.edge_counts[key])
+        # Wildcard fallback: sum over matching stored keys.
+        total = 0
+        found = False
+        for (el, sl, dl), count in self.edge_counts.items():
+            if (edge_label is None or el == edge_label) and (
+                src_label is None or sl == src_label
+            ) and (dst_label is None or dl == dst_label):
+                total += count
+                found = True
+        if found:
+            return float(total)
+        return float(self.num_graph_edges)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    def size_estimate_bytes(self) -> int:
+        """Rough in-memory footprint, reported by the Appendix B experiments."""
+        per_entry = 120  # key tuples + floats, rough average
+        return per_entry * len(self.entries) + 64 * len(self.edge_counts)
+
+    def summary(self) -> str:
+        return (
+            f"SubgraphCatalogue(h={self.h}, z={self.z}, entries={self.num_entries}, "
+            f"edge_label_stats={len(self.edge_counts)}, "
+            f"built_in={self.construction_seconds:.2f}s)"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()

@@ -1,0 +1,228 @@
+"""Sampling-based catalogue construction (Section 5.1).
+
+For an entry that extends ``Q_{k-1}`` to ``Q_k`` we do *not* enumerate every
+match of ``Q_{k-1}``: we sample ``z`` random edges uniformly from the SCAN
+operator's edge list, extend only those through a WCO plan of ``Q_{k-1}``, and
+for each produced match measure (i) the sizes of the adjacency lists named by
+the descriptors ``A`` and (ii) how many extensions carrying the target label
+the intersection yields.  The averages become the ``|A|`` and ``mu`` columns.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.catalogue.catalogue import SubgraphCatalogue
+from repro.graph.graph import Direction, Graph
+from repro.graph.intersect import intersect_multiway
+from repro.planner.descriptors import AdjListDescriptor
+from repro.planner.qvo import enumerate_orderings
+from repro.query.query_graph import QueryGraph
+
+
+# --------------------------------------------------------------------------- #
+# sampling machinery
+# --------------------------------------------------------------------------- #
+def sample_subquery_matches(
+    graph: Graph,
+    sub_query: QueryGraph,
+    ordering: Sequence[str],
+    z: int,
+    rng: np.random.Generator,
+) -> Tuple[List[Tuple[int, ...]], Tuple[str, ...]]:
+    """Matches of ``sub_query`` grown from ``z`` uniformly sampled scan edges.
+
+    Returns the matches (tuples of data-vertex ids) and the vertex order the
+    tuple positions correspond to.
+    """
+    ordering = tuple(ordering)
+    first_edges = sub_query.edges_between(ordering[0], ordering[1])
+    if not first_edges:
+        raise ValueError(f"ordering {ordering} does not start with a query edge")
+    edge = first_edges[0]
+    src, dst = graph.edges(
+        edge_label=edge.label,
+        src_label=sub_query.vertex_label(edge.src),
+        dst_label=sub_query.vertex_label(edge.dst),
+    )
+    if len(src) == 0:
+        return [], ordering
+    if len(src) > z:
+        idx = rng.choice(len(src), size=z, replace=False)
+        src, dst = src[idx], dst[idx]
+    reverse = edge.src != ordering[0]
+    matches: List[Tuple[int, ...]] = [
+        ((int(v), int(u)) if reverse else (int(u), int(v))) for u, v in zip(src, dst)
+    ]
+    # Verify any parallel/reciprocal edges between the first two vertices.
+    extra_first = [e for e in first_edges if e is not edge]
+    if extra_first:
+        filtered = []
+        for t in matches:
+            pos = {ordering[0]: t[0], ordering[1]: t[1]}
+            if all(graph.has_edge(pos[e.src], pos[e.dst], e.label) for e in extra_first):
+                filtered.append(t)
+        matches = filtered
+
+    for k in range(2, len(ordering)):
+        to_vertex = ordering[k]
+        prior = ordering[:k]
+        descriptors = [
+            AdjListDescriptor.for_extension(e, to_vertex)
+            for e in sub_query.edges_touching(to_vertex)
+            if e.other(to_vertex) in set(prior)
+        ]
+        to_label = sub_query.vertex_label(to_vertex)
+        index = {v: i for i, v in enumerate(prior)}
+        extended: List[Tuple[int, ...]] = []
+        for t in matches:
+            lists = [
+                graph.neighbors(t[index[d.from_vertex]], d.direction, d.edge_label, to_label)
+                for d in descriptors
+            ]
+            extension = lists[0] if len(lists) == 1 else intersect_multiway(lists)
+            for w in extension:
+                extended.append(t + (int(w),))
+        matches = extended
+        if not matches:
+            break
+    return matches, ordering
+
+
+def measure_extension(
+    graph: Graph,
+    sub_query: QueryGraph,
+    descriptors: Sequence[AdjListDescriptor],
+    to_vertex_label: Optional[int],
+    z: int,
+    rng: np.random.Generator,
+) -> Tuple[List[float], float, int]:
+    """Measure ``|A|`` and ``mu`` for extending ``sub_query`` via ``descriptors``.
+
+    Returns (average list size per descriptor, average number of extensions,
+    number of sampled matches the averages are over).
+    """
+    orderings = enumerate_orderings(sub_query, limit=1)
+    if not orderings:
+        return [0.0 for _ in descriptors], 0.0, 0
+    matches, order = sample_subquery_matches(graph, sub_query, orderings[0], z, rng)
+    if not matches:
+        avg_degree = graph.num_edges / max(graph.num_vertices, 1)
+        return [float(avg_degree) for _ in descriptors], 0.0, 0
+    index = {v: i for i, v in enumerate(order)}
+    size_totals = np.zeros(len(descriptors), dtype=np.float64)
+    extension_total = 0.0
+    for t in matches:
+        lists = []
+        for j, d in enumerate(descriptors):
+            adj = graph.neighbors(
+                t[index[d.from_vertex]], d.direction, d.edge_label, to_vertex_label
+            )
+            size_totals[j] += len(adj)
+            lists.append(adj)
+        extension = lists[0] if len(lists) == 1 else intersect_multiway(lists)
+        extension_total += len(extension)
+    n = len(matches)
+    return list(size_totals / n), extension_total / n, n
+
+
+# --------------------------------------------------------------------------- #
+# construction entry points
+# --------------------------------------------------------------------------- #
+def _edge_count_statistics(graph: Graph) -> Dict[Tuple[Optional[int], Optional[int], Optional[int]], int]:
+    """Edge counts partitioned by (edge label, source label, destination label)."""
+    counts: Dict[Tuple[Optional[int], Optional[int], Optional[int]], int] = {}
+    src_labels = graph.vertex_labels[graph.edge_src] if graph.num_edges else []
+    dst_labels = graph.vertex_labels[graph.edge_dst] if graph.num_edges else []
+    for el, sl, dl in zip(graph.edge_labels, src_labels, dst_labels):
+        key = (int(el), int(sl), int(dl))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def extension_triples_for_query(
+    query: QueryGraph, h: int
+) -> List[Tuple[QueryGraph, List[AdjListDescriptor], Optional[int]]]:
+    """All ``(Q_{k-1}, A, l_k)`` triples needed to estimate plans of ``query``
+    whose ``Q_{k-1}`` has at most ``h`` vertices.
+
+    We enumerate every connected induced sub-query ``S`` of the query with
+    ``3 <= |S| <= h+1`` vertices, and for every vertex ``v`` whose removal
+    keeps ``S - v`` connected, emit the triple that extends ``S - v`` back to
+    ``S``.
+    """
+    triples: List[Tuple[QueryGraph, List[AdjListDescriptor], Optional[int]]] = []
+    vertices = list(query.vertices)
+    max_size = min(len(vertices), h + 1)
+    for size in range(3, max_size + 1):
+        for subset in combinations(vertices, size):
+            if not query.connected_projection_exists(subset):
+                continue
+            s_query = query.project(subset)
+            for v in subset:
+                rest = [u for u in subset if u != v]
+                if len(rest) < 2 or not query.connected_projection_exists(rest):
+                    continue
+                sub = query.project(rest)
+                descriptors = [
+                    AdjListDescriptor.for_extension(e, v)
+                    for e in s_query.edges_touching(v)
+                ]
+                if descriptors:
+                    triples.append((sub, descriptors, s_query.vertex_label(v)))
+    return triples
+
+
+def build_catalogue(
+    graph: Graph,
+    h: int = 3,
+    z: int = 1000,
+    seed: int = 0,
+    queries: Optional[Sequence[QueryGraph]] = None,
+) -> SubgraphCatalogue:
+    """Construct a catalogue for ``graph``.
+
+    When ``queries`` is given, entries for every small-sub-query extension any
+    of those queries can need are measured eagerly; otherwise only the base
+    edge-label statistics are stored and entries are filled lazily by the cost
+    model the first time they are requested.
+    """
+    start = time.perf_counter()
+    catalogue = SubgraphCatalogue(h=h, z=z)
+    catalogue.num_graph_vertices = graph.num_vertices
+    catalogue.num_graph_edges = graph.num_edges
+    catalogue.edge_counts = _edge_count_statistics(graph)
+    rng = np.random.default_rng(seed)
+    if queries:
+        for query in queries:
+            for sub, descriptors, to_label in extension_triples_for_query(query, h):
+                if catalogue.has(sub, descriptors, to_label):
+                    continue
+                sizes, mu, n = measure_extension(graph, sub, descriptors, to_label, z, rng)
+                catalogue.put(sub, descriptors, to_label, sizes, mu, n)
+    catalogue.construction_seconds = time.perf_counter() - start
+    return catalogue
+
+
+def ensure_entry(
+    catalogue: SubgraphCatalogue,
+    graph: Graph,
+    sub_query: QueryGraph,
+    descriptors: Sequence[AdjListDescriptor],
+    to_vertex_label: Optional[int],
+    seed: int = 0,
+) -> None:
+    """Lazily measure and store one entry if the sub-query is small enough."""
+    if sub_query.num_vertices > catalogue.h:
+        return
+    if catalogue.has(sub_query, descriptors, to_vertex_label):
+        return
+    rng = np.random.default_rng(seed)
+    sizes, mu, n = measure_extension(
+        graph, sub_query, descriptors, to_vertex_label, catalogue.z, rng
+    )
+    catalogue.put(sub_query, descriptors, to_vertex_label, sizes, mu, n)

@@ -1,0 +1,240 @@
+"""Catalogue persistence and inspection.
+
+The subgraph catalogue (Section 5) is built once per graph by sampling and is
+then reused across every query the optimizer plans on that graph.  Catalogue
+construction dominates the one-time cost of adopting the optimizer (Appendix B
+reports construction times from 0.1s to over a minute), so a production
+deployment wants to persist the catalogue next to the graph and reload it
+instead of resampling.
+
+This module provides:
+
+* :func:`catalogue_to_dict` / :func:`catalogue_from_dict` — a stable JSON
+  encoding of every entry (canonical keys are nested tuples, which JSON cannot
+  represent directly, so keys are stored structurally alongside their values),
+* :func:`save_catalogue` / :func:`load_catalogue` — file round trip,
+* :func:`merge_catalogues` — combine catalogues built from independent samples
+  (weighted by sample count), useful for incrementally refining estimates,
+* :func:`render_entries` — a human-readable dump in the style of the paper's
+  Table 7 (sub-query, descriptor set, ``|A|``, ``mu``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalogue.catalogue import CatalogueEntry, CatalogueKey, SubgraphCatalogue
+from repro.errors import CatalogueError
+
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# canonical key <-> JSON structure
+# --------------------------------------------------------------------------- #
+def _key_to_jsonable(key: CatalogueKey) -> List:
+    edges, labels, descriptors, to_label = key
+    return [
+        [[int(a), int(b), lab] for a, b, lab in edges],
+        list(labels),
+        [[int(i), direction, lab] for i, direction, lab in descriptors],
+        to_label,
+    ]
+
+
+def _key_from_jsonable(data: Sequence) -> CatalogueKey:
+    edges_raw, labels_raw, descriptors_raw, to_label = data
+    edges = tuple((int(a), int(b), lab) for a, b, lab in edges_raw)
+    labels = tuple(labels_raw)
+    descriptors = tuple((int(i), str(direction), lab) for i, direction, lab in descriptors_raw)
+    return (edges, labels, descriptors, to_label)
+
+
+# --------------------------------------------------------------------------- #
+# whole-catalogue encoding
+# --------------------------------------------------------------------------- #
+def catalogue_to_dict(catalogue: SubgraphCatalogue) -> Dict:
+    """Encode a catalogue as a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "h": catalogue.h,
+        "z": catalogue.z,
+        "num_graph_vertices": catalogue.num_graph_vertices,
+        "num_graph_edges": catalogue.num_graph_edges,
+        "construction_seconds": catalogue.construction_seconds,
+        "edge_counts": [
+            {"edge_label": el, "src_label": sl, "dst_label": dl, "count": count}
+            for (el, sl, dl), count in sorted(
+                catalogue.edge_counts.items(), key=lambda kv: str(kv[0])
+            )
+        ],
+        "entries": [
+            {
+                "key": _key_to_jsonable(entry.key),
+                "avg_list_sizes": list(entry.avg_list_sizes),
+                "mu": entry.mu,
+                "num_samples": entry.num_samples,
+            }
+            for entry in catalogue.entries.values()
+        ],
+    }
+
+
+def catalogue_from_dict(data: Dict) -> SubgraphCatalogue:
+    """Rebuild a catalogue from :func:`catalogue_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise CatalogueError(f"unsupported catalogue format version: {version!r}")
+    catalogue = SubgraphCatalogue(
+        h=int(data["h"]),
+        z=int(data["z"]),
+        num_graph_vertices=int(data.get("num_graph_vertices", 0)),
+        num_graph_edges=int(data.get("num_graph_edges", 0)),
+        construction_seconds=float(data.get("construction_seconds", 0.0)),
+    )
+    for row in data.get("edge_counts", []):
+        key = (row.get("edge_label"), row.get("src_label"), row.get("dst_label"))
+        catalogue.edge_counts[key] = int(row["count"])
+    for row in data.get("entries", []):
+        key = _key_from_jsonable(row["key"])
+        catalogue.entries[key] = CatalogueEntry(
+            key=key,
+            avg_list_sizes=tuple(float(x) for x in row["avg_list_sizes"]),
+            mu=float(row["mu"]),
+            num_samples=int(row.get("num_samples", 0)),
+        )
+    return catalogue
+
+
+def save_catalogue(catalogue: SubgraphCatalogue, path: str, indent: Optional[int] = 2) -> None:
+    """Write a catalogue to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(catalogue_to_dict(catalogue), handle, indent=indent)
+
+
+def load_catalogue(path: str) -> SubgraphCatalogue:
+    """Read a catalogue previously written by :func:`save_catalogue`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return catalogue_from_dict(json.load(handle))
+
+
+# --------------------------------------------------------------------------- #
+# merging
+# --------------------------------------------------------------------------- #
+def merge_catalogues(
+    first: SubgraphCatalogue, second: SubgraphCatalogue
+) -> SubgraphCatalogue:
+    """Combine two catalogues built on the same graph.
+
+    Entries present in both are averaged, weighted by their sample counts, so
+    merging a z=100 and a z=1000 catalogue behaves like one z=1100 catalogue
+    for the shared keys.  Base edge counts are exact statistics and must agree
+    where both catalogues define them.
+    """
+    if (
+        first.num_graph_vertices
+        and second.num_graph_vertices
+        and first.num_graph_vertices != second.num_graph_vertices
+    ):
+        raise CatalogueError("cannot merge catalogues built on different graphs")
+    merged = SubgraphCatalogue(
+        h=max(first.h, second.h),
+        z=first.z + second.z,
+        num_graph_vertices=first.num_graph_vertices or second.num_graph_vertices,
+        num_graph_edges=first.num_graph_edges or second.num_graph_edges,
+        construction_seconds=first.construction_seconds + second.construction_seconds,
+    )
+    merged.edge_counts.update(first.edge_counts)
+    for key, count in second.edge_counts.items():
+        existing = merged.edge_counts.get(key)
+        if existing is not None and existing != count:
+            raise CatalogueError(
+                f"edge-count mismatch for {key}: {existing} vs {count}; "
+                "were the catalogues built on the same graph?"
+            )
+        merged.edge_counts[key] = count
+    merged.entries.update(first.entries)
+    for key, entry in second.entries.items():
+        existing = merged.entries.get(key)
+        if existing is None:
+            merged.entries[key] = entry
+            continue
+        merged.entries[key] = _combine_entries(existing, entry)
+    return merged
+
+
+def _combine_entries(a: CatalogueEntry, b: CatalogueEntry) -> CatalogueEntry:
+    """Sample-count-weighted average of two entries with the same key."""
+    weight_a = max(a.num_samples, 1)
+    weight_b = max(b.num_samples, 1)
+    total = weight_a + weight_b
+    if len(a.avg_list_sizes) != len(b.avg_list_sizes):
+        # Defensive: the same canonical key should always describe the same
+        # number of intersected lists; prefer the entry with more samples.
+        return a if weight_a >= weight_b else b
+    sizes = tuple(
+        (sa * weight_a + sb * weight_b) / total
+        for sa, sb in zip(a.avg_list_sizes, b.avg_list_sizes)
+    )
+    mu = (a.mu * weight_a + b.mu * weight_b) / total
+    return CatalogueEntry(key=a.key, avg_list_sizes=sizes, mu=mu, num_samples=total)
+
+
+# --------------------------------------------------------------------------- #
+# inspection (Table 7-style rendering)
+# --------------------------------------------------------------------------- #
+def _format_key(key: CatalogueKey) -> Tuple[str, str, str]:
+    """Return printable (sub-query, descriptor set, new-vertex label) columns."""
+    edges, labels, descriptors, to_label = key
+
+    def vertex(i: int) -> str:
+        label = labels[i] if i < len(labels) else None
+        return f"{i + 1}" if label is None else f"{i + 1}l{label}"
+
+    edge_strs = []
+    for src, dst, edge_label in edges:
+        arrow = "->" if edge_label is None else f"-[{edge_label}]->"
+        edge_strs.append(f"{vertex(src)}{arrow}{vertex(dst)}")
+    descriptor_strs = []
+    for index, direction, edge_label in descriptors:
+        arrow = "->" if direction == "fwd" else "<-"
+        suffix = "" if edge_label is None else f":{edge_label}"
+        descriptor_strs.append(f"{vertex(index)}{arrow}{suffix}")
+    new_vertex = "any" if to_label is None else f"l{to_label}"
+    return "; ".join(edge_strs), ", ".join(descriptor_strs), new_vertex
+
+
+def render_entries(
+    catalogue: SubgraphCatalogue, limit: Optional[int] = None, sort_by_mu: bool = False
+) -> str:
+    """A textual dump of catalogue entries in the style of the paper's Table 7.
+
+    Each row shows the sub-query ``Q_{k-1}``, the adjacency-list descriptor set
+    ``A``, the average list sizes ``|A|``, and the selectivity ``mu``.
+    """
+    entries = list(catalogue.entries.values())
+    if sort_by_mu:
+        entries.sort(key=lambda e: -e.mu)
+    if limit is not None:
+        entries = entries[:limit]
+    header = f"{'Q_(k-1)':<40} {'A':<30} {'|A|':<20} {'mu':>8}"
+    lines = [header, "-" * len(header)]
+    for entry in entries:
+        sub_query, descriptors, new_vertex = _format_key(entry.key)
+        sizes = ", ".join(f"{s:.1f}" for s in entry.avg_list_sizes)
+        lines.append(
+            f"{sub_query:<40} {descriptors + ' ; ' + new_vertex:<30} {sizes:<20} {entry.mu:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "catalogue_to_dict",
+    "catalogue_from_dict",
+    "save_catalogue",
+    "load_catalogue",
+    "merge_catalogues",
+    "render_entries",
+]

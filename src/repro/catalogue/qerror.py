@@ -1,0 +1,34 @@
+"""The q-error metric used by the Appendix B catalogue-accuracy experiments.
+
+``q-error = max(estimate / truth, truth / estimate)`` — it is at least 1 and
+equals 1 only for a perfectly accurate estimate.  Zero counts are clamped to 1
+(the convention of the "How Good Are Query Optimizers, Really?" benchmark the
+paper cites).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def q_error(estimate: float, truth: float) -> float:
+    est = max(float(estimate), 1.0)
+    tru = max(float(truth), 1.0)
+    return max(est / tru, tru / est)
+
+
+def qerror_distribution(
+    pairs: Iterable[Tuple[float, float]],
+    thresholds: Sequence[float] = (2.0, 3.0, 5.0, 10.0, 20.0),
+) -> Dict[str, int]:
+    """Cumulative distribution in the format of Tables 10 and 11: for each
+    threshold tau, the number of queries whose q-error is at most tau, plus a
+    final count of everything worse than the largest threshold."""
+    errors: List[float] = [q_error(est, tru) for est, tru in pairs]
+    result: Dict[str, int] = {}
+    for tau in thresholds:
+        result[f"<={tau:g}"] = sum(1 for e in errors if e <= tau)
+    largest = max(thresholds)
+    result[f">{largest:g}"] = sum(1 for e in errors if e > largest)
+    result["total"] = len(errors)
+    return result

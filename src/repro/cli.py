@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+A small CLI so that the reproduction can be exercised without writing Python:
+
+    python -m repro.cli datasets
+    python -m repro.cli run --dataset amazon --query Q3 --adaptive
+    python -m repro.cli run --dataset amazon --query "MATCH (a)-->(b), (b)-->(c), (a)-->(c)"
+    python -m repro.cli explain --dataset google --query Q8
+    python -m repro.cli spectrum --dataset amazon --query Q5 --max-plans 20
+    python -m repro.cli stats --dataset epinions
+    python -m repro.cli catalogue --dataset amazon --z 500 --output catalogue.json --show 10
+    python -m repro.cli plan --dataset amazon --query Q8 --format dot --output plan.dot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import GraphflowDB, datasets
+from repro.experiments.harness import format_table
+from repro.experiments.spectrum import generate_spectrum
+from repro.graph.statistics import compute_statistics
+from repro.query import catalog_queries
+from repro.query.cypher import looks_like_cypher, parse_cypher
+from repro.query.parser import parse_query
+
+
+def _load_db(args: argparse.Namespace) -> GraphflowDB:
+    graph = datasets.load(args.dataset, scale=args.scale, edge_labels=args.edge_labels)
+    db = GraphflowDB(graph)
+    db.build_catalogue(h=args.h, z=args.z)
+    return db
+
+
+def _resolve_query(text: str):
+    try:
+        return catalog_queries.get(text)
+    except KeyError:
+        if looks_like_cypher(text):
+            return parse_cypher(text, name="cli-query")
+        return parse_query(text, name="cli-query")
+
+
+def cmd_datasets(_: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "domain": spec.domain,
+            "paper size": f"{spec.paper_vertices} vertices / {spec.paper_edges} edges",
+            "archetype": spec.description,
+        }
+        for spec in datasets.DATASETS.values()
+    ]
+    print(format_table(rows, title="registered dataset archetypes"))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    graph = datasets.load(args.dataset, scale=args.scale)
+    stats = compute_statistics(graph)
+    print(f"{graph}")
+    print(f"  out-degree: mean={stats.out_degrees.mean:.2f} max={stats.out_degrees.maximum}")
+    print(f"  in-degree:  mean={stats.in_degrees.mean:.2f} max={stats.in_degrees.maximum}")
+    print(f"  reciprocity: {stats.reciprocity:.3f}")
+    print(f"  average clustering: {stats.average_clustering:.3f}")
+    print(f"  triangle estimate: {stats.triangle_estimate:.0f}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    db = _load_db(args)
+    query = _resolve_query(args.query)
+    result = db.execute(query, adaptive=args.adaptive, num_workers=args.workers)
+    print(
+        f"{query.name} on {db.graph.name}: {result.num_matches} matches in "
+        f"{result.elapsed_seconds:.3f}s (plan={result.plan.plan_type}, i-cost={result.i_cost})"
+    )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    db = _load_db(args)
+    print(db.explain(_resolve_query(args.query)))
+    return 0
+
+
+def cmd_spectrum(args: argparse.Namespace) -> int:
+    db = _load_db(args)
+    query = _resolve_query(args.query)
+    chosen = db.plan(query)
+    spectrum = generate_spectrum(
+        query, db.graph, catalogue=db.catalogue, chosen_plan=chosen, max_plans=args.max_plans
+    )
+    rows = [
+        {
+            "type": p.plan_type,
+            "seconds": p.seconds,
+            "i_cost": p.i_cost,
+            "chosen": "*" if p.is_optimizer_choice else "",
+        }
+        for p in sorted(spectrum.points, key=lambda p: p.seconds)
+    ]
+    print(format_table(rows, title=spectrum.summary()))
+    return 0
+
+
+def cmd_catalogue(args: argparse.Namespace) -> int:
+    from repro.catalogue.construction import build_catalogue
+    from repro.catalogue.persistence import render_entries, save_catalogue
+
+    graph = datasets.load(args.dataset, scale=args.scale, edge_labels=args.edge_labels)
+    warm = [catalog_queries.get(name) for name in args.warm_queries.split(",") if name]
+    catalogue = build_catalogue(graph, h=args.h, z=args.z, queries=warm)
+    print(catalogue.summary())
+    if args.show:
+        print(render_entries(catalogue, limit=args.show, sort_by_mu=True))
+    if args.output:
+        save_catalogue(catalogue, args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.planner.serialize import plan_to_dot, plan_to_json
+
+    db = _load_db(args)
+    query = _resolve_query(args.query)
+    plan = db.plan(query)
+    rendered = plan_to_dot(plan) if args.format == "dot" else plan_to_json(plan)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.format} plan for {query.name} to {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="amazon", help="dataset archetype name")
+        p.add_argument("--scale", type=float, default=0.25, help="dataset scale factor")
+        p.add_argument("--edge-labels", type=int, default=1, dest="edge_labels")
+        p.add_argument("--h", type=int, default=3, help="catalogue max sub-query size")
+        p.add_argument("--z", type=int, default=300, help="catalogue sample size")
+
+    sub.add_parser("datasets", help="list dataset archetypes").set_defaults(func=cmd_datasets)
+
+    stats = sub.add_parser("stats", help="structural statistics of a dataset")
+    stats.add_argument("--dataset", default="amazon")
+    stats.add_argument("--scale", type=float, default=0.25)
+    stats.set_defaults(func=cmd_stats)
+
+    run = sub.add_parser("run", help="plan and execute a query")
+    add_common(run)
+    run.add_argument("--query", required=True, help="Q1..Q14, a demo query name, or a pattern string")
+    run.add_argument("--adaptive", action="store_true")
+    run.add_argument("--workers", type=int, default=1)
+    run.set_defaults(func=cmd_run)
+
+    explain = sub.add_parser("explain", help="show the optimizer's plan for a query")
+    add_common(explain)
+    explain.add_argument("--query", required=True)
+    explain.set_defaults(func=cmd_explain)
+
+    spectrum = sub.add_parser("spectrum", help="run the full plan spectrum of a query")
+    add_common(spectrum)
+    spectrum.add_argument("--query", required=True)
+    spectrum.add_argument("--max-plans", type=int, default=30, dest="max_plans")
+    spectrum.set_defaults(func=cmd_spectrum)
+
+    catalogue = sub.add_parser("catalogue", help="build (and optionally save) a catalogue")
+    add_common(catalogue)
+    catalogue.add_argument("--output", default=None, help="write the catalogue to this JSON file")
+    catalogue.add_argument("--show", type=int, default=0, help="print the top-N entries")
+    catalogue.add_argument(
+        "--warm-queries",
+        default="Q1,Q3,Q4",
+        dest="warm_queries",
+        help="comma-separated query names whose extensions are measured eagerly",
+    )
+    catalogue.set_defaults(func=cmd_catalogue)
+
+    plan = sub.add_parser("plan", help="export the optimizer's plan as JSON or Graphviz DOT")
+    add_common(plan)
+    plan.add_argument("--query", required=True)
+    plan.add_argument("--format", choices=("json", "dot"), default="json")
+    plan.add_argument("--output", default=None, help="write to this file instead of stdout")
+    plan.set_defaults(func=cmd_plan)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Continuous (incremental) evaluation of subgraph queries.
+
+Graphflow, the system the paper's optimizer is built into, is an *active*
+graph database [18]: applications register subgraph queries once and are told
+how the set of matches changes as edges are inserted into or deleted from the
+graph (e.g. "alert when a new transaction closes a fraud cycle").  The paper
+itself evaluates one-time queries only; this subpackage implements the
+incremental side so the reproduction covers the substrate system's headline
+capability.
+
+The implementation uses the standard delta-rule for multiway joins, evaluated
+with the same query-vertex-at-a-time intersections as the one-time engine; see
+:mod:`repro.continuous.engine`.
+"""
+
+from repro.continuous.engine import ContinuousQueryEngine, DeltaResult
+
+__all__ = ["ContinuousQueryEngine", "DeltaResult"]

@@ -1,0 +1,424 @@
+"""Incremental maintenance of subgraph-query match counts.
+
+A registered query ``Q`` with query edges ``qe_1, ..., qe_n`` is a multiway
+self-join over the edge relation ``E``.  When a batch of edges ``ΔE`` is
+inserted, the change in the match set is given by the classic delta rule:
+
+    ΔQ = Σ_j  Q(E_new, ..., E_new, ΔE, E_old, ..., E_old)
+                ( positions < j )   (j)  ( positions > j )
+
+i.e. one term per query edge position ``j``, in which query edges before ``j``
+read the *post-update* edge set, position ``j`` reads only the inserted edges,
+and positions after ``j`` read the *pre-update* edge set.  Every new match is
+produced by exactly one term (the term of its first query-edge position bound
+to an inserted edge), so the terms can simply be summed.  Deletions use the
+same rule evaluated against the pre-/post-deletion graphs with a negative
+sign.
+
+Each term is evaluated query-vertex-at-a-time: the delta edge seeds the two
+endpoints of ``qe_j``, and the remaining query vertices are matched by
+intersecting adjacency lists — the same computation the one-time WCO plans
+perform, except that each adjacency list is read from the old or the new graph
+depending on the position of the query edge it represents.
+
+This is the algorithmic core of Graphflow's active queries [18] (and of
+BiGJoin's incremental dataflows [6]).  The storage substrate here is the
+immutable :class:`~repro.graph.graph.Graph`, so applying a batch rebuilds the
+adjacency index; the delta *computation* itself only touches the matches that
+involve inserted or deleted edges.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidQueryError, ReproError
+from repro.executor.pipeline import execute_plan
+from repro.graph.graph import Direction, Graph
+from repro.graph.intersect import intersect_multiway
+from repro.planner.plan import wco_plan_from_order
+from repro.planner.qvo import enumerate_orderings
+from repro.query.query_graph import QueryEdge, QueryGraph
+
+Edge = Tuple[int, int, int]
+
+
+class ContinuousQueryError(ReproError):
+    """Raised for invalid updates or unregistered queries."""
+
+
+# --------------------------------------------------------------------------- #
+# results
+# --------------------------------------------------------------------------- #
+@dataclass
+class DeltaResult:
+    """Change report for one registered query after one update batch."""
+
+    query_name: str
+    delta: int
+    total: int
+    inserted_edges: int = 0
+    deleted_edges: int = 0
+    elapsed_seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        sign = "+" if self.delta >= 0 else ""
+        return (
+            f"DeltaResult({self.query_name!r}, delta={sign}{self.delta}, "
+            f"total={self.total})"
+        )
+
+
+@dataclass
+class _RegisteredQuery:
+    query: QueryGraph
+    total: int
+    orderings: Dict[Tuple[str, str], Tuple[str, ...]] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------- #
+# the engine
+# --------------------------------------------------------------------------- #
+class ContinuousQueryEngine:
+    """Maintains match counts of registered queries under edge updates.
+
+    Example
+    -------
+    >>> from repro.graph.builder import GraphBuilder
+    >>> from repro.query import catalog_queries
+    >>> g = GraphBuilder().add_edge(0, 1).add_edge(1, 2).build()
+    >>> engine = ContinuousQueryEngine(g)
+    >>> engine.register("triangles", catalog_queries.q1())
+    0
+    >>> engine.insert_edges([(0, 2)])[0].delta
+    1
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._queries: Dict[str, _RegisteredQuery] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, query: QueryGraph) -> int:
+        """Register ``query`` under ``name`` and return its current match count."""
+        if name in self._queries:
+            raise ContinuousQueryError(f"a query named {name!r} is already registered")
+        if not query.is_connected():
+            raise InvalidQueryError(f"query {query.name} must be connected")
+        total = self._full_count(query)
+        self._queries[name] = _RegisteredQuery(query=query, total=total)
+        return total
+
+    def deregister(self, name: str) -> None:
+        if name not in self._queries:
+            raise ContinuousQueryError(f"no query named {name!r} is registered")
+        del self._queries[name]
+
+    @property
+    def registered_queries(self) -> Dict[str, QueryGraph]:
+        return {name: entry.query for name, entry in self._queries.items()}
+
+    def current_count(self, name: str) -> int:
+        if name not in self._queries:
+            raise ContinuousQueryError(f"no query named {name!r} is registered")
+        return self._queries[name].total
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert_edges(self, edges: Iterable[Tuple[int, ...]]) -> List[DeltaResult]:
+        """Insert a batch of edges and return one :class:`DeltaResult` per query.
+
+        Edges already present (same source, destination, and label) are
+        ignored.  New vertices referenced by the batch are created with
+        label 0.
+        """
+        batch = self._normalize(edges)
+        batch = [e for e in batch if not self._edge_exists(self.graph, e)]
+        if not batch:
+            return self._unchanged_results()
+        new_graph = self._graph_with(self.graph, added=batch)
+        results = []
+        for name, entry in self._queries.items():
+            start = time.perf_counter()
+            delta = self._delta_count(entry, old=self.graph, new=new_graph, delta_edges=batch)
+            entry.total += delta
+            results.append(
+                DeltaResult(
+                    query_name=name,
+                    delta=delta,
+                    total=entry.total,
+                    inserted_edges=len(batch),
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+            )
+        self.graph = new_graph
+        return results
+
+    def delete_edges(self, edges: Iterable[Tuple[int, ...]]) -> List[DeltaResult]:
+        """Delete a batch of edges and return one :class:`DeltaResult` per query.
+
+        Edges not present are ignored.
+        """
+        batch = self._normalize(edges)
+        batch = [e for e in batch if self._edge_exists(self.graph, e)]
+        if not batch:
+            return self._unchanged_results()
+        new_graph = self._graph_with(self.graph, removed=batch)
+        results = []
+        for name, entry in self._queries.items():
+            start = time.perf_counter()
+            # Matches lost are exactly the matches gained when re-inserting the
+            # batch into the post-deletion graph.
+            delta = self._delta_count(entry, old=new_graph, new=self.graph, delta_edges=batch)
+            entry.total -= delta
+            results.append(
+                DeltaResult(
+                    query_name=name,
+                    delta=-delta,
+                    total=entry.total,
+                    deleted_edges=len(batch),
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+            )
+        self.graph = new_graph
+        return results
+
+    # ------------------------------------------------------------------ #
+    # internals: graph manipulation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _normalize(edges: Iterable[Tuple[int, ...]]) -> List[Edge]:
+        batch: List[Edge] = []
+        seen = set()
+        for edge in edges:
+            if len(edge) == 2:
+                src, dst, label = int(edge[0]), int(edge[1]), 0
+            elif len(edge) == 3:
+                src, dst, label = int(edge[0]), int(edge[1]), int(edge[2])
+            else:
+                raise ContinuousQueryError(f"cannot interpret edge tuple {edge!r}")
+            if src == dst:
+                raise ContinuousQueryError("self-loops are not supported")
+            key = (src, dst, label)
+            if key not in seen:
+                seen.add(key)
+                batch.append(key)
+        return batch
+
+    @staticmethod
+    def _edge_exists(graph: Graph, edge: Edge) -> bool:
+        src, dst, label = edge
+        if src >= graph.num_vertices or dst >= graph.num_vertices:
+            return False
+        mask = (graph.edge_src == src) & (graph.edge_dst == dst) & (graph.edge_labels == label)
+        return bool(mask.any())
+
+    @staticmethod
+    def _graph_with(
+        graph: Graph,
+        added: Sequence[Edge] = (),
+        removed: Sequence[Edge] = (),
+    ) -> Graph:
+        src = graph.edge_src.tolist()
+        dst = graph.edge_dst.tolist()
+        labels = graph.edge_labels.tolist()
+        if removed:
+            remove_set = set(removed)
+            kept = [
+                i
+                for i in range(len(src))
+                if (src[i], dst[i], labels[i]) not in remove_set
+            ]
+            src = [src[i] for i in kept]
+            dst = [dst[i] for i in kept]
+            labels = [labels[i] for i in kept]
+        for s, d, l in added:
+            src.append(s)
+            dst.append(d)
+            labels.append(l)
+        max_vertex = max([graph.num_vertices - 1] + [max(s, d) for s, d, _ in added]) if added else graph.num_vertices - 1
+        vertex_labels = graph.vertex_labels
+        if max_vertex >= graph.num_vertices:
+            extension = np.zeros(max_vertex + 1 - graph.num_vertices, dtype=np.int64)
+            vertex_labels = np.concatenate([vertex_labels, extension])
+        return Graph(
+            vertex_labels=vertex_labels,
+            edge_src=np.asarray(src, dtype=np.int64),
+            edge_dst=np.asarray(dst, dtype=np.int64),
+            edge_labels=np.asarray(labels, dtype=np.int64),
+            name=graph.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals: counting
+    # ------------------------------------------------------------------ #
+    def _full_count(self, query: QueryGraph) -> int:
+        if self.graph.num_edges == 0:
+            return 0
+        for ordering in enumerate_orderings(query):
+            try:
+                plan = wco_plan_from_order(query, ordering)
+            except Exception:
+                continue
+            return execute_plan(plan, self.graph).num_matches
+        raise InvalidQueryError(f"query {query.name} admits no connected ordering")
+
+    def _ordering_for(
+        self, entry: _RegisteredQuery, seed_edge: QueryEdge
+    ) -> Tuple[str, ...]:
+        """A connected ordering of the query starting with ``seed_edge``'s
+        endpoints (cached per registered query)."""
+        key = (seed_edge.src, seed_edge.dst)
+        cached = entry.orderings.get(key)
+        if cached is not None:
+            return cached
+        orderings = enumerate_orderings(entry.query, prefix=[seed_edge.src, seed_edge.dst], limit=1)
+        if not orderings:
+            raise InvalidQueryError(
+                f"query {entry.query.name} has no connected ordering starting at "
+                f"{seed_edge.src}, {seed_edge.dst}"
+            )
+        entry.orderings[key] = orderings[0]
+        return orderings[0]
+
+    def _delta_count(
+        self,
+        entry: _RegisteredQuery,
+        old: Graph,
+        new: Graph,
+        delta_edges: Sequence[Edge],
+    ) -> int:
+        """Matches present in ``new`` but not in ``old`` (``old ⊆ new``)."""
+        query = entry.query
+        query_edges = list(query.edges)
+        total = 0
+        for position, seed_edge in enumerate(query_edges):
+            ordering = self._ordering_for(entry, seed_edge)
+            for src, dst, label in delta_edges:
+                if seed_edge.label is not None and seed_edge.label != label:
+                    continue
+                if not self._vertex_label_ok(new, src, query.vertex_label(seed_edge.src)):
+                    continue
+                if not self._vertex_label_ok(new, dst, query.vertex_label(seed_edge.dst)):
+                    continue
+                total += self._count_with_seed(
+                    query, query_edges, position, ordering, (src, dst), old, new
+                )
+        return total
+
+    @staticmethod
+    def _vertex_label_ok(graph: Graph, vertex: int, label: Optional[int]) -> bool:
+        if label is None:
+            return True
+        if vertex >= graph.num_vertices:
+            return False
+        return graph.vertex_label(vertex) == label
+
+    def _graph_for_position(
+        self, position: int, seed_position: int, old: Graph, new: Graph
+    ) -> Graph:
+        """Delta-rule role of a query edge: before the seed position read the
+        new graph, after it read the old graph (the seed edge itself is bound
+        to the delta edge)."""
+        return new if position < seed_position else old
+
+    def _count_with_seed(
+        self,
+        query: QueryGraph,
+        query_edges: List[QueryEdge],
+        seed_position: int,
+        ordering: Tuple[str, ...],
+        seed_binding: Tuple[int, int],
+        old: Graph,
+        new: Graph,
+    ) -> int:
+        """Count matches with the seed query edge bound to ``seed_binding``,
+        other query edges reading old/new according to the delta rule."""
+        seed_edge = query_edges[seed_position]
+        binding: Dict[str, int] = {
+            seed_edge.src: seed_binding[0],
+            seed_edge.dst: seed_binding[1],
+        }
+        position_of = {
+            (e.src, e.dst, e.label): i for i, e in enumerate(query_edges)
+        }
+
+        def edge_graph(edge: QueryEdge) -> Graph:
+            position = position_of[(edge.src, edge.dst, edge.label)]
+            return self._graph_for_position(position, seed_position, old, new)
+
+        # Verify query edges already fully bound by the seed (parallel edges or
+        # the reciprocal edge of the seed pair).
+        for edge in query_edges:
+            if edge is seed_edge:
+                continue
+            if edge.src in binding and edge.dst in binding:
+                graph = edge_graph(edge)
+                if not self._has_edge(graph, binding[edge.src], binding[edge.dst], edge.label):
+                    return 0
+
+        order = [v for v in ordering if v not in binding]
+
+        def extend(index: int) -> int:
+            if index == len(order):
+                return 1
+            target = order[index]
+            target_label = query.vertex_label(target)
+            lists = []
+            for edge in query.edges_touching(target):
+                other = edge.other(target)
+                if other not in binding:
+                    continue
+                graph = edge_graph(edge)
+                source_vertex = binding[other]
+                if source_vertex >= graph.num_vertices:
+                    # The bound vertex was created by this batch, so it has no
+                    # adjacency in the pre-update graph: the intersection is empty.
+                    return 0
+                direction = Direction.FORWARD if edge.src == other else Direction.BACKWARD
+                adjacency = graph.neighbors(
+                    source_vertex, direction, edge.label, target_label
+                )
+                lists.append(adjacency)
+            if not lists:
+                # Should not happen for connected orderings, but guard anyway.
+                return 0
+            extensions = lists[0] if len(lists) == 1 else intersect_multiway(lists)
+            produced = 0
+            for vertex in extensions:
+                binding[target] = int(vertex)
+                produced += extend(index + 1)
+                del binding[target]
+            return produced
+
+        count = extend(0)
+        return count
+
+    @staticmethod
+    def _has_edge(graph: Graph, src: int, dst: int, label: Optional[int]) -> bool:
+        if src >= graph.num_vertices or dst >= graph.num_vertices:
+            return False
+        return graph.has_edge(src, dst, label)
+
+    # ------------------------------------------------------------------ #
+    def _unchanged_results(self) -> List[DeltaResult]:
+        return [
+            DeltaResult(query_name=name, delta=0, total=entry.total)
+            for name, entry in self._queries.items()
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ContinuousQueryEngine(graph={self.graph.name!r}, "
+            f"edges={self.graph.num_edges}, queries={list(self._queries)})"
+        )
+
+
+__all__ = ["ContinuousQueryEngine", "DeltaResult", "ContinuousQueryError"]

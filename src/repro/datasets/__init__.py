@@ -1,0 +1,5 @@
+"""Scaled-down synthetic stand-ins for the paper's datasets."""
+
+from repro.datasets.registry import DATASETS, DatasetSpec, load, available
+
+__all__ = ["DATASETS", "DatasetSpec", "load", "available"]

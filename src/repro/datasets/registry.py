@@ -1,0 +1,136 @@
+"""Dataset registry.
+
+``load(name, scale=..., edge_labels=...)`` returns the synthetic stand-in for
+one of the paper's datasets (Table 8), optionally with random edge labels (the
+``QJi`` labeling protocol of Section 8.1.3).  Loaded graphs are cached per
+(name, scale) so repeated experiment runs share the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.datasets import synthetic
+from repro.graph.graph import Graph
+from repro.graph.labeling import with_random_edge_labels
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata describing one dataset archetype."""
+
+    name: str
+    domain: str
+    paper_vertices: str
+    paper_edges: str
+    generator: Callable[..., Graph]
+    description: str
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "amazon": DatasetSpec(
+        name="amazon",
+        domain="product co-purchasing",
+        paper_vertices="403K",
+        paper_edges="3.5M",
+        generator=synthetic.amazon_like,
+        description="moderate clustering, mild degree skew",
+    ),
+    "epinions": DatasetSpec(
+        name="epinions",
+        domain="social",
+        paper_vertices="76K",
+        paper_edges="509K",
+        generator=synthetic.epinions_like,
+        description="trust network: heavy skew, high clustering",
+    ),
+    "google": DatasetSpec(
+        name="google",
+        domain="web",
+        paper_vertices="876K",
+        paper_edges="5.1M",
+        generator=synthetic.google_like,
+        description="web graph: in-degree hubs, intra-site cliques",
+    ),
+    "berkstan": DatasetSpec(
+        name="berkstan",
+        domain="web",
+        paper_vertices="685K",
+        paper_edges="7.6M",
+        generator=synthetic.berkstan_like,
+        description="web graph: strong forward/backward asymmetry",
+    ),
+    "livejournal": DatasetSpec(
+        name="livejournal",
+        domain="social",
+        paper_vertices="4.8M",
+        paper_edges="69M",
+        generator=synthetic.livejournal_like,
+        description="large social network archetype",
+    ),
+    "twitter": DatasetSpec(
+        name="twitter",
+        domain="social",
+        paper_vertices="41.6M",
+        paper_edges="1.46B",
+        generator=synthetic.twitter_like,
+        description="follower network: extreme in-degree skew",
+    ),
+    "human": DatasetSpec(
+        name="human",
+        domain="protein interaction (CFL baseline)",
+        paper_vertices="4.7K",
+        paper_edges="86K",
+        generator=synthetic.human_like,
+        description="small, dense, heavily vertex-labeled",
+    ),
+}
+
+_CACHE: Dict[Tuple[str, float], Graph] = {}
+
+
+def available() -> List[str]:
+    """Names of the registered dataset archetypes."""
+    return sorted(DATASETS)
+
+
+def load(
+    name: str,
+    scale: float = 1.0,
+    edge_labels: int = 1,
+    seed: Optional[int] = None,
+    use_cache: bool = True,
+) -> Graph:
+    """Load (generate) a dataset archetype.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available`.
+    scale:
+        Linear size multiplier; 1.0 is the default experiment size.
+    edge_labels:
+        When > 1, edges are labeled uniformly at random from that many labels
+        (the paper's ``QJi`` protocol).
+    """
+    key = name.lower()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {available()}")
+    cache_key = (key, scale)
+    if use_cache and cache_key in _CACHE:
+        graph = _CACHE[cache_key]
+    else:
+        kwargs = {} if seed is None else {"seed": seed}
+        graph = DATASETS[key].generator(scale=scale, **kwargs)
+        if use_cache:
+            _CACHE[cache_key] = graph
+    if edge_labels > 1:
+        graph = with_random_edge_labels(graph, edge_labels, seed=0 if seed is None else seed)
+        graph.name = f"{key}-{edge_labels}labels"
+    return graph
+
+
+def clear_cache() -> None:
+    """Drop all cached graphs (used by tests)."""
+    _CACHE.clear()

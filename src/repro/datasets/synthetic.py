@@ -1,0 +1,83 @@
+"""Generators for the dataset archetypes used by the experiments.
+
+The paper evaluates on six SNAP graphs (Table 8).  They are not available in
+the offline reproduction environment and are far too large for a pure-Python
+runtime, so each is replaced with a scaled-down synthetic graph sharing the
+structural properties that drive the paper's conclusions (degree skew,
+clustering/cyclicity, and forward/backward asymmetry).  DESIGN.md documents
+the substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+def amazon_like(scale: float = 1.0, seed: int = 7) -> Graph:
+    """Product co-purchasing archetype: moderate clustering, mild skew."""
+    n = max(200, int(2000 * scale))
+    g = generators.clustered_social(
+        num_vertices=n, avg_degree=8, clustering=0.35, reciprocity=0.5, seed=seed, name="amazon"
+    )
+    return g
+
+
+def epinions_like(scale: float = 1.0, seed: int = 11) -> Graph:
+    """Who-trusts-whom social network: heavy skew, high clustering."""
+    n = max(150, int(1200 * scale))
+    g = generators.clustered_social(
+        num_vertices=n, avg_degree=12, clustering=0.5, reciprocity=0.35, seed=seed, name="epinions"
+    )
+    return g
+
+
+def google_like(scale: float = 1.0, seed: int = 13) -> Graph:
+    """Web graph archetype: strong in-degree hubs, intra-site cliques."""
+    n = max(250, int(2500 * scale))
+    g = generators.web_graph(num_vertices=n, avg_degree=7, hub_fraction=0.02, seed=seed, name="google")
+    return g
+
+
+def berkstan_like(scale: float = 1.0, seed: int = 17) -> Graph:
+    """Web graph archetype with even stronger forward/backward asymmetry."""
+    n = max(250, int(2200 * scale))
+    g = generators.web_graph(num_vertices=n, avg_degree=10, hub_fraction=0.01, seed=seed, name="berkstan")
+    return g
+
+
+def livejournal_like(scale: float = 1.0, seed: int = 19) -> Graph:
+    """Large social network archetype (bigger, skewed, clustered)."""
+    n = max(400, int(4000 * scale))
+    g = generators.clustered_social(
+        num_vertices=n, avg_degree=14, clustering=0.3, reciprocity=0.6, seed=seed, name="livejournal"
+    )
+    return g
+
+
+def twitter_like(scale: float = 1.0, seed: int = 23) -> Graph:
+    """Follower-network archetype: extreme in-degree skew, low reciprocity."""
+    n = max(500, int(5000 * scale))
+    g = generators.power_law(
+        num_vertices=n,
+        num_edges=int(n * 10),
+        out_exponent=2.3,
+        in_exponent=1.9,
+        seed=seed,
+        name="twitter",
+    )
+    return g
+
+
+def human_like(scale: float = 1.0, seed: int = 29) -> Graph:
+    """Stand-in for the CFL paper's 'human' protein-interaction graph: small,
+    dense, and heavily labeled (44 vertex labels in the original)."""
+    from repro.graph.labeling import with_random_labels
+
+    n = max(150, int(1000 * scale))
+    g = generators.clustered_social(
+        num_vertices=n, avg_degree=18, clustering=0.45, reciprocity=0.7, seed=seed, name="human"
+    )
+    return with_random_labels(g, num_edge_labels=1, num_vertex_labels=20, seed=seed)

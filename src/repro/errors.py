@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when a graph cannot be constructed from the given input."""
+
+
+class QueryParseError(ReproError):
+    """Raised when a query pattern string cannot be parsed."""
+
+
+class InvalidQueryError(ReproError):
+    """Raised when a query graph violates a structural requirement
+    (e.g. it is empty or disconnected)."""
+
+
+class PlanError(ReproError):
+    """Raised when a plan tree is malformed or cannot be executed."""
+
+
+class CatalogueError(ReproError):
+    """Raised for invalid catalogue construction parameters or lookups."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the optimizer cannot produce a plan for a query."""

@@ -1,0 +1,16 @@
+"""Volcano-style plan execution: SCAN, EXTEND/INTERSECT, HASH-JOIN, SINK
+operators, runtime profiling (i-cost, intermediate matches, cache hits),
+adaptive query-vertex-ordering selection, and parallel execution."""
+
+from repro.executor.profile import ExecutionProfile
+from repro.executor.pipeline import execute_plan, count_matches
+from repro.executor.adaptive import execute_adaptive
+from repro.executor.parallel import execute_parallel
+
+__all__ = [
+    "ExecutionProfile",
+    "execute_plan",
+    "count_matches",
+    "execute_adaptive",
+    "execute_parallel",
+]

@@ -1,0 +1,327 @@
+"""Physical operators.
+
+The executor follows Graphflow's Volcano-style pipeline (Section 7): SCAN
+leaves emit matched data edges as 2-matches, EXTEND/INTERSECT (E/I) operators
+extend partial matches by one query vertex through multiway adjacency-list
+intersections (with an intersection cache over consecutive identical
+intersections), and HASH-JOIN operators join the matches of two sub-plans.
+
+Partial matches are plain tuples of vertex ids aligned with the plan node's
+``out_vertices`` order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.executor.profile import ExecutionProfile
+from repro.graph.graph import Direction, Graph
+from repro.graph.intersect import contains_sorted, intersect_multiway
+from repro.graph.triangle_index import TriangleIndex
+from repro.planner.plan import ExtendNode, HashJoinNode, PlanNode, ScanNode
+
+
+@dataclass
+class ExecutionConfig:
+    """Knobs controlling plan execution.
+
+    Attributes
+    ----------
+    enable_intersection_cache:
+        The E/I intersection cache of Section 3.1 (Table 3 toggles this).
+    isomorphism:
+        When True, partial matches must map query vertices to *distinct* data
+        vertices (subgraph-isomorphism semantics, used for the CFL comparison);
+        the default False matches the join/homomorphism semantics of WCOJ
+        systems such as Graphflow and EmptyHeaded.
+    scan_range:
+        Optional ``(start, stop)`` slice over the SCAN operator's edge list;
+        the parallel executor partitions work this way (morsels).
+    scan_range_vertices:
+        When a plan contains several SCAN leaves (hash-join plans), the range
+        is applied only to the scan whose ``out_vertices`` equal this tuple;
+        all other scans read their full edge list.
+    output_limit:
+        Stop after this many output matches (Appendix C limits output sizes).
+    triangle_index:
+        Optional :class:`repro.graph.triangle_index.TriangleIndex`.  Two-way
+        intersections whose (vertex pair, direction pair) the index covers are
+        answered with a lookup instead of an adjacency-list intersection; all
+        other extensions fall back to ordinary intersections.
+    """
+
+    enable_intersection_cache: bool = True
+    isomorphism: bool = False
+    scan_range: Optional[Tuple[int, int]] = None
+    scan_range_vertices: Optional[Tuple[str, ...]] = None
+    output_limit: Optional[int] = None
+    triangle_index: Optional["TriangleIndex"] = None
+
+
+class Operator:
+    """Base class for physical operators; subclasses implement ``__iter__``."""
+
+    def __init__(
+        self,
+        node: PlanNode,
+        graph: Graph,
+        profile: ExecutionProfile,
+        config: ExecutionConfig,
+        is_root: bool,
+    ) -> None:
+        self.node = node
+        self.graph = graph
+        self.profile = profile
+        self.config = config
+        self.is_root = is_root
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _emit(self, count: int) -> None:
+        """Account for ``count`` tuples produced by this operator."""
+        if self.is_root:
+            self.profile.output_matches += count
+        else:
+            self.profile.record_intermediate(count)
+
+
+class ScanOperator(Operator):
+    """Scans data edges matching a single query edge.
+
+    When the scan's sub-query contains additional (parallel or reciprocal)
+    query edges between the same two query vertices, they are verified as
+    filters so that multi-edge queries such as Q6 stay correct.
+    """
+
+    def __init__(self, node: ScanNode, *args, **kwargs) -> None:
+        super().__init__(node, *args, **kwargs)
+        self.scan_node = node
+        query = node.sub_query
+        edge = node.edge
+        self._src_label = query.vertex_label(edge.src)
+        self._dst_label = query.vertex_label(edge.dst)
+        self._extra_edges = [
+            e
+            for e in query.edges
+            if not (e.src == edge.src and e.dst == edge.dst and e.label == edge.label)
+        ]
+        self._reversed = node.out_vertices[0] != edge.src
+
+    def _edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        edge = self.scan_node.edge
+        src, dst = self.graph.edges(
+            edge_label=edge.label, src_label=self._src_label, dst_label=self._dst_label
+        )
+        if self.config.scan_range is not None and (
+            self.config.scan_range_vertices is None
+            or tuple(self.config.scan_range_vertices) == tuple(self.scan_node.out_vertices)
+        ):
+            start, stop = self.config.scan_range
+            src, dst = src[start:stop], dst[start:stop]
+        return src, dst
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        edge = self.scan_node.edge
+        src, dst = self._edge_arrays()
+        emitted = 0
+        for u, v in zip(src, dst):
+            u, v = int(u), int(v)
+            if self.config.isomorphism and u == v:
+                continue
+            ok = True
+            for extra in self._extra_edges:
+                s, d = (u, v) if extra.src == edge.src else (v, u)
+                if not self.graph.has_edge(s, d, extra.label):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            emitted += 1
+            yield (v, u) if self._reversed else (u, v)
+        self._emit(emitted)
+        self.profile.record_operator(f"SCAN[{edge!r}]", out=emitted)
+
+
+class ExtendIntersectOperator(Operator):
+    """EXTEND/INTERSECT with the intersection cache of Section 3.1."""
+
+    def __init__(self, node: ExtendNode, child: Operator, *args, **kwargs) -> None:
+        super().__init__(node, *args, **kwargs)
+        self.extend_node = node
+        self.child = child
+        child_order = child.node.out_vertices
+        index_of = {v: i for i, v in enumerate(child_order)}
+        # Resolve descriptors to (tuple index, direction, edge label).
+        self._resolved: List[Tuple[int, Direction, Optional[int]]] = [
+            (index_of[d.from_vertex], d.direction, d.edge_label) for d in node.descriptors
+        ]
+        self._to_label = node.to_vertex_label
+        self._cache_key: Optional[Tuple] = None
+        self._cache_value: Optional[np.ndarray] = None
+
+    def _indexed_extension(self, t: Tuple[int, ...]) -> Optional[np.ndarray]:
+        """Serve a 2-way intersection from the triangle index when possible.
+
+        Only applies to unlabeled 2-descriptor extensions onto an unlabeled
+        target vertex, because the index stores intersections of full (merged)
+        adjacency lists.
+        """
+        index = self.config.triangle_index
+        if index is None or len(self._resolved) != 2 or self._to_label is not None:
+            return None
+        (idx_a, dir_a, label_a), (idx_b, dir_b, label_b) = self._resolved
+        if label_a is not None or label_b is not None:
+            return None
+        extension = index.lookup(t[idx_a], t[idx_b], dir_a, dir_b)
+        if extension is None:
+            return None
+        self.profile.record_index_hit()
+        return extension
+
+    def _extension_set(self, t: Tuple[int, ...]) -> np.ndarray:
+        key = tuple(t[idx] for idx, _, _ in self._resolved)
+        if (
+            self.config.enable_intersection_cache
+            and self._cache_key is not None
+            and key == self._cache_key
+        ):
+            self.profile.record_cache_hit()
+            return self._cache_value  # type: ignore[return-value]
+        self.profile.record_cache_miss()
+        indexed = self._indexed_extension(t)
+        if indexed is not None:
+            if self.config.enable_intersection_cache:
+                self._cache_key = key
+                self._cache_value = indexed
+            return indexed
+        lists = []
+        accessed = 0
+        for idx, direction, edge_label in self._resolved:
+            adj = self.graph.neighbors(t[idx], direction, edge_label, self._to_label)
+            accessed += len(adj)
+            lists.append(adj)
+        self.profile.record_intersection(accessed)
+        extension = lists[0] if len(lists) == 1 else intersect_multiway(lists)
+        if self.config.enable_intersection_cache:
+            self._cache_key = key
+            self._cache_value = extension
+        return extension
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        emitted = 0
+        isomorphism = self.config.isomorphism
+        for t in self.child:
+            extension = self._extension_set(t)
+            if len(extension) == 0:
+                continue
+            if isomorphism:
+                used = set(t)
+                new_vertices = [int(w) for w in extension if int(w) not in used]
+            else:
+                new_vertices = [int(w) for w in extension]
+            emitted += len(new_vertices)
+            for w in new_vertices:
+                yield t + (w,)
+        self._emit(emitted)
+        self.profile.record_operator(
+            f"E/I[->{self.extend_node.to_vertex}]", out=emitted
+        )
+
+
+class HashJoinOperator(Operator):
+    """Classic hash join on the shared query vertices of its children.
+
+    Query edges of the joined sub-query that are covered by neither child
+    (possible only for plans outside the optimizer's space, but supported for
+    robustness and for baseline planners) are verified as post-filters.
+    """
+
+    def __init__(
+        self, node: HashJoinNode, build: Operator, probe: Operator, *args, **kwargs
+    ) -> None:
+        super().__init__(node, *args, **kwargs)
+        self.join_node = node
+        self.build_child = build
+        self.probe_child = probe
+        build_order = node.build.out_vertices
+        probe_order = node.probe.out_vertices
+        self._build_key_idx = [build_order.index(v) for v in node.join_vertices]
+        self._probe_key_idx = [probe_order.index(v) for v in node.join_vertices]
+        probe_set = set(probe_order)
+        self._build_payload_idx = [
+            i for i, v in enumerate(build_order) if v not in probe_set
+        ]
+        # Edges of the joined sub-query covered by neither child.
+        covered = {
+            (e.src, e.dst, e.label)
+            for child in (node.build, node.probe)
+            for e in child.sub_query.edges
+        }
+        out_index = {v: i for i, v in enumerate(node.out_vertices)}
+        self._filter_edges = [
+            (out_index[e.src], out_index[e.dst], e.label)
+            for e in node.sub_query.edges
+            if (e.src, e.dst, e.label) not in covered
+        ]
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        table: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+        entries = 0
+        for t in self.build_child:
+            key = tuple(t[i] for i in self._build_key_idx)
+            table.setdefault(key, []).append(tuple(t[i] for i in self._build_payload_idx))
+            entries += 1
+        self.profile.hash_table_entries += entries
+
+        emitted = 0
+        isomorphism = self.config.isomorphism
+        for t in self.probe_child:
+            self.profile.hash_probes += 1
+            key = tuple(t[i] for i in self._probe_key_idx)
+            payloads = table.get(key)
+            if not payloads:
+                continue
+            for payload in payloads:
+                out = t + payload
+                if isomorphism and len(set(out)) != len(out):
+                    continue
+                ok = True
+                for si, di, lab in self._filter_edges:
+                    if not self.graph.has_edge(out[si], out[di], lab):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                emitted += 1
+                yield out
+        self._emit(emitted)
+        self.profile.record_operator(
+            f"HASH-JOIN[{','.join(self.join_node.join_vertices)}]",
+            out=emitted,
+            entries=entries,
+        )
+
+
+def build_operator_tree(
+    node: PlanNode,
+    graph: Graph,
+    profile: ExecutionProfile,
+    config: ExecutionConfig,
+    is_root: bool = True,
+) -> Operator:
+    """Recursively wire physical operators for a plan subtree."""
+    if isinstance(node, ScanNode):
+        return ScanOperator(node, graph, profile, config, is_root)
+    if isinstance(node, ExtendNode):
+        child = build_operator_tree(node.child, graph, profile, config, is_root=False)
+        return ExtendIntersectOperator(node, child, graph, profile, config, is_root)
+    if isinstance(node, HashJoinNode):
+        build = build_operator_tree(node.build, graph, profile, config, is_root=False)
+        probe = build_operator_tree(node.probe, graph, profile, config, is_root=False)
+        return HashJoinOperator(node, build, probe, graph, profile, config, is_root)
+    raise PlanError(f"unknown plan node type: {type(node).__name__}")

@@ -1,0 +1,89 @@
+"""Plan execution entry points."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.executor.operators import ExecutionConfig, build_operator_tree
+from repro.executor.profile import ExecutionProfile
+from repro.graph.graph import Graph
+from repro.planner.plan import Plan
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of running one plan on one graph."""
+
+    plan: Plan
+    num_matches: int
+    profile: ExecutionProfile
+    matches: Optional[List[Tuple[int, ...]]] = None
+    vertex_order: Tuple[str, ...] = ()
+    truncated: bool = False
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.profile.elapsed_seconds
+
+    def matches_as_dicts(self) -> List[dict]:
+        """Matches keyed by query-vertex name (only if matches were collected)."""
+        if self.matches is None:
+            return []
+        return [dict(zip(self.vertex_order, m)) for m in self.matches]
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionResult(query={self.plan.query.name!r}, matches={self.num_matches}, "
+            f"i_cost={self.profile.intersection_cost}, elapsed={self.elapsed_seconds:.3f}s)"
+        )
+
+
+def execute_plan(
+    plan: Plan,
+    graph: Graph,
+    config: Optional[ExecutionConfig] = None,
+    collect: bool = False,
+) -> ExecutionResult:
+    """Run ``plan`` on ``graph``.
+
+    Parameters
+    ----------
+    config:
+        Execution knobs (intersection cache, isomorphism semantics, scan range,
+        output limit).  A default config is used when omitted.
+    collect:
+        When True the matches themselves are materialised (tuples of vertex ids
+        in the plan root's ``out_vertices`` order); otherwise only counted.
+    """
+    config = config or ExecutionConfig()
+    profile = ExecutionProfile()
+    root = build_operator_tree(plan.root, graph, profile, config, is_root=True)
+    matches: Optional[List[Tuple[int, ...]]] = [] if collect else None
+    count = 0
+    truncated = False
+    start = time.perf_counter()
+    for t in root:
+        count += 1
+        if collect:
+            matches.append(t)  # type: ignore[union-attr]
+        if config.output_limit is not None and count >= config.output_limit:
+            truncated = True
+            break
+    profile.elapsed_seconds = time.perf_counter() - start
+    # The root operator's own accounting may not have run if we broke early.
+    profile.output_matches = count
+    return ExecutionResult(
+        plan=plan,
+        num_matches=count,
+        profile=profile,
+        matches=matches,
+        vertex_order=tuple(plan.root.out_vertices),
+        truncated=truncated,
+    )
+
+
+def count_matches(plan: Plan, graph: Graph, config: Optional[ExecutionConfig] = None) -> int:
+    """Convenience wrapper returning only the number of matches."""
+    return execute_plan(plan, graph, config=config, collect=False).num_matches

@@ -1,0 +1,7 @@
+"""Experiment harness: plan spectrums and runners for every table and figure
+in the paper's evaluation (Section 8 and Appendices B-D)."""
+
+from repro.experiments.harness import ExperimentRow, format_table
+from repro.experiments import spectrum, tables
+
+__all__ = ["ExperimentRow", "format_table", "spectrum", "tables"]

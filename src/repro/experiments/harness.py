@@ -1,0 +1,82 @@
+"""Small utilities shared by the experiment runners: timing, row containers,
+and plain-text table rendering matching the layout of the paper's tables."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentRow:
+    """One row of an experiment report."""
+
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.values.get(key, default)
+
+
+@contextmanager
+def timed() -> Iterator[Dict[str, float]]:
+    """Context manager collecting wall-clock time into ``result['seconds']``."""
+    result: Dict[str, float] = {}
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result["seconds"] = time.perf_counter() - start
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}" if value < 10 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[ExperimentRow] | Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    dict_rows: List[Dict[str, Any]] = [
+        r.values if isinstance(r, ExperimentRow) else dict(r) for r in rows
+    ]
+    if not dict_rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = []
+        for row in dict_rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    widths = {
+        c: max(len(str(c)), *(len(_format_value(row.get(c, ""))) for row in dict_rows))
+        for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in dict_rows:
+        lines.append(
+            " | ".join(_format_value(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """How many times faster the candidate is than the baseline."""
+    if candidate_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / candidate_seconds

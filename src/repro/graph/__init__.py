@@ -1,0 +1,18 @@
+"""Graph storage substrate: in-memory directed labeled graphs with sorted,
+label-partitioned forward and backward adjacency lists (the Graphflow storage
+layout described in Section 7 of the paper)."""
+
+from repro.graph.graph import Graph, Direction
+from repro.graph.builder import GraphBuilder
+from repro.graph import generators, intersect, labeling, statistics, io
+
+__all__ = [
+    "Graph",
+    "Direction",
+    "GraphBuilder",
+    "generators",
+    "intersect",
+    "labeling",
+    "statistics",
+    "io",
+]

@@ -1,0 +1,119 @@
+"""Incremental construction of :class:`repro.graph.graph.Graph` objects."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graph.graph import Graph
+
+
+class GraphBuilder:
+    """Accumulates vertices and edges, then freezes them into a ``Graph``.
+
+    Vertices may be added explicitly with :meth:`add_vertex` (to assign
+    labels) or implicitly by being mentioned in :meth:`add_edge`, in which case
+    they receive label ``0``.
+
+    Example
+    -------
+    >>> b = GraphBuilder()
+    >>> b.add_edge(0, 1)
+    >>> b.add_edge(1, 2, label=3)
+    >>> g = b.build(name="tiny")
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    """
+
+    def __init__(self, deduplicate: bool = True) -> None:
+        self._vertex_labels: Dict[int, int] = {}
+        self._edges: List[Tuple[int, int, int]] = []
+        self._edge_set: set = set()
+        self._deduplicate = deduplicate
+
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex: int, label: int = 0) -> "GraphBuilder":
+        if vertex < 0:
+            raise GraphConstructionError("vertex ids must be non-negative")
+        self._vertex_labels[vertex] = label
+        return self
+
+    def add_edge(self, src: int, dst: int, label: int = 0) -> "GraphBuilder":
+        """Add the directed edge ``src -> dst``. Self-loops are rejected
+        (subgraph queries in the paper are over simple directed graphs)."""
+        if src < 0 or dst < 0:
+            raise GraphConstructionError("vertex ids must be non-negative")
+        if src == dst:
+            raise GraphConstructionError("self-loops are not supported")
+        key = (src, dst, label)
+        if self._deduplicate:
+            if key in self._edge_set:
+                return self
+            self._edge_set.add(key)
+        self._edges.append(key)
+        self._vertex_labels.setdefault(src, 0)
+        self._vertex_labels.setdefault(dst, 0)
+        return self
+
+    def add_edges(self, edges: Iterable[Tuple[int, ...]]) -> "GraphBuilder":
+        """Add edges from an iterable of ``(src, dst)`` or ``(src, dst, label)``."""
+        for edge in edges:
+            if len(edge) == 2:
+                self.add_edge(edge[0], edge[1])
+            elif len(edge) == 3:
+                self.add_edge(edge[0], edge[1], edge[2])
+            else:
+                raise GraphConstructionError(f"cannot interpret edge tuple {edge!r}")
+        return self
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------------ #
+    def build(self, name: str = "graph", num_vertices: Optional[int] = None) -> Graph:
+        """Freeze the accumulated vertices and edges into a ``Graph``.
+
+        Vertex ids must be dense (0..n-1); if ``num_vertices`` is given,
+        vertices up to that count exist even if isolated.
+        """
+        max_seen = max(self._vertex_labels) if self._vertex_labels else -1
+        n = max_seen + 1 if num_vertices is None else num_vertices
+        if num_vertices is not None and max_seen >= num_vertices:
+            raise GraphConstructionError(
+                f"vertex id {max_seen} exceeds declared num_vertices={num_vertices}"
+            )
+        vertex_labels = np.zeros(n, dtype=np.int64)
+        for v, lab in self._vertex_labels.items():
+            vertex_labels[v] = lab
+        if self._edges:
+            src, dst, lab = map(np.asarray, zip(*self._edges))
+        else:
+            src = dst = lab = np.array([], dtype=np.int64)
+        return Graph(
+            vertex_labels=vertex_labels,
+            edge_src=src,
+            edge_dst=dst,
+            edge_labels=lab,
+            name=name,
+        )
+
+
+def graph_from_edges(
+    edges: Iterable[Tuple[int, ...]],
+    vertex_labels: Optional[Dict[int, int]] = None,
+    name: str = "graph",
+) -> Graph:
+    """Convenience helper: build a graph from an edge iterable in one call."""
+    builder = GraphBuilder()
+    if vertex_labels:
+        for v, lab in vertex_labels.items():
+            builder.add_vertex(v, lab)
+    builder.add_edges(edges)
+    return builder.build(name=name)

@@ -1,0 +1,337 @@
+"""In-memory directed labeled graph with sorted adjacency lists.
+
+The storage layout mirrors Graphflow's (paper Section 7):
+
+* both forward and backward adjacency lists are indexed,
+* adjacency lists are partitioned first by the edge label and then by the
+  label of the neighbour vertex,
+* the neighbours within each partition are sorted by vertex id, which makes
+  multiway intersections (the core of WCO plans) fast merge operations.
+
+Graphs are immutable once built; use :class:`repro.graph.builder.GraphBuilder`
+to construct them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+
+# Wildcard label: "any label". Queries with unlabeled vertices/edges use this.
+ANY_LABEL: Optional[int] = None
+
+
+class Direction(enum.Enum):
+    """Direction of an adjacency list access.
+
+    ``FORWARD`` follows edges from source to destination (out-neighbours);
+    ``BACKWARD`` follows them from destination to source (in-neighbours).
+    """
+
+    FORWARD = "fwd"
+    BACKWARD = "bwd"
+
+    def reverse(self) -> "Direction":
+        return Direction.BACKWARD if self is Direction.FORWARD else Direction.FORWARD
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Direction.{self.name}"
+
+
+@dataclass(frozen=True)
+class _CSR:
+    """A compact sparse-row adjacency structure for one partition."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self.indices[self.indptr[vertex]:self.indptr[vertex + 1]]
+
+    def degree(self, vertex: int) -> int:
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+
+def _build_csr(
+    num_vertices: int, sources: np.ndarray, targets: np.ndarray
+) -> _CSR:
+    """Build a CSR whose neighbour lists are sorted by vertex id."""
+    order = np.lexsort((targets, sources))
+    sources = sources[order]
+    targets = targets[order]
+    counts = np.bincount(sources, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return _CSR(indptr=indptr, indices=targets.astype(np.int64))
+
+
+@dataclass
+class Graph:
+    """A directed graph with integer vertex and edge labels.
+
+    Vertices are identified by consecutive integers ``0..num_vertices-1``.
+    Labels are small non-negative integers; unlabeled graphs use label ``0``
+    everywhere (the paper treats unlabeled queries as labeled queries over a
+    graph with a single label).
+
+    Attributes
+    ----------
+    vertex_labels:
+        ``int64`` array of length ``num_vertices``.
+    edge_src, edge_dst, edge_labels:
+        Parallel ``int64`` arrays of length ``num_edges`` listing every edge.
+    """
+
+    vertex_labels: np.ndarray
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_labels: np.ndarray
+    name: str = "graph"
+
+    # Partitioned adjacency: maps (edge_label, neighbour_label) -> _CSR.
+    _fwd_partitions: Dict[Tuple[int, int], _CSR] = field(default_factory=dict, repr=False)
+    _bwd_partitions: Dict[Tuple[int, int], _CSR] = field(default_factory=dict, repr=False)
+    # Lazily merged wildcard partitions keyed by (edge_label, neighbour_label)
+    # where either component may be ANY_LABEL.
+    _merged_cache: Dict[Tuple[str, Optional[int], Optional[int]], _CSR] = field(
+        default_factory=dict, repr=False
+    )
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        self.vertex_labels = np.asarray(self.vertex_labels, dtype=np.int64)
+        self.edge_src = np.asarray(self.edge_src, dtype=np.int64)
+        self.edge_dst = np.asarray(self.edge_dst, dtype=np.int64)
+        self.edge_labels = np.asarray(self.edge_labels, dtype=np.int64)
+        if not (len(self.edge_src) == len(self.edge_dst) == len(self.edge_labels)):
+            raise GraphConstructionError("edge arrays must have equal length")
+        if len(self.edge_src) and (
+            self.edge_src.max(initial=0) >= self.num_vertices
+            or self.edge_dst.max(initial=0) >= self.num_vertices
+        ):
+            raise GraphConstructionError("edge endpoint out of range")
+        if len(self.edge_src) and (self.edge_src.min(initial=0) < 0 or self.edge_dst.min(initial=0) < 0):
+            raise GraphConstructionError("edge endpoint out of range")
+        self._build_partitions()
+
+    def _build_partitions(self) -> None:
+        n = self.num_vertices
+        src, dst, lab = self.edge_src, self.edge_dst, self.edge_labels
+        dst_vlabels = self.vertex_labels[dst] if len(dst) else dst
+        src_vlabels = self.vertex_labels[src] if len(src) else src
+        edge_label_values = np.unique(lab) if len(lab) else np.array([], dtype=np.int64)
+        vertex_label_values = np.unique(self.vertex_labels)
+        self._fwd_partitions = {}
+        self._bwd_partitions = {}
+        for el in edge_label_values:
+            el_mask = lab == el
+            for vl in vertex_label_values:
+                fwd_mask = el_mask & (dst_vlabels == vl)
+                if fwd_mask.any():
+                    self._fwd_partitions[(int(el), int(vl))] = _build_csr(
+                        n, src[fwd_mask], dst[fwd_mask]
+                    )
+                bwd_mask = el_mask & (src_vlabels == vl)
+                if bwd_mask.any():
+                    self._bwd_partitions[(int(el), int(vl))] = _build_csr(
+                        n, dst[bwd_mask], src[bwd_mask]
+                    )
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return int(len(self.vertex_labels))
+
+    @property
+    def num_edges(self) -> int:
+        return int(len(self.edge_src))
+
+    @property
+    def edge_label_values(self) -> np.ndarray:
+        """Distinct edge labels present in the graph."""
+        return np.unique(self.edge_labels) if self.num_edges else np.array([], dtype=np.int64)
+
+    @property
+    def vertex_label_values(self) -> np.ndarray:
+        """Distinct vertex labels present in the graph."""
+        return np.unique(self.vertex_labels)
+
+    def vertex_label(self, vertex: int) -> int:
+        return int(self.vertex_labels[vertex])
+
+    def vertices_with_label(self, label: Optional[int]) -> np.ndarray:
+        """All vertex ids carrying ``label`` (or all vertices for ANY_LABEL)."""
+        if label is ANY_LABEL:
+            return np.arange(self.num_vertices, dtype=np.int64)
+        return np.flatnonzero(self.vertex_labels == label).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # adjacency access
+    # ------------------------------------------------------------------ #
+    def _partition_map(self, direction: Direction) -> Dict[Tuple[int, int], _CSR]:
+        return self._fwd_partitions if direction is Direction.FORWARD else self._bwd_partitions
+
+    def _merged(
+        self,
+        direction: Direction,
+        edge_label: Optional[int],
+        neighbor_label: Optional[int],
+    ) -> _CSR:
+        key = (direction.value, edge_label, neighbor_label)
+        cached = self._merged_cache.get(key)
+        if cached is not None:
+            return cached
+        parts = [
+            csr
+            for (el, vl), csr in self._partition_map(direction).items()
+            if (edge_label is ANY_LABEL or el == edge_label)
+            and (neighbor_label is ANY_LABEL or vl == neighbor_label)
+        ]
+        merged = self._merge_partitions(parts)
+        self._merged_cache[key] = merged
+        return merged
+
+    def _merge_partitions(self, parts) -> _CSR:
+        n = self.num_vertices
+        if not parts:
+            return _CSR(np.zeros(n + 1, dtype=np.int64), np.array([], dtype=np.int64))
+        if len(parts) == 1:
+            return parts[0]
+        counts = np.zeros(n, dtype=np.int64)
+        for csr in parts:
+            counts += np.diff(csr.indptr)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for csr in parts:
+            for v in range(n):
+                nbrs = csr.neighbors(v)
+                if len(nbrs):
+                    indices[cursor[v]:cursor[v] + len(nbrs)] = nbrs
+                    cursor[v] += len(nbrs)
+        # Re-sort each vertex's merged list so intersections stay merge-based.
+        for v in range(n):
+            seg = indices[indptr[v]:indptr[v + 1]]
+            seg.sort()
+        return _CSR(indptr, indices)
+
+    def neighbors(
+        self,
+        vertex: int,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> np.ndarray:
+        """Sorted neighbour list of ``vertex`` in ``direction`` restricted to
+        edges with ``edge_label`` and neighbours with ``neighbor_label``."""
+        if edge_label is not ANY_LABEL and neighbor_label is not ANY_LABEL:
+            csr = self._partition_map(direction).get((edge_label, neighbor_label))
+            if csr is None:
+                return np.array([], dtype=np.int64)
+            return csr.neighbors(vertex)
+        return self._merged(direction, edge_label, neighbor_label).neighbors(vertex)
+
+    def degree(
+        self,
+        vertex: int,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> int:
+        """Size of the adjacency-list partition ``neighbors(...)`` would return."""
+        if edge_label is not ANY_LABEL and neighbor_label is not ANY_LABEL:
+            csr = self._partition_map(direction).get((edge_label, neighbor_label))
+            return 0 if csr is None else csr.degree(vertex)
+        return self._merged(direction, edge_label, neighbor_label).degree(vertex)
+
+    def degree_array(
+        self,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> np.ndarray:
+        """Vector of degrees for all vertices (used by statistics and costs)."""
+        csr = (
+            self._partition_map(direction).get((edge_label, neighbor_label))
+            if edge_label is not ANY_LABEL and neighbor_label is not ANY_LABEL
+            else self._merged(direction, edge_label, neighbor_label)
+        )
+        if csr is None:
+            return np.zeros(self.num_vertices, dtype=np.int64)
+        return np.diff(csr.indptr)
+
+    # ------------------------------------------------------------------ #
+    # edge scans
+    # ------------------------------------------------------------------ #
+    def edges(
+        self,
+        edge_label: Optional[int] = ANY_LABEL,
+        src_label: Optional[int] = ANY_LABEL,
+        dst_label: Optional[int] = ANY_LABEL,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(src, dst)`` arrays of all edges matching the label filters.
+
+        This is what the SCAN operator iterates over.
+        """
+        mask = np.ones(self.num_edges, dtype=bool)
+        if edge_label is not ANY_LABEL:
+            mask &= self.edge_labels == edge_label
+        if src_label is not ANY_LABEL:
+            mask &= self.vertex_labels[self.edge_src] == src_label
+        if dst_label is not ANY_LABEL:
+            mask &= self.vertex_labels[self.edge_dst] == dst_label
+        return self.edge_src[mask], self.edge_dst[mask]
+
+    def count_edges(
+        self,
+        edge_label: Optional[int] = ANY_LABEL,
+        src_label: Optional[int] = ANY_LABEL,
+        dst_label: Optional[int] = ANY_LABEL,
+    ) -> int:
+        src, _ = self.edges(edge_label, src_label, dst_label)
+        return int(len(src))
+
+    def has_edge(
+        self, src: int, dst: int, edge_label: Optional[int] = ANY_LABEL
+    ) -> bool:
+        """Membership test using binary search on the sorted forward list."""
+        nbrs = self.neighbors(src, Direction.FORWARD, edge_label, ANY_LABEL)
+        pos = np.searchsorted(nbrs, dst)
+        return bool(pos < len(nbrs) and nbrs[pos] == dst)
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over ``(src, dst, label)`` triples."""
+        for s, d, l in zip(self.edge_src, self.edge_dst, self.edge_labels):
+            yield int(s), int(d), int(l)
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def relabel(
+        self, vertex_labels: Optional[np.ndarray] = None, edge_labels: Optional[np.ndarray] = None
+    ) -> "Graph":
+        """Return a copy of this graph with new vertex and/or edge labels."""
+        return Graph(
+            vertex_labels=self.vertex_labels if vertex_labels is None else vertex_labels,
+            edge_src=self.edge_src,
+            edge_dst=self.edge_dst,
+            edge_labels=self.edge_labels if edge_labels is None else edge_labels,
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges}, vertex_labels={len(self.vertex_label_values)}, "
+            f"edge_labels={len(self.edge_label_values)})"
+        )

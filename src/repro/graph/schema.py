@@ -1,0 +1,204 @@
+"""Named label schemas.
+
+The storage layer (:mod:`repro.graph.graph`) keeps vertex and edge labels as
+small integers, which is what Graphflow's partitioned adjacency lists index.
+Users, however, think in terms of named labels — ``Person``, ``FOLLOWS``,
+``Account`` — exactly as in the Cypher fragment Graphflow supports
+(Section 7).  A :class:`GraphSchema` is the bidirectional mapping between
+those names and the integer ids stored in a :class:`~repro.graph.graph.Graph`.
+
+The schema is deliberately separate from the graph object: the same graph can
+be interpreted under different schemas (e.g. the random ``QJi`` labelings of
+Section 8.1.3 have no meaningful names), and a schema can be persisted next to
+an edge-list file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import GraphConstructionError
+
+
+class _LabelSpace:
+    """One name <-> id mapping (used for vertex labels and edge labels)."""
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._name_to_id: Dict[str, int] = {}
+        self._id_to_name: Dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._name_to_id)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def names(self) -> List[str]:
+        return [self._id_to_name[i] for i in sorted(self._id_to_name)]
+
+    def add(self, name: str, label_id: Optional[int] = None) -> int:
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            if label_id is not None and label_id != existing:
+                raise GraphConstructionError(
+                    f"{self._kind} label {name!r} is already mapped to {existing}, "
+                    f"cannot remap it to {label_id}"
+                )
+            return existing
+        if label_id is None:
+            label_id = len(self._name_to_id)
+        if label_id in self._id_to_name:
+            raise GraphConstructionError(
+                f"{self._kind} label id {label_id} is already used by "
+                f"{self._id_to_name[label_id]!r}"
+            )
+        self._name_to_id[name] = label_id
+        self._id_to_name[label_id] = name
+        return label_id
+
+    def id_of(self, name: str, create: bool = False) -> int:
+        if name in self._name_to_id:
+            return self._name_to_id[name]
+        if create:
+            return self.add(name)
+        raise KeyError(f"unknown {self._kind} label {name!r}; known: {self.names()}")
+
+    def name_of(self, label_id: int) -> str:
+        if label_id in self._id_to_name:
+            return self._id_to_name[label_id]
+        raise KeyError(f"unknown {self._kind} label id {label_id}")
+
+    def items(self) -> List[Tuple[str, int]]:
+        return sorted(self._name_to_id.items(), key=lambda kv: kv[1])
+
+
+@dataclass
+class GraphSchema:
+    """Bidirectional mapping between label names and stored integer ids.
+
+    Example
+    -------
+    >>> schema = GraphSchema()
+    >>> schema.add_vertex_label("Person")
+    0
+    >>> schema.add_edge_label("FOLLOWS")
+    0
+    >>> schema.vertex_label_id("Person")
+    0
+    >>> schema.edge_label_name(0)
+    'FOLLOWS'
+    """
+
+    vertex_labels: _LabelSpace = field(default_factory=lambda: _LabelSpace("vertex"))
+    edge_labels: _LabelSpace = field(default_factory=lambda: _LabelSpace("edge"))
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def add_vertex_label(self, name: str, label_id: Optional[int] = None) -> int:
+        """Register a vertex label name, returning its integer id."""
+        return self.vertex_labels.add(name, label_id)
+
+    def add_edge_label(self, name: str, label_id: Optional[int] = None) -> int:
+        """Register an edge label (Cypher: relationship type) name."""
+        return self.edge_labels.add(name, label_id)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def vertex_label_id(self, name: str, create: bool = False) -> int:
+        return self.vertex_labels.id_of(name, create=create)
+
+    def edge_label_id(self, name: str, create: bool = False) -> int:
+        return self.edge_labels.id_of(name, create=create)
+
+    def vertex_label_name(self, label_id: int) -> str:
+        return self.vertex_labels.name_of(label_id)
+
+    def edge_label_name(self, label_id: int) -> str:
+        return self.edge_labels.name_of(label_id)
+
+    def resolve_vertex_label(self, token: Optional[str], create: bool = False) -> Optional[int]:
+        """Map a label token from a query string to an integer id.
+
+        ``None`` stays ``None`` (wildcard); integer-looking tokens are used as
+        raw ids; anything else is resolved (or registered) through the schema.
+        """
+        if token is None:
+            return None
+        if token.lstrip("-").isdigit():
+            return int(token)
+        return self.vertex_label_id(token, create=create)
+
+    def resolve_edge_label(self, token: Optional[str], create: bool = False) -> Optional[int]:
+        """Same as :meth:`resolve_vertex_label`, for edge labels."""
+        if token is None:
+            return None
+        if token.lstrip("-").isdigit():
+            return int(token)
+        return self.edge_label_id(token, create=create)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        return {
+            "vertex_labels": dict(self.vertex_labels.items()),
+            "edge_labels": dict(self.edge_labels.items()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "GraphSchema":
+        schema = cls()
+        for name, label_id in sorted(
+            (data.get("vertex_labels") or {}).items(), key=lambda kv: kv[1]
+        ):
+            schema.add_vertex_label(name, int(label_id))
+        for name, label_id in sorted(
+            (data.get("edge_labels") or {}).items(), key=lambda kv: kv[1]
+        ):
+            schema.add_edge_label(name, int(label_id))
+        return schema
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GraphSchema":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "GraphSchema":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_names(
+        cls,
+        vertex_labels: Iterable[str] = (),
+        edge_labels: Iterable[str] = (),
+    ) -> "GraphSchema":
+        """Build a schema by listing names; ids are assigned in order."""
+        schema = cls()
+        for name in vertex_labels:
+            schema.add_vertex_label(name)
+        for name in edge_labels:
+            schema.add_edge_label(name)
+        return schema
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphSchema(vertex_labels={self.vertex_labels.names()}, "
+            f"edge_labels={self.edge_labels.names()})"
+        )
+
+
+__all__ = ["GraphSchema"]

@@ -1,0 +1,147 @@
+"""Structural statistics of graphs.
+
+These are the properties the paper identifies as driving plan choice:
+forward/backward degree distributions (and their skew), and the clustering
+coefficient, "which is a measure of the cyclicity of the graph, specifically
+the amount of cliques in it" (Section 8.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.graph import Direction, Graph
+from repro.graph.intersect import intersect_sorted
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Summary statistics of a degree distribution."""
+
+    mean: float
+    median: float
+    maximum: int
+    p90: float
+    skew: float
+
+    @classmethod
+    def from_degrees(cls, degrees: np.ndarray) -> "DegreeSummary":
+        degrees = np.asarray(degrees, dtype=np.float64)
+        if len(degrees) == 0:
+            return cls(0.0, 0.0, 0, 0.0, 0.0)
+        mean = float(degrees.mean())
+        std = float(degrees.std())
+        skew = 0.0
+        if std > 0:
+            skew = float(((degrees - mean) ** 3).mean() / std**3)
+        return cls(
+            mean=mean,
+            median=float(np.median(degrees)),
+            maximum=int(degrees.max()),
+            p90=float(np.percentile(degrees, 90)),
+            skew=skew,
+        )
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Aggregate structural statistics of one graph."""
+
+    num_vertices: int
+    num_edges: int
+    out_degrees: DegreeSummary
+    in_degrees: DegreeSummary
+    reciprocity: float
+    average_clustering: float
+    triangle_estimate: float
+
+
+def degree_summary(graph: Graph, direction: Direction) -> DegreeSummary:
+    return DegreeSummary.from_degrees(graph.degree_array(direction))
+
+
+def reciprocity(graph: Graph) -> float:
+    """Fraction of edges whose reverse edge also exists."""
+    if graph.num_edges == 0:
+        return 0.0
+    reciprocal = sum(
+        1 for s, d, _ in graph.iter_edges() if graph.has_edge(d, s)
+    )
+    return reciprocal / graph.num_edges
+
+
+def average_clustering(
+    graph: Graph, sample_size: int = 500, seed: Optional[int] = 0
+) -> float:
+    """Average (undirected) local clustering coefficient, sampled.
+
+    Directions and labels are ignored: we measure how often two neighbours of
+    a vertex are themselves connected in either direction, which is the
+    cyclicity proxy the paper refers to.
+    """
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    vertices = (
+        np.arange(n) if n <= sample_size else rng.choice(n, size=sample_size, replace=False)
+    )
+    total = 0.0
+    counted = 0
+    for v in vertices:
+        nbrs = np.union1d(
+            graph.neighbors(int(v), Direction.FORWARD),
+            graph.neighbors(int(v), Direction.BACKWARD),
+        )
+        nbrs = nbrs[nbrs != v]
+        k = len(nbrs)
+        if k < 2:
+            continue
+        links = 0
+        for u in nbrs:
+            u_out = graph.neighbors(int(u), Direction.FORWARD)
+            links += len(intersect_sorted(u_out, nbrs))
+        total += links / (k * (k - 1))
+        counted += 1
+    return total / counted if counted else 0.0
+
+
+def count_triangles(graph: Graph, directed_cycle: bool = False) -> int:
+    """Exact triangle count.
+
+    With ``directed_cycle=False`` counts "asymmetric" triangles
+    ``u -> v, u -> w, v -> w``; with ``True`` counts directed 3-cycles.
+    """
+    count = 0
+    for u in range(graph.num_vertices):
+        out_u = graph.neighbors(u, Direction.FORWARD)
+        for v in out_u:
+            out_v = graph.neighbors(int(v), Direction.FORWARD)
+            if directed_cycle:
+                # w such that v -> w and w -> u
+                back_u = graph.neighbors(u, Direction.BACKWARD)
+                count += len(intersect_sorted(out_v, back_u))
+            else:
+                count += len(intersect_sorted(out_u, out_v))
+    return count
+
+
+def compute_statistics(graph: Graph, clustering_sample: int = 300) -> GraphStatistics:
+    """Compute the full statistics bundle for a graph."""
+    out_deg = graph.degree_array(Direction.FORWARD)
+    in_deg = graph.degree_array(Direction.BACKWARD)
+    clustering = average_clustering(graph, sample_size=clustering_sample)
+    # Cheap triangle estimate: wedges * clustering.
+    wedges = float(np.sum(out_deg.astype(np.float64) * (out_deg - 1)) / 2.0)
+    return GraphStatistics(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        out_degrees=DegreeSummary.from_degrees(out_deg),
+        in_degrees=DegreeSummary.from_degrees(in_deg),
+        reciprocity=reciprocity(graph) if graph.num_edges <= 200_000 else float("nan"),
+        average_clustering=clustering,
+        triangle_estimate=wedges * clustering,
+    )

@@ -1,0 +1,156 @@
+"""Triangle indexes.
+
+Ammar et al. [6] (the BiGJoin line of work) show that WCO plans can be sped up
+substantially by *indexing triangles*: for every data edge ``u -> v``,
+precompute and store the sorted set of vertices that close a triangle with it.
+An EXTEND/INTERSECT operator whose descriptor set is exactly "one list of
+``u``, one list of ``v``" then answers from the index with a single lookup
+instead of intersecting two adjacency lists.
+
+The paper cites this as a complementary optimization ("Such approaches can be
+complementary to our approach", Section 9); this module implements it so that
+the benchmark harness can quantify the trade-off (index build time and memory
+against intersection work saved) on the reproduction's datasets.
+
+A :class:`TriangleIndex` is built for one or more *direction pairs*.  The pair
+``(FORWARD, FORWARD)`` stores, for each edge ``u -> v``, the common
+out-neighbours of ``u`` and ``v`` — the extension set used when a query closes
+a triangle pointing away from both endpoints (e.g. the asymmetric triangle's
+``a3``).  The executor consults the index through
+``ExecutionConfig.triangle_index``; extensions the index does not cover fall
+back to ordinary adjacency-list intersections, so results never change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import ANY_LABEL, Direction, Graph
+from repro.graph.intersect import intersect_sorted
+
+# One direction pair: the directions of the adjacency lists of the edge's
+# source and destination endpoints that are intersected.
+DirectionPair = Tuple[Direction, Direction]
+
+DEFAULT_PAIRS: Tuple[DirectionPair, ...] = (
+    (Direction.FORWARD, Direction.FORWARD),
+)
+
+ALL_PAIRS: Tuple[DirectionPair, ...] = (
+    (Direction.FORWARD, Direction.FORWARD),
+    (Direction.FORWARD, Direction.BACKWARD),
+    (Direction.BACKWARD, Direction.FORWARD),
+    (Direction.BACKWARD, Direction.BACKWARD),
+)
+
+
+@dataclass
+class TriangleIndex:
+    """Precomputed triangle-closing extension sets keyed by data edge.
+
+    Attributes
+    ----------
+    graph:
+        The indexed graph.
+    pairs:
+        The direction pairs the index covers.
+    entries:
+        ``(src, dst, dir_src, dir_dst) -> sorted vertex-id array``.
+    """
+
+    graph: Graph
+    pairs: Tuple[DirectionPair, ...]
+    entries: Dict[Tuple[int, int, str, str], np.ndarray] = field(default_factory=dict)
+    build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        pairs: Sequence[DirectionPair] = DEFAULT_PAIRS,
+        edge_label: Optional[int] = ANY_LABEL,
+    ) -> "TriangleIndex":
+        """Index every data edge with ``edge_label`` under each direction pair."""
+        import time
+
+        start = time.perf_counter()
+        index = cls(graph=graph, pairs=tuple(pairs))
+        src_array, dst_array = graph.edges(edge_label=edge_label)
+        for u, v in zip(src_array, dst_array):
+            u, v = int(u), int(v)
+            for dir_u, dir_v in index.pairs:
+                key = (u, v, dir_u.value, dir_v.value)
+                if key in index.entries:
+                    continue
+                list_u = graph.neighbors(u, dir_u)
+                list_v = graph.neighbors(v, dir_v)
+                index.entries[key] = intersect_sorted(list_u, list_v)
+        index.build_seconds = time.perf_counter() - start
+        return index
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def lookup(
+        self,
+        vertex_a: int,
+        vertex_b: int,
+        direction_a: Direction,
+        direction_b: Direction,
+    ) -> Optional[np.ndarray]:
+        """The precomputed extension set for intersecting ``vertex_a``'s list in
+        ``direction_a`` with ``vertex_b``'s list in ``direction_b``.
+
+        Returns ``None`` when the pair of vertices is not an indexed data edge
+        (in either orientation) or the direction pair was not built, in which
+        case the caller must fall back to an ordinary intersection.
+        """
+        entry = self.entries.get((vertex_a, vertex_b, direction_a.value, direction_b.value))
+        if entry is not None:
+            return entry
+        # The same intersection may be stored under the reversed edge.
+        return self.entries.get((vertex_b, vertex_a, direction_b.value, direction_a.value))
+
+    def covers(self, direction_a: Direction, direction_b: Direction) -> bool:
+        """True when the index was built for this direction pair (in either order)."""
+        return (direction_a, direction_b) in self.pairs or (
+            direction_b,
+            direction_a,
+        ) in self.pairs
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_indexed_edges(self) -> int:
+        return len({(u, v) for (u, v, _, _) in self.entries})
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    def total_triangles(self) -> int:
+        """Total number of stored extension vertices (triangle closings)."""
+        return int(sum(len(extension) for extension in self.entries.values()))
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough memory footprint: 8 bytes per stored vertex id plus key overhead."""
+        return 8 * self.total_triangles() + 64 * len(self.entries)
+
+    def summary(self) -> str:
+        return (
+            f"TriangleIndex(edges={self.num_indexed_edges}, entries={self.num_entries}, "
+            f"triangles={self.total_triangles()}, built_in={self.build_seconds:.2f}s)"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()
+
+
+__all__ = ["TriangleIndex", "DirectionPair", "DEFAULT_PAIRS", "ALL_PAIRS"]

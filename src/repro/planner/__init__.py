@@ -1,0 +1,39 @@
+"""Plan representation, plan enumeration, cost model, and the optimizers.
+
+The cost model and the optimizers are imported lazily to avoid a circular
+import with :mod:`repro.catalogue` (the catalogue stores plan descriptors, and
+the cost model reads the catalogue).
+"""
+
+from repro.planner.descriptors import AdjListDescriptor
+from repro.planner.plan import ExtendNode, HashJoinNode, Plan, PlanNode, ScanNode
+from repro.planner import qvo
+
+__all__ = [
+    "AdjListDescriptor",
+    "Plan",
+    "PlanNode",
+    "ScanNode",
+    "ExtendNode",
+    "HashJoinNode",
+    "CostModel",
+    "DynamicProgrammingOptimizer",
+    "FullEnumerationOptimizer",
+    "qvo",
+]
+
+
+def __getattr__(name: str):
+    if name == "CostModel":
+        from repro.planner.cost_model import CostModel
+
+        return CostModel
+    if name == "DynamicProgrammingOptimizer":
+        from repro.planner.dp_optimizer import DynamicProgrammingOptimizer
+
+        return DynamicProgrammingOptimizer
+    if name == "FullEnumerationOptimizer":
+        from repro.planner.full_enumeration import FullEnumerationOptimizer
+
+        return FullEnumerationOptimizer
+    raise AttributeError(f"module 'repro.planner' has no attribute {name!r}")

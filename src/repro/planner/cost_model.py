@@ -1,0 +1,222 @@
+"""The cost model (Sections 3.3, 4.2, 5.2).
+
+WCO (E/I) operators are costed with *i-cost* — the estimated total size of the
+adjacency lists the operator will access — computed from the subgraph
+catalogue.  HASH-JOIN operators are costed as ``w1 * n1 + w2 * n2`` i-cost
+units, where ``n1``/``n2`` are the estimated cardinalities of the build and
+probe inputs and the weights are either defaults or fitted empirically from
+profiled runs (:func:`calibrate_hash_join_weights`).
+
+The model is *cache-conscious*: when every adjacency list an E/I operator
+intersects is anchored at query vertices matched strictly before the child's
+last vertex, consecutive input tuples repeat the same intersection and the
+intersection cache serves them, so the lists are charged once per match of
+that smaller prefix instead of once per input tuple (Section 5.2, estimation
+2).  Setting ``cache_conscious=False`` gives the cache-oblivious model the
+paper compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.catalogue.catalogue import SubgraphCatalogue
+from repro.catalogue.estimation import estimate_cardinality, extension_statistics
+from repro.graph.graph import Graph
+from repro.planner.descriptors import AdjListDescriptor
+from repro.planner.plan import ExtendNode, HashJoinNode, Plan, PlanNode, ScanNode
+from repro.query.query_graph import QueryGraph
+
+DEFAULT_BUILD_WEIGHT = 2.0
+DEFAULT_PROBE_WEIGHT = 1.0
+
+
+@dataclass
+class CostBreakdown:
+    """Per-operator cost report, useful for EXPLAIN output and tests."""
+
+    total: float
+    per_operator: List[Tuple[str, float]]
+
+
+class CostModel:
+    """Estimates plan costs from a subgraph catalogue."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        catalogue: SubgraphCatalogue,
+        build_weight: float = DEFAULT_BUILD_WEIGHT,
+        probe_weight: float = DEFAULT_PROBE_WEIGHT,
+        cache_conscious: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.catalogue = catalogue
+        self.build_weight = build_weight
+        self.probe_weight = probe_weight
+        self.cache_conscious = cache_conscious
+        self._cardinality_cache: Dict[QueryGraph, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # cardinalities
+    # ------------------------------------------------------------------ #
+    def cardinality(self, sub_query: QueryGraph, ordering: Optional[Sequence[str]] = None) -> float:
+        """Estimated number of matches of ``sub_query`` (cached)."""
+        if ordering is None and sub_query in self._cardinality_cache:
+            return self._cardinality_cache[sub_query]
+        try:
+            value = estimate_cardinality(
+                self.catalogue, sub_query, graph=self.graph, ordering=ordering
+            )
+        except Exception:
+            value = estimate_cardinality(self.catalogue, sub_query, graph=self.graph)
+        if ordering is None:
+            self._cardinality_cache[sub_query] = value
+        return value
+
+    def extension_stats(
+        self,
+        sub_query: QueryGraph,
+        descriptors: Sequence[AdjListDescriptor],
+        to_label: Optional[int],
+    ) -> Tuple[List[float], float]:
+        return extension_statistics(
+            self.catalogue, sub_query, descriptors, to_label, graph=self.graph
+        )
+
+    # ------------------------------------------------------------------ #
+    # per-operator costs
+    # ------------------------------------------------------------------ #
+    def scan_cost(self, node: ScanNode) -> float:
+        """A SCAN costs its output cardinality (the selectivity of the label
+        on the scanned query edge — the DP's base case)."""
+        edge = node.edge
+        return self.catalogue.edge_count(
+            edge.label,
+            node.sub_query.vertex_label(edge.src),
+            node.sub_query.vertex_label(edge.dst),
+        )
+
+    def _cache_prefix_length(self, node: ExtendNode) -> int:
+        """Number of leading child vertices the intersection actually depends
+        on.  If it is smaller than the child's arity, consecutive child tuples
+        sharing that prefix hit the intersection cache."""
+        child_order = node.child.out_vertices
+        positions = [child_order.index(d.from_vertex) for d in node.descriptors]
+        return max(positions) + 1
+
+    def extend_cost(self, node: ExtendNode) -> float:
+        """Estimated i-cost of one E/I operator (Eq. 2 and its cache-aware
+        refinement)."""
+        child_query = node.child.sub_query
+        sizes, _ = self.extension_stats(child_query, node.descriptors, node.to_vertex_label)
+        total_list_size = float(sum(sizes))
+        multiplier = self.cardinality(child_query)
+        if self.cache_conscious:
+            prefix_len = self._cache_prefix_length(node)
+            child_order = node.child.out_vertices
+            if prefix_len < len(child_order):
+                prefix = child_order[:prefix_len]
+                if len(prefix) >= 2 and node.sub_query.connected_projection_exists(prefix):
+                    multiplier = min(
+                        multiplier, self.cardinality(child_query.project(prefix))
+                    )
+                elif len(prefix) == 1:
+                    # The intersection depends on a single already-matched
+                    # vertex: it repeats once per distinct binding of that
+                    # vertex, bounded by the number of graph vertices.
+                    multiplier = min(multiplier, float(self.graph.num_vertices))
+        return multiplier * total_list_size
+
+    def hash_join_cost(self, node: HashJoinNode) -> float:
+        n_build = self.cardinality(node.build.sub_query)
+        n_probe = self.cardinality(node.probe.sub_query)
+        return self.build_weight * n_build + self.probe_weight * n_probe
+
+    def operator_cost(self, node: PlanNode) -> float:
+        if isinstance(node, ScanNode):
+            return self.scan_cost(node)
+        if isinstance(node, ExtendNode):
+            return self.extend_cost(node)
+        if isinstance(node, HashJoinNode):
+            return self.hash_join_cost(node)
+        raise TypeError(f"unknown plan node {type(node).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # plan costs
+    # ------------------------------------------------------------------ #
+    def plan_cost(self, plan_or_node) -> float:
+        root = plan_or_node.root if isinstance(plan_or_node, Plan) else plan_or_node
+        return float(sum(self.operator_cost(n) for n in root.iter_nodes()))
+
+    def cost_breakdown(self, plan: Plan) -> CostBreakdown:
+        rows = [
+            (node._describe_line(), self.operator_cost(node)) for node in plan.root.iter_nodes()
+        ]
+        return CostBreakdown(total=float(sum(c for _, c in rows)), per_operator=rows)
+
+
+# --------------------------------------------------------------------------- #
+# hash-join weight calibration (Section 4.2)
+# --------------------------------------------------------------------------- #
+def calibrate_hash_join_weights(
+    graph: Graph,
+    catalogue: SubgraphCatalogue,
+    sample_queries: Optional[Sequence[QueryGraph]] = None,
+) -> Tuple[float, float]:
+    """Fit ``(w1, w2)`` from profiled runs.
+
+    We execute a handful of WCO plans to learn how much wall-clock time one
+    i-cost unit represents, then execute hash-join plans, convert their times
+    into i-cost units, and least-squares fit ``w1 * n1 + w2 * n2``.
+    Falls back to the defaults when there is not enough signal.
+    """
+    from repro.executor.operators import ExecutionConfig
+    from repro.executor.pipeline import execute_plan
+    from repro.planner.plan import make_hash_join, make_scan, wco_plan_from_order
+    from repro.query import catalog_queries
+
+    queries = list(sample_queries) if sample_queries else [catalog_queries.asymmetric_triangle()]
+    icost_time: List[Tuple[float, float]] = []
+    for query in queries:
+        from repro.planner.qvo import enumerate_orderings
+
+        orderings = enumerate_orderings(query, limit=2)
+        for ordering in orderings:
+            plan = wco_plan_from_order(query, ordering)
+            result = execute_plan(plan, graph, ExecutionConfig())
+            if result.profile.intersection_cost > 0:
+                icost_time.append(
+                    (float(result.profile.intersection_cost), result.profile.elapsed_seconds)
+                )
+    if not icost_time:
+        return DEFAULT_BUILD_WEIGHT, DEFAULT_PROBE_WEIGHT
+    seconds_per_icost = float(
+        np.median([t / c for c, t in icost_time if c > 0]) or 1e-9
+    )
+
+    # Hash-join samples: join two edge scans of a 2-path query.
+    two_path = catalog_queries.path(3, "calibration-2-path")
+    rows: List[Tuple[float, float, float]] = []
+    scan_a = make_scan(two_path, two_path.edges[0])
+    scan_b = make_scan(two_path, two_path.edges[1])
+    join = make_hash_join(two_path, scan_a, scan_b)
+    plan = Plan(query=two_path, root=join, label="calibration-join")
+    result = execute_plan(plan, graph)
+    n1 = float(result.profile.hash_table_entries)
+    n2 = float(result.profile.hash_probes)
+    if n1 > 0 and n2 > 0 and seconds_per_icost > 0:
+        converted = result.profile.elapsed_seconds / seconds_per_icost
+        rows.append((n1, n2, converted))
+    if not rows:
+        return DEFAULT_BUILD_WEIGHT, DEFAULT_PROBE_WEIGHT
+    a = np.array([[r[0], r[1]] for r in rows])
+    b = np.array([r[2] for r in rows])
+    solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+    w1, w2 = float(solution[0]), float(solution[1])
+    if not np.isfinite(w1) or not np.isfinite(w2) or w1 <= 0 or w2 <= 0:
+        return DEFAULT_BUILD_WEIGHT, DEFAULT_PROBE_WEIGHT
+    return w1, w2

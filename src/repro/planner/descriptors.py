@@ -1,0 +1,56 @@
+"""Adjacency-list descriptors.
+
+An EXTEND/INTERSECT operator is configured with one or more descriptors, each
+an ``(i, dir, le)`` triple (Section 3.1): the index of a previously matched
+query vertex, the direction of the adjacency list to read from that vertex,
+and the label of the query edge the descriptor represents.  At the *plan*
+level we refer to the matched query vertex by name; the executor resolves the
+name to a tuple index when it wires operators together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graph.graph import Direction
+from repro.query.query_graph import QueryEdge
+
+
+@dataclass(frozen=True, order=True)
+class AdjListDescriptor:
+    """Describes one adjacency list to intersect when extending a partial match.
+
+    Attributes
+    ----------
+    from_vertex:
+        The already-matched query vertex whose adjacency list is read.
+    direction:
+        ``FORWARD`` when the query edge points from ``from_vertex`` to the new
+        query vertex, ``BACKWARD`` otherwise.
+    edge_label:
+        Label of the query edge represented by this descriptor (``None`` = any).
+    """
+
+    from_vertex: str
+    direction: Direction
+    edge_label: Optional[int] = None
+
+    @classmethod
+    def for_extension(cls, edge: QueryEdge, to_vertex: str) -> "AdjListDescriptor":
+        """Build the descriptor for extending to ``to_vertex`` along ``edge``.
+
+        If the edge points *to* the new vertex we must read the forward list of
+        its other endpoint; if it points *from* the new vertex we read the
+        backward list.
+        """
+        if edge.dst == to_vertex:
+            return cls(from_vertex=edge.src, direction=Direction.FORWARD, edge_label=edge.label)
+        if edge.src == to_vertex:
+            return cls(from_vertex=edge.dst, direction=Direction.BACKWARD, edge_label=edge.label)
+        raise ValueError(f"edge {edge} does not touch {to_vertex}")
+
+    def __repr__(self) -> str:
+        arrow = "->" if self.direction is Direction.FORWARD else "<-"
+        lab = "" if self.edge_label is None else f":{self.edge_label}"
+        return f"{self.from_vertex}{arrow}{lab}"

@@ -1,0 +1,317 @@
+"""Plan trees.
+
+A plan in the full plan space (Section 4.1) is a rooted tree whose
+
+* leaf nodes are ``SCAN`` operators matching a single query edge,
+* single-child internal nodes are ``EXTEND/INTERSECT`` (E/I) operators that
+  extend partial matches by one query vertex,
+* two-child internal nodes are ``HASH-JOIN`` operators joining the matches of
+  two sub-queries.
+
+Every node is labeled with the sub-query it computes, and the *projection
+constraint* requires that sub-query to be the induced projection of the full
+query onto the node's vertex set.
+
+WCO plans are plans with no HASH-JOIN; BJ plans have no E/I; hybrid plans mix
+both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.planner.descriptors import AdjListDescriptor
+from repro.query.query_graph import QueryEdge, QueryGraph
+
+
+@dataclass
+class PlanNode:
+    """Base class of all plan nodes."""
+
+    sub_query: QueryGraph
+    out_vertices: Tuple[str, ...]
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        return ()
+
+    # ------------------------------------------------------------------ #
+    def iter_nodes(self) -> Iterator["PlanNode"]:
+        """Post-order traversal of the plan tree."""
+        for child in self.children():
+            yield from child.iter_nodes()
+        yield self
+
+    @property
+    def num_operators(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def describe(self, indent: int = 0) -> str:
+        """Human-readable, indented rendering of the plan tree."""
+        pad = "  " * indent
+        lines = [pad + self._describe_line()]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _describe_line(self) -> str:  # pragma: no cover - overridden
+        return f"{type(self).__name__}({self.out_vertices})"
+
+    def signature(self) -> Tuple:
+        """Hashable structural signature used to deduplicate plans."""
+        raise NotImplementedError
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Scans all data edges matching a single query edge and emits 2-matches.
+
+    ``out_vertices`` is either ``(edge.src, edge.dst)`` or the reverse, which
+    lets a WCO plan start its query-vertex ordering at either endpoint.
+    """
+
+    edge: QueryEdge = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.edge is None:
+            raise PlanError("ScanNode requires a query edge")
+        if set(self.out_vertices) != {self.edge.src, self.edge.dst}:
+            raise PlanError("ScanNode out_vertices must be the edge endpoints")
+
+    def _describe_line(self) -> str:
+        return f"SCAN {self.edge!r} -> {self.out_vertices}"
+
+    def signature(self) -> Tuple:
+        return ("scan", self.edge.src, self.edge.dst, self.edge.label, self.out_vertices)
+
+
+@dataclass
+class ExtendNode(PlanNode):
+    """EXTEND/INTERSECT: extends each input (k-1)-match by one query vertex by
+    intersecting the adjacency lists named by its descriptors."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    to_vertex: str = ""
+    descriptors: Tuple[AdjListDescriptor, ...] = ()
+    to_vertex_label: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.child is None or not self.to_vertex or not self.descriptors:
+            raise PlanError("ExtendNode requires a child, a target vertex, and descriptors")
+        if self.to_vertex in self.child.out_vertices:
+            raise PlanError(f"{self.to_vertex} is already matched by the child")
+        for d in self.descriptors:
+            if d.from_vertex not in self.child.out_vertices:
+                raise PlanError(
+                    f"descriptor {d} references {d.from_vertex}, which the child does not produce"
+                )
+        expected = tuple(self.child.out_vertices) + (self.to_vertex,)
+        if self.out_vertices != expected:
+            raise PlanError("ExtendNode out_vertices must append to_vertex to the child's order")
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _describe_line(self) -> str:
+        descs = ", ".join(repr(d) for d in self.descriptors)
+        return f"EXTEND/INTERSECT -> {self.to_vertex} via [{descs}]"
+
+    def signature(self) -> Tuple:
+        return (
+            "extend",
+            self.to_vertex,
+            tuple(sorted((d.from_vertex, d.direction.value, d.edge_label) for d in self.descriptors)),
+            self.child.signature(),
+        )
+
+
+@dataclass
+class HashJoinNode(PlanNode):
+    """Classic hash join: builds a table on the matches of ``build`` keyed by
+    the shared query vertices and probes it with the matches of ``probe``."""
+
+    build: PlanNode = None  # type: ignore[assignment]
+    probe: PlanNode = None  # type: ignore[assignment]
+    join_vertices: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.build is None or self.probe is None:
+            raise PlanError("HashJoinNode requires two children")
+        shared = set(self.build.out_vertices) & set(self.probe.out_vertices)
+        if not shared:
+            raise PlanError("hash join children must share at least one query vertex")
+        if set(self.join_vertices) != shared:
+            raise PlanError("join_vertices must be exactly the shared query vertices")
+        expected = tuple(self.probe.out_vertices) + tuple(
+            v for v in self.build.out_vertices if v not in set(self.probe.out_vertices)
+        )
+        if self.out_vertices != expected:
+            raise PlanError(
+                "HashJoinNode out_vertices must be probe vertices followed by build-only vertices"
+            )
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.build, self.probe)
+
+    def _describe_line(self) -> str:
+        return f"HASH-JOIN on {self.join_vertices}"
+
+    def signature(self) -> Tuple:
+        return ("hashjoin", tuple(sorted(self.join_vertices)), self.build.signature(), self.probe.signature())
+
+
+# --------------------------------------------------------------------------- #
+# The Plan wrapper
+# --------------------------------------------------------------------------- #
+@dataclass
+class Plan:
+    """A complete plan for a query, wrapping the root node with metadata."""
+
+    query: QueryGraph
+    root: PlanNode
+    estimated_cost: float = float("nan")
+    estimated_cardinality: float = float("nan")
+    label: str = ""
+    adaptive: bool = False
+
+    def __post_init__(self) -> None:
+        if set(self.root.out_vertices) != set(self.query.vertices):
+            raise PlanError("plan root must produce every query vertex")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def operators(self) -> List[PlanNode]:
+        return list(self.root.iter_nodes())
+
+    @property
+    def num_extend_operators(self) -> int:
+        return sum(1 for n in self.operators if isinstance(n, ExtendNode))
+
+    @property
+    def num_hash_joins(self) -> int:
+        return sum(1 for n in self.operators if isinstance(n, HashJoinNode))
+
+    @property
+    def is_wco(self) -> bool:
+        """True for pure worst-case-optimal plans (no binary joins)."""
+        return self.num_hash_joins == 0
+
+    @property
+    def is_binary_join_only(self) -> bool:
+        """True when the plan never intersects more than one list at a time
+        and contains at least one hash join."""
+        multiway = any(
+            isinstance(n, ExtendNode) and len(n.descriptors) > 1 for n in self.operators
+        )
+        return self.num_hash_joins > 0 and not multiway
+
+    @property
+    def is_hybrid(self) -> bool:
+        return self.num_hash_joins > 0 and not self.is_binary_join_only
+
+    @property
+    def plan_type(self) -> str:
+        """"wco", "bj", or "hybrid" — the categories of Figure 7."""
+        if self.is_wco:
+            return "wco"
+        if self.is_binary_join_only:
+            return "bj"
+        return "hybrid"
+
+    def qvo(self) -> Optional[Tuple[str, ...]]:
+        """The query-vertex ordering when the plan is a pure WCO chain."""
+        if not self.is_wco:
+            return None
+        return tuple(self.root.out_vertices)
+
+    def signature(self) -> Tuple:
+        return self.root.signature()
+
+    def describe(self) -> str:
+        header = f"Plan[{self.plan_type}] for {self.query.name}"
+        if self.label:
+            header += f" ({self.label})"
+        if self.estimated_cost == self.estimated_cost:  # not NaN
+            header += f" cost={self.estimated_cost:.1f}"
+        return header + "\n" + self.root.describe(1)
+
+    def __repr__(self) -> str:
+        return f"Plan({self.query.name!r}, type={self.plan_type}, label={self.label!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Construction helpers
+# --------------------------------------------------------------------------- #
+def make_scan(query: QueryGraph, edge: QueryEdge, reverse: bool = False) -> ScanNode:
+    """Create the SCAN leaf for ``edge``; ``reverse`` emits (dst, src) tuples."""
+    order = (edge.dst, edge.src) if reverse else (edge.src, edge.dst)
+    sub = query.project([edge.src, edge.dst])
+    return ScanNode(sub_query=sub, out_vertices=order, edge=edge)
+
+
+def make_extend(query: QueryGraph, child: PlanNode, to_vertex: str) -> ExtendNode:
+    """Create the E/I node extending ``child`` to ``to_vertex``, deriving the
+    descriptors from every query edge between ``to_vertex`` and the child's
+    vertices (the projection constraint keeps all of them)."""
+    prior = set(child.out_vertices)
+    descriptors = tuple(
+        sorted(
+            AdjListDescriptor.for_extension(e, to_vertex)
+            for e in query.edges_touching(to_vertex)
+            if e.other(to_vertex) in prior
+        )
+    )
+    if not descriptors:
+        raise PlanError(
+            f"cannot extend to {to_vertex}: no query edge connects it to {sorted(prior)}"
+        )
+    sub = query.project(list(child.out_vertices) + [to_vertex])
+    return ExtendNode(
+        sub_query=sub,
+        out_vertices=tuple(child.out_vertices) + (to_vertex,),
+        child=child,
+        to_vertex=to_vertex,
+        descriptors=descriptors,
+        to_vertex_label=query.vertex_label(to_vertex),
+    )
+
+
+def make_hash_join(query: QueryGraph, build: PlanNode, probe: PlanNode) -> HashJoinNode:
+    """Create a HASH-JOIN of two sub-plans on their shared query vertices."""
+    shared = tuple(sorted(set(build.out_vertices) & set(probe.out_vertices)))
+    if not shared:
+        raise PlanError("hash join children must overlap on at least one query vertex")
+    all_vertices = list(probe.out_vertices) + [
+        v for v in build.out_vertices if v not in set(probe.out_vertices)
+    ]
+    sub = query.project(all_vertices)
+    return HashJoinNode(
+        sub_query=sub,
+        out_vertices=tuple(all_vertices),
+        build=build,
+        probe=probe,
+        join_vertices=shared,
+    )
+
+
+def wco_plan_from_order(query: QueryGraph, order: Sequence[str], label: str = "") -> Plan:
+    """Build the WCO plan corresponding to a query-vertex ordering.
+
+    The first two vertices must share a query edge (the SCAN); every prefix of
+    the ordering must induce a connected sub-query (Section 2).
+    """
+    order = tuple(order)
+    if set(order) != set(query.vertices) or len(order) != query.num_vertices:
+        raise PlanError(f"ordering {order} is not a permutation of the query vertices")
+    first_edges = query.edges_between(order[0], order[1])
+    if not first_edges:
+        raise PlanError(f"the first two vertices of {order} do not share a query edge")
+    edge = first_edges[0]
+    reverse = edge.src != order[0]
+    node: PlanNode = make_scan(query, edge, reverse=reverse)
+    for k in range(2, len(order)):
+        if not query.connected_projection_exists(order[: k + 1]):
+            raise PlanError(f"prefix {order[:k+1]} is not connected")
+        node = make_extend(query, node, order[k])
+    return Plan(query=query, root=node, label=label or "wco:" + "".join(order))

@@ -1,0 +1,7 @@
+"""Query model: directed, labeled subgraph queries (Section 2 of the paper)."""
+
+from repro.query.query_graph import QueryGraph, QueryEdge
+from repro.query.parser import parse_query
+from repro.query import catalog_queries
+
+__all__ = ["QueryGraph", "QueryEdge", "parse_query", "catalog_queries"]

@@ -1,0 +1,291 @@
+"""The query library used throughout the paper.
+
+The evaluation (Figure 6) uses 14 queries Q1..Q14 with up to 7 query vertices
+and 21 query edges, mixing acyclic, sparsely-cyclic, and clique queries.  The
+paper renders them only as pictures; the shapes below are reconstructed from
+the figure and the surrounding text (e.g. Q5/Q6/Q7/Q14 are cliques, Q8 is two
+triangles sharing a vertex, Q10 joins a diamond and a triangle on ``a4``,
+Q11/Q13 are acyclic, Q12 is the 6-cycle).  EXPERIMENTS.md documents this
+reconstruction.
+
+Section 3's demonstration queries (asymmetric triangle, tailed triangle,
+diamond-X, symmetric diamond-X) are also provided.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.query.query_graph import QueryEdge, QueryGraph
+
+
+# --------------------------------------------------------------------------- #
+# Section 1 / Section 3 demonstration queries
+# --------------------------------------------------------------------------- #
+def asymmetric_triangle() -> QueryGraph:
+    """``a1->a2, a2->a3, a1->a3`` (Section 3.2.1)."""
+    return QueryGraph(
+        [("a1", "a2"), ("a2", "a3"), ("a1", "a3")], name="asymmetric-triangle"
+    )
+
+
+def triangle() -> QueryGraph:
+    """Alias for the asymmetric triangle, the paper's Q1."""
+    q = asymmetric_triangle()
+    q.name = "Q1"
+    return q
+
+
+def directed_3cycle() -> QueryGraph:
+    """``a1->a2->a3->a1`` — the 'symmetric' triangle of Section 3.2.3."""
+    return QueryGraph(
+        [("a1", "a2"), ("a2", "a3"), ("a3", "a1")], name="directed-3-cycle"
+    )
+
+
+def diamond_x() -> QueryGraph:
+    """The diamond-X query of Figure 1:
+    ``E1(a1,a2), E2(a1,a3), E3(a2,a3), E4(a2,a4), E5(a3,a4)``."""
+    return QueryGraph(
+        [
+            ("a1", "a2"),
+            ("a1", "a3"),
+            ("a2", "a3"),
+            ("a2", "a4"),
+            ("a3", "a4"),
+        ],
+        name="diamond-X",
+    )
+
+
+def symmetric_diamond_x() -> QueryGraph:
+    """The diamond-X variant of Figure 2a: two directed 3-cycles sharing the
+    edge ``a2->a3`` (extensions intersect one forward and one backward list)."""
+    return QueryGraph(
+        [
+            ("a2", "a3"),
+            ("a3", "a1"),
+            ("a1", "a2"),
+            ("a3", "a4"),
+            ("a4", "a2"),
+        ],
+        name="symmetric-diamond-X",
+    )
+
+
+def tailed_triangle() -> QueryGraph:
+    """Figure 2b: an asymmetric triangle on ``a1,a2,a3`` with a tail ``a4->a2``."""
+    return QueryGraph(
+        [
+            ("a1", "a2"),
+            ("a1", "a3"),
+            ("a2", "a3"),
+            ("a4", "a2"),
+        ],
+        name="tailed-triangle",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# helpers for clique / cycle construction
+# --------------------------------------------------------------------------- #
+def clique(num_vertices: int, name: str) -> QueryGraph:
+    """Acyclic orientation of the complete graph: edge ``ai->aj`` for i<j."""
+    edges: List[QueryEdge] = []
+    for i in range(1, num_vertices + 1):
+        for j in range(i + 1, num_vertices + 1):
+            edges.append(QueryEdge(f"a{i}", f"a{j}"))
+    return QueryGraph(edges, name=name)
+
+
+def directed_cycle(num_vertices: int, name: str) -> QueryGraph:
+    edges = [
+        QueryEdge(f"a{i}", f"a{i % num_vertices + 1}") for i in range(1, num_vertices + 1)
+    ]
+    return QueryGraph(edges, name=name)
+
+
+def path(num_vertices: int, name: str) -> QueryGraph:
+    edges = [QueryEdge(f"a{i}", f"a{i+1}") for i in range(1, num_vertices)]
+    return QueryGraph(edges, name=name)
+
+
+def star(num_leaves: int, name: str) -> QueryGraph:
+    edges = [QueryEdge("a1", f"a{i+2}") for i in range(num_leaves)]
+    return QueryGraph(edges, name=name)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6: Q1 .. Q14
+# --------------------------------------------------------------------------- #
+def q1() -> QueryGraph:
+    """Triangle."""
+    return triangle()
+
+
+def q2() -> QueryGraph:
+    """Directed 4-cycle (rectangle)."""
+    q = directed_cycle(4, "Q2")
+    return q
+
+
+def q3() -> QueryGraph:
+    """Diamond-X (4 vertices, 5 edges)."""
+    q = diamond_x()
+    q.name = "Q3"
+    return q
+
+
+def q4() -> QueryGraph:
+    """Diamond-X variant built from two directed 3-cycles sharing an edge
+    (the symmetric diamond-X of Figure 2a)."""
+    q = symmetric_diamond_x()
+    q.name = "Q4"
+    return q
+
+
+def q5() -> QueryGraph:
+    """4-clique."""
+    return clique(4, "Q5")
+
+
+def q6() -> QueryGraph:
+    """4-clique with one reciprocal edge (a denser clique-like query)."""
+    base = clique(4, "Q6")
+    edges = list(base.edges) + [QueryEdge("a2", "a1")]
+    return QueryGraph(edges, name="Q6")
+
+
+def q7() -> QueryGraph:
+    """5-clique."""
+    return clique(5, "Q7")
+
+
+def q8() -> QueryGraph:
+    """Two triangles sharing the vertex ``a3`` (bowtie); the query EH
+    decomposes into two triangle bags joined on a3 (Section 8.4.1)."""
+    return QueryGraph(
+        [
+            ("a1", "a2"),
+            ("a1", "a3"),
+            ("a2", "a3"),
+            ("a3", "a4"),
+            ("a3", "a5"),
+            ("a4", "a5"),
+        ],
+        name="Q8",
+    )
+
+
+def q9() -> QueryGraph:
+    """Two vertex-disjoint triangles bridged by a vertex that closes a 2-way
+    intersection (the Figure 10 query: compute two triangles, hash-join them,
+    then extend with an intersection)."""
+    return QueryGraph(
+        [
+            # triangle 1
+            ("a1", "a2"),
+            ("a1", "a3"),
+            ("a2", "a3"),
+            # triangle 2
+            ("a4", "a5"),
+            ("a4", "a6"),
+            ("a5", "a6"),
+            # bridge edges joining the triangles
+            ("a3", "a4"),
+            ("a2", "a5"),
+        ],
+        name="Q9",
+    )
+
+
+def q10() -> QueryGraph:
+    """A diamond (a1..a4) and a triangle (a4,a5,a6) sharing ``a4``
+    (Section 8.3 / Appendix A)."""
+    return QueryGraph(
+        [
+            # diamond on a1..a4 (4-cycle without the chord)
+            ("a1", "a2"),
+            ("a1", "a3"),
+            ("a2", "a4"),
+            ("a3", "a4"),
+            # triangle on a4, a5, a6
+            ("a4", "a5"),
+            ("a4", "a6"),
+            ("a5", "a6"),
+        ],
+        name="Q10",
+    )
+
+
+def q11() -> QueryGraph:
+    """Acyclic 5-vertex query (a small out-tree)."""
+    return QueryGraph(
+        [
+            ("a1", "a2"),
+            ("a2", "a3"),
+            ("a2", "a4"),
+            ("a4", "a5"),
+        ],
+        name="Q11",
+    )
+
+
+def q12() -> QueryGraph:
+    """The 6-cycle (the query whose best hybrid plan is not a GHD, Fig. 1d)."""
+    return directed_cycle(6, "Q12")
+
+
+def q13() -> QueryGraph:
+    """Acyclic 6-vertex query (a deeper tree)."""
+    return QueryGraph(
+        [
+            ("a1", "a2"),
+            ("a2", "a3"),
+            ("a3", "a4"),
+            ("a2", "a5"),
+            ("a5", "a6"),
+        ],
+        name="Q13",
+    )
+
+
+def q14() -> QueryGraph:
+    """7-clique (the 'very difficult' scalability query of Section 8.5)."""
+    return clique(7, "Q14")
+
+
+_REGISTRY: Dict[str, Callable[[], QueryGraph]] = {
+    "Q1": q1,
+    "Q2": q2,
+    "Q3": q3,
+    "Q4": q4,
+    "Q5": q5,
+    "Q6": q6,
+    "Q7": q7,
+    "Q8": q8,
+    "Q9": q9,
+    "Q10": q10,
+    "Q11": q11,
+    "Q12": q12,
+    "Q13": q13,
+    "Q14": q14,
+    "diamond-X": diamond_x,
+    "symmetric-diamond-X": symmetric_diamond_x,
+    "tailed-triangle": tailed_triangle,
+    "asymmetric-triangle": asymmetric_triangle,
+    "directed-3-cycle": directed_3cycle,
+}
+
+
+def get(name: str) -> QueryGraph:
+    """Fetch a query by name (``Q1`` .. ``Q14`` or a demo-query name)."""
+    key = name if name in _REGISTRY else name.upper()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown query {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]()
+
+
+def all_benchmark_queries() -> Dict[str, QueryGraph]:
+    """Q1..Q14 as a name -> query mapping."""
+    return {f"Q{i}": _REGISTRY[f"Q{i}"]() for i in range(1, 15)}

@@ -1,0 +1,231 @@
+"""A Cypher-flavoured query parser with named labels.
+
+Graphflow exposes a subset of openCypher (Section 7).  The reproduction's
+basic pattern parser (:mod:`repro.query.parser`) covers integer-labeled edge
+lists; this module adds the query front end a user of the system would
+actually write:
+
+    MATCH (a:Person)-[:FOLLOWS]->(b:Person), (b)-[:FOLLOWS]->(c), (a)-[:FOLLOWS]->(c)
+    RETURN count(*)
+
+Supported fragment
+------------------
+* an optional leading ``MATCH`` keyword,
+* comma-separated *path patterns*, each a chain of nodes and relationships:
+  ``(a)-->(b)<-[:TYPE]-(c)``,
+* node patterns ``(name)``, ``(name:Label)``, ``(:Label)`` and ``()`` —
+  anonymous nodes receive generated names,
+* relationship patterns ``-->``, ``<--``, ``-[:TYPE]->``, ``<-[r:TYPE]-``,
+  ``-[r]->`` (the variable is accepted and ignored; undirected relationships
+  are rejected because the paper's queries are directed),
+* an optional trailing ``RETURN`` clause, which is accepted and ignored — the
+  engine evaluates the pattern and returns matches/counts.
+
+Named labels are resolved to integer label ids through a
+:class:`repro.graph.schema.GraphSchema`; integer tokens are used as raw ids so
+the parser also covers unlabeled/auto-labeled graphs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import QueryParseError
+from repro.graph.schema import GraphSchema
+from repro.query.query_graph import QueryEdge, QueryGraph
+
+_LABEL_TOKEN = r"[A-Za-z_][\w]*|\d+"
+_NODE_RE = re.compile(
+    r"\(\s*(?P<name>[A-Za-z_][\w]*)?\s*(?::\s*(?P<label>" + _LABEL_TOKEN + r"))?\s*\)"
+)
+_REL_RE = re.compile(
+    r"(?P<left><)?-"
+    r"(?:\[\s*(?:[A-Za-z_][\w]*)?\s*(?::\s*(?P<type>" + _LABEL_TOKEN + r"))?\s*\])?"
+    r"-(?P<right>>)?"
+)
+_MATCH_RE = re.compile(r"^\s*match\b", re.IGNORECASE)
+_RETURN_RE = re.compile(r"\breturn\b", re.IGNORECASE)
+_WHERE_RE = re.compile(r"\bwhere\b", re.IGNORECASE)
+
+
+class _AnonymousNames:
+    """Generates fresh names for anonymous node patterns."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def next(self) -> str:
+        self._counter += 1
+        return f"_anon{self._counter}"
+
+
+def _split_clauses(text: str) -> str:
+    """Strip the MATCH keyword and the RETURN clause, reject WHERE."""
+    if _WHERE_RE.search(text):
+        raise QueryParseError(
+            "WHERE clauses are not supported; encode predicates as vertex/edge labels"
+        )
+    match_return = _RETURN_RE.search(text)
+    if match_return:
+        text = text[: match_return.start()]
+    text = _MATCH_RE.sub("", text, count=1)
+    return text.strip()
+
+
+def _parse_node(
+    chunk: str,
+    position: int,
+    names: _AnonymousNames,
+) -> Tuple[str, Optional[str], int]:
+    match = _NODE_RE.match(chunk, position)
+    if not match:
+        raise QueryParseError(
+            f"expected a node pattern at ...{chunk[position:position + 25]!r}"
+        )
+    name = match.group("name") or names.next()
+    return name, match.group("label"), match.end()
+
+
+def _parse_relationship(chunk: str, position: int) -> Tuple[bool, Optional[str], int]:
+    """Returns (points_right, type_token, new_position)."""
+    match = _REL_RE.match(chunk, position)
+    if not match:
+        raise QueryParseError(
+            f"expected a relationship pattern at ...{chunk[position:position + 25]!r}"
+        )
+    left, right = match.group("left"), match.group("right")
+    if left and right:
+        raise QueryParseError("relationships cannot point both ways")
+    if not left and not right:
+        raise QueryParseError(
+            "undirected relationships are not supported; use -> or <-"
+        )
+    return bool(right), match.group("type"), match.end()
+
+
+def _split_patterns(text: str) -> List[str]:
+    """Split on commas that separate path patterns (none occur inside nodes
+    or relationship brackets in the supported fragment)."""
+    parts = [part.strip() for part in text.split(",")]
+    return [part for part in parts if part]
+
+
+def parse_cypher(
+    text: str,
+    schema: Optional[GraphSchema] = None,
+    name: str = "query",
+    create_labels: bool = False,
+) -> QueryGraph:
+    """Parse a Cypher-style ``MATCH`` pattern into a :class:`QueryGraph`.
+
+    Parameters
+    ----------
+    schema:
+        Resolves named labels to integer ids.  Required whenever the pattern
+        uses non-numeric labels.
+    create_labels:
+        Register unknown label names in the schema instead of raising.
+
+    >>> schema = GraphSchema.from_names(["Person"], ["FOLLOWS"])
+    >>> q = parse_cypher(
+    ...     "MATCH (a:Person)-[:FOLLOWS]->(b), (b)-[:FOLLOWS]->(a) RETURN count(*)",
+    ...     schema,
+    ... )
+    >>> q.num_vertices, q.num_edges
+    (2, 2)
+    """
+    body = _split_clauses(text)
+    if not body:
+        raise QueryParseError("empty MATCH pattern")
+    resolver = schema or GraphSchema()
+    names = _AnonymousNames()
+    edges: List[QueryEdge] = []
+    vertex_labels: Dict[str, Optional[int]] = {}
+
+    def register_vertex(vertex: str, label_token: Optional[str]) -> None:
+        if label_token is None:
+            vertex_labels.setdefault(vertex, None)
+            return
+        try:
+            label = resolver.resolve_vertex_label(label_token, create=create_labels)
+        except KeyError as exc:
+            raise QueryParseError(str(exc)) from exc
+        existing = vertex_labels.get(vertex)
+        if existing is not None and existing != label:
+            raise QueryParseError(
+                f"conflicting labels for vertex {vertex!r}: {existing} vs {label}"
+            )
+        vertex_labels[vertex] = label
+
+    for pattern in _split_patterns(body):
+        position = 0
+        current, label_token, position = _parse_node(pattern, position, names)
+        register_vertex(current, label_token)
+        saw_relationship = False
+        while position < len(pattern):
+            points_right, type_token, position = _parse_relationship(pattern, position)
+            nxt, next_label, position = _parse_node(pattern, position, names)
+            register_vertex(nxt, next_label)
+            try:
+                edge_label = resolver.resolve_edge_label(type_token, create=create_labels)
+            except KeyError as exc:
+                raise QueryParseError(str(exc)) from exc
+            src, dst = (current, nxt) if points_right else (nxt, current)
+            edges.append(QueryEdge(src, dst, edge_label))
+            current = nxt
+            saw_relationship = True
+        if not saw_relationship:
+            raise QueryParseError(
+                f"pattern {pattern!r} matches a single node; subgraph queries need edges"
+            )
+        if position != len(pattern):
+            raise QueryParseError(f"trailing characters in pattern: {pattern[position:]!r}")
+
+    labels = {v: lab for v, lab in vertex_labels.items() if lab is not None}
+    return QueryGraph(edges, vertex_labels=labels, name=name)
+
+
+def format_cypher(query: QueryGraph, schema: Optional[GraphSchema] = None) -> str:
+    """Render a query graph back into a single-line ``MATCH`` statement.
+
+    Label ids are rendered through ``schema`` when it knows them, otherwise as
+    raw integers, so the output is always re-parseable with the same schema.
+    """
+
+    def vertex(v: str) -> str:
+        label = query.vertex_label(v)
+        if label is None:
+            return f"({v})"
+        if schema is not None:
+            try:
+                return f"({v}:{schema.vertex_label_name(label)})"
+            except KeyError:
+                pass
+        return f"({v}:{label})"
+
+    parts: List[str] = []
+    for edge in query.edges:
+        if edge.label is None:
+            rel = "-->"
+        else:
+            token: str
+            if schema is not None:
+                try:
+                    token = schema.edge_label_name(edge.label)
+                except KeyError:
+                    token = str(edge.label)
+            else:
+                token = str(edge.label)
+            rel = f"-[:{token}]->"
+        parts.append(f"{vertex(edge.src)}{rel}{vertex(edge.dst)}")
+    return "MATCH " + ", ".join(parts) + " RETURN count(*)"
+
+
+def looks_like_cypher(text: str) -> bool:
+    """Heuristic used by the high-level API to route query strings: anything
+    starting with ``MATCH`` (case-insensitive) goes through this parser."""
+    return bool(_MATCH_RE.match(text))
+
+
+__all__ = ["parse_cypher", "format_cypher", "looks_like_cypher"]

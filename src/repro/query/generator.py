@@ -1,0 +1,124 @@
+"""Random query generation.
+
+The Appendix B and Appendix C experiments use randomly generated query sets:
+all 5-vertex queries (Appendix B) and random sparse / dense queries with 10-20
+query vertices (Appendix C, following the CFL paper's protocol where sparse
+means average query-vertex degree <= 3 and dense means > 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.query.query_graph import QueryEdge, QueryGraph
+
+
+def random_connected_query(
+    num_vertices: int,
+    avg_degree: float = 2.5,
+    seed: Optional[int] = 0,
+    num_edge_labels: int = 1,
+    num_vertex_labels: int = 1,
+    name: Optional[str] = None,
+) -> QueryGraph:
+    """A random connected directed query with roughly ``avg_degree`` average
+    (undirected) query-vertex degree."""
+    rng = np.random.default_rng(seed)
+    vertices = [f"a{i+1}" for i in range(num_vertices)]
+    edges: List[QueryEdge] = []
+    pair_set = set()
+
+    def add(u: str, v: str) -> None:
+        if u == v or frozenset((u, v)) in pair_set:
+            return
+        pair_set.add(frozenset((u, v)))
+        src, dst = (u, v) if rng.random() < 0.5 else (v, u)
+        label = int(rng.integers(0, num_edge_labels)) if num_edge_labels > 1 else None
+        edges.append(QueryEdge(src, dst, label))
+
+    # Random spanning tree for connectivity.
+    order = list(rng.permutation(num_vertices))
+    for i in range(1, num_vertices):
+        u = vertices[order[i]]
+        v = vertices[order[int(rng.integers(0, i))]]
+        add(u, v)
+    # Extra edges until the average degree target is met.
+    target_edges = max(num_vertices - 1, int(round(avg_degree * num_vertices / 2)))
+    guard = 0
+    while len(edges) < target_edges and guard < 50 * target_edges:
+        guard += 1
+        u, v = rng.choice(vertices, size=2, replace=False)
+        add(str(u), str(v))
+
+    vertex_labels = None
+    if num_vertex_labels > 1:
+        vertex_labels = {
+            v: int(rng.integers(0, num_vertex_labels)) for v in vertices
+        }
+    return QueryGraph(
+        edges,
+        vertex_labels=vertex_labels,
+        name=name or f"random-{num_vertices}v-{len(edges)}e",
+    )
+
+
+def random_query_set(
+    count: int,
+    num_vertices: int,
+    dense: bool = False,
+    seed: int = 0,
+    num_edge_labels: int = 1,
+    num_vertex_labels: int = 1,
+) -> List[QueryGraph]:
+    """A set of random queries in the style of the CFL evaluation: sparse
+    (average degree <= 3) or dense (average degree > 3)."""
+    queries = []
+    for i in range(count):
+        avg_degree = 3.6 if dense else 2.2
+        queries.append(
+            random_connected_query(
+                num_vertices,
+                avg_degree=avg_degree,
+                seed=seed * 10_000 + i,
+                num_edge_labels=num_edge_labels,
+                num_vertex_labels=num_vertex_labels,
+                name=f"{'dense' if dense else 'sparse'}-{num_vertices}v-{i}",
+            )
+        )
+    return queries
+
+
+def all_small_queries(
+    num_vertices: int = 5,
+    max_queries: Optional[int] = None,
+    seed: int = 0,
+    num_edge_labels: int = 1,
+    num_vertex_labels: int = 1,
+) -> List[QueryGraph]:
+    """A diverse sample of connected queries with ``num_vertices`` vertices.
+
+    The paper enumerates all 535 5-vertex queries; for tractability we sample
+    a diverse subset (spanning sparse trees to near-cliques) unless
+    ``max_queries`` is None, in which case 64 representatives are produced.
+    """
+    budget = max_queries or 64
+    queries: List[QueryGraph] = []
+    seen = set()
+    rng = np.random.default_rng(seed)
+    densities = np.linspace(1.8, num_vertices - 1.0, budget)
+    for i, density in enumerate(densities):
+        q = random_connected_query(
+            num_vertices,
+            avg_degree=float(density),
+            seed=int(rng.integers(0, 10_000_000)),
+            num_edge_labels=num_edge_labels,
+            num_vertex_labels=num_vertex_labels,
+            name=f"q{num_vertices}v-{i}",
+        )
+        key = q.edge_key_set()
+        if key not in seen:
+            seen.add(key)
+            queries.append(q)
+    return queries

@@ -1,0 +1,98 @@
+"""Canonicalization, isomorphism, and automorphisms of small query graphs.
+
+The subgraph catalogue (Section 5) is keyed by *sub-query shapes*, so lookups
+must be isomorphism-invariant: the 3-path ``a1->a2->a3`` and ``b7->b2->b9``
+must map to the same entry.  Query graphs in catalogue keys have at most
+``h+1`` (≤ 5) vertices, so brute-force canonicalization over all vertex
+permutations is both exact and fast.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.query.query_graph import QueryGraph
+
+# A canonical code is a sorted tuple of (src_idx, dst_idx, edge_label) triples
+# plus the tuple of vertex labels in canonical position order.
+CanonicalCode = Tuple[Tuple[Tuple[int, int, Optional[int]], ...], Tuple[Optional[int], ...]]
+
+
+def _code_for_order(query: QueryGraph, order: Sequence[str]) -> CanonicalCode:
+    index = {v: i for i, v in enumerate(order)}
+    edges = tuple(
+        sorted((index[e.src], index[e.dst], e.label) for e in query.edges)
+    )
+    labels = tuple(query.vertex_label(v) for v in order)
+    return (edges, labels)
+
+
+def canonical_code(query: QueryGraph) -> CanonicalCode:
+    """Smallest code over all vertex orderings — an isomorphism-invariant key.
+
+    Intended for small sub-queries (≤ 6 vertices); the cost is ``O(k!)``.
+    """
+    best: Optional[CanonicalCode] = None
+    for order in permutations(query.vertices):
+        code = _code_for_order(query, order)
+        if best is None or code < best:
+            best = code
+    assert best is not None
+    return best
+
+
+def canonical_order(query: QueryGraph) -> Tuple[str, ...]:
+    """A vertex ordering realising :func:`canonical_code`."""
+    best_code: Optional[CanonicalCode] = None
+    best_order: Tuple[str, ...] = query.vertices
+    for order in permutations(query.vertices):
+        code = _code_for_order(query, order)
+        if best_code is None or code < best_code:
+            best_code = code
+            best_order = tuple(order)
+    return best_order
+
+
+def are_isomorphic(a: QueryGraph, b: QueryGraph) -> bool:
+    """Exact isomorphism test via canonical codes (labels respected)."""
+    if a.num_vertices != b.num_vertices or a.num_edges != b.num_edges:
+        return False
+    return canonical_code(a) == canonical_code(b)
+
+
+def automorphisms(query: QueryGraph) -> List[Dict[str, str]]:
+    """All label- and direction-preserving vertex permutations of the query.
+
+    Used to deduplicate equivalent query-vertex orderings: two QVOs related by
+    an automorphism perform exactly the same operations (Section 3.2.3).
+    """
+    vertices = query.vertices
+    base_edges = {(e.src, e.dst, e.label) for e in query.edges}
+    result: List[Dict[str, str]] = []
+    for perm in permutations(vertices):
+        mapping = dict(zip(vertices, perm))
+        if any(
+            query.vertex_label(v) != query.vertex_label(mapping[v]) for v in vertices
+        ):
+            continue
+        mapped = {(mapping[s], mapping[d], l) for s, d, l in base_edges}
+        if mapped == base_edges:
+            result.append(mapping)
+    return result
+
+
+def orbit_representative_orderings(
+    query: QueryGraph, orderings: Sequence[Tuple[str, ...]]
+) -> List[Tuple[str, ...]]:
+    """Collapse a set of QVOs into one representative per automorphism orbit."""
+    autos = automorphisms(query)
+    seen: set = set()
+    representatives: List[Tuple[str, ...]] = []
+    for ordering in orderings:
+        orbit = {tuple(auto[v] for v in ordering) for auto in autos}
+        key = min(orbit)
+        if key not in seen:
+            seen.add(key)
+            representatives.append(ordering)
+    return representatives

@@ -1,0 +1,76 @@
+"""A tiny Cypher-flavoured pattern parser.
+
+Graphflow supports a subset of Cypher; for the reproduction we support the
+pattern fragment that subgraph queries need:
+
+    (a1)-->(a2), (a2)-->(a3), (a1)-->(a3)
+    (a1:0)-[1]->(a2:2)        # vertex label 0/2, edge label 1
+    (a2)<--(a3)               # reverse direction
+
+Vertex labels and edge labels are small integers; omitting them leaves the
+label as ``None`` (wildcard).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import QueryParseError
+from repro.query.query_graph import QueryEdge, QueryGraph
+
+_VERTEX = r"\(\s*(?P<name{0}>[A-Za-z_][A-Za-z_0-9]*)\s*(?::\s*(?P<label{0}>\d+))?\s*\)"
+_EDGE = r"(?P<larrow><)?-(?:\[\s*(?P<elabel>\d+)?\s*\])?-(?P<rarrow>>)?"
+_PATTERN = re.compile(_VERTEX.format("1") + r"\s*" + _EDGE + r"\s*" + _VERTEX.format("2"))
+
+
+def parse_query(pattern: str, name: str = "query") -> QueryGraph:
+    """Parse a comma-separated list of edge patterns into a QueryGraph.
+
+    >>> q = parse_query("(a1)-->(a2), (a2)-->(a3), (a1)-->(a3)", name="triangle")
+    >>> q.num_vertices, q.num_edges
+    (3, 3)
+    """
+    edges: List[QueryEdge] = []
+    vertex_labels: Dict[str, Optional[int]] = {}
+    chunks = [c.strip() for c in pattern.split(",") if c.strip()]
+    if not chunks:
+        raise QueryParseError("empty query pattern")
+    for chunk in chunks:
+        match = _PATTERN.fullmatch(chunk)
+        if not match:
+            raise QueryParseError(f"cannot parse edge pattern: {chunk!r}")
+        left, right = match.group("name1"), match.group("name2")
+        left_label = match.group("label1")
+        right_label = match.group("label2")
+        edge_label = match.group("elabel")
+        larrow, rarrow = match.group("larrow"), match.group("rarrow")
+        if larrow and rarrow:
+            raise QueryParseError(f"edge cannot point both ways: {chunk!r}")
+        if not larrow and not rarrow:
+            raise QueryParseError(f"edge must have a direction (--> or <--): {chunk!r}")
+        src, dst = (left, right) if rarrow else (right, left)
+        edges.append(QueryEdge(src, dst, int(edge_label) if edge_label is not None else None))
+        for vertex, label in ((left, left_label), (right, right_label)):
+            if label is not None:
+                parsed = int(label)
+                existing = vertex_labels.get(vertex)
+                if existing is not None and existing != parsed:
+                    raise QueryParseError(
+                        f"conflicting labels for vertex {vertex}: {existing} vs {parsed}"
+                    )
+                vertex_labels[vertex] = parsed
+    return QueryGraph(edges, vertex_labels=vertex_labels, name=name)
+
+
+def format_query(query: QueryGraph) -> str:
+    """Inverse of :func:`parse_query` (modulo whitespace)."""
+    parts: List[str] = []
+    for e in query.edges:
+        src_label = query.vertex_label(e.src)
+        dst_label = query.vertex_label(e.dst)
+        src = f"({e.src}:{src_label})" if src_label is not None else f"({e.src})"
+        dst = f"({e.dst}:{dst_label})" if dst_label is not None else f"({e.dst})"
+        arrow = f"-[{e.label}]->" if e.label is not None else "-->"
+        parts.append(f"{src}{arrow}{dst}")
+    return ", ".join(parts)

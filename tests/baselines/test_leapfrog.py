@@ -1,0 +1,120 @@
+"""Tests for the Leapfrog TrieJoin baseline (repro.baselines.leapfrog)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.leapfrog import LeapfrogTrieJoin, leapfrog_intersect
+from repro.errors import InvalidQueryError
+from repro.executor.pipeline import execute_plan
+from repro.graph.intersect import intersect_multiway
+from repro.planner.plan import wco_plan_from_order
+from repro.planner.qvo import enumerate_orderings
+from repro.query import catalog_queries
+from tests.conftest import brute_force_count
+
+
+class TestLeapfrogIntersect:
+    def test_simple_intersection(self):
+        lists = [np.array([1, 3, 5, 7]), np.array([3, 4, 5, 8]), np.array([0, 3, 5])]
+        assert leapfrog_intersect(lists) == [3, 5]
+
+    def test_empty_input_list(self):
+        assert leapfrog_intersect([np.array([1, 2]), np.array([], dtype=np.int64)]) == []
+
+    def test_no_lists(self):
+        assert leapfrog_intersect([]) == []
+
+    def test_single_list_passthrough(self):
+        assert leapfrog_intersect([np.array([2, 4, 6])]) == [2, 4, 6]
+
+    def test_disjoint_lists(self):
+        assert leapfrog_intersect([np.array([1, 2, 3]), np.array([10, 20])]) == []
+
+    def test_identical_lists(self):
+        values = np.arange(0, 50, 3)
+        assert leapfrog_intersect([values, values.copy(), values.copy()]) == values.tolist()
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=200), min_size=0, max_size=60),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_matches_numpy_kernel(self, raw_lists):
+        lists = [np.array(sorted(set(values)), dtype=np.int64) for values in raw_lists]
+        expected = intersect_multiway(lists).tolist()
+        assert leapfrog_intersect(lists) == expected
+
+
+class TestLeapfrogTrieJoin:
+    @pytest.mark.parametrize(
+        "query_factory",
+        [
+            catalog_queries.q1,
+            catalog_queries.diamond_x,
+            catalog_queries.tailed_triangle,
+            catalog_queries.q2,
+        ],
+    )
+    def test_counts_agree_with_executor(self, random_graph, query_factory):
+        query = query_factory()
+        ordering = enumerate_orderings(query)[0]
+        expected = execute_plan(
+            wco_plan_from_order(query, ordering), random_graph
+        ).num_matches
+        result = LeapfrogTrieJoin(random_graph).count(query, ordering=ordering)
+        assert result.num_matches == expected
+
+    def test_counts_agree_with_brute_force_on_tiny_graph(self, tiny_graph):
+        query = catalog_queries.q1()
+        result = LeapfrogTrieJoin(tiny_graph).count(query)
+        assert result.num_matches == brute_force_count(tiny_graph, query)
+
+    def test_all_orderings_give_same_count(self, random_graph):
+        query = catalog_queries.diamond_x()
+        engine = LeapfrogTrieJoin(random_graph)
+        counts = {
+            engine.count(query, ordering=ordering).num_matches
+            for ordering in enumerate_orderings(query)[:6]
+        }
+        assert len(counts) == 1
+
+    def test_default_ordering_uses_distinct_value_heuristic(self, labeled_graph):
+        query = catalog_queries.q1().with_random_edge_labels(1, seed=0)
+        engine = LeapfrogTrieJoin(labeled_graph)
+        ordering = engine.distinct_value_ordering(query)
+        assert set(ordering) == set(query.vertices)
+        result = engine.count(query)
+        assert result.ordering == ordering
+
+    def test_output_limit_respected(self, random_graph):
+        query = catalog_queries.q1()
+        unlimited = LeapfrogTrieJoin(random_graph).count(query).num_matches
+        if unlimited < 3:
+            pytest.skip("not enough matches to exercise the limit")
+        limited = LeapfrogTrieJoin(random_graph, output_limit=2).count(query)
+        assert limited.num_matches == 2
+
+    def test_invalid_ordering_rejected(self, random_graph):
+        query = catalog_queries.q1()
+        with pytest.raises(InvalidQueryError):
+            LeapfrogTrieJoin(random_graph).count(query, ordering=("a1", "a2"))
+
+    def test_statistics_populated(self, random_graph):
+        query = catalog_queries.q1()
+        result = LeapfrogTrieJoin(random_graph).count(query)
+        assert result.stats.seeks > 0
+        assert result.stats.list_elements_touched > 0
+        assert result.stats.emitted == result.num_matches
+
+    def test_labeled_query_respects_labels(self, labeled_graph):
+        query = catalog_queries.q1().with_random_edge_labels(2, seed=5)
+        expected = brute_force_count(labeled_graph, query)
+        result = LeapfrogTrieJoin(labeled_graph).count(query)
+        assert result.num_matches == expected

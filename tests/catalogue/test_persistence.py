@@ -1,0 +1,128 @@
+"""Tests for catalogue persistence (repro.catalogue.persistence)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.catalogue.construction import build_catalogue
+from repro.catalogue.estimation import estimate_cardinality
+from repro.catalogue.persistence import (
+    catalogue_from_dict,
+    catalogue_to_dict,
+    load_catalogue,
+    merge_catalogues,
+    render_entries,
+    save_catalogue,
+)
+from repro.errors import CatalogueError
+from repro.query import catalog_queries
+
+
+_WARM_QUERIES = (catalog_queries.q1(), catalog_queries.q3(), catalog_queries.diamond_x())
+
+
+@pytest.fixture(scope="module")
+def small_catalogue(request):
+    graph = request.getfixturevalue("random_graph")
+    return build_catalogue(graph, h=3, z=100, seed=1, queries=_WARM_QUERIES)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_entries(self, small_catalogue):
+        data = catalogue_to_dict(small_catalogue)
+        rebuilt = catalogue_from_dict(data)
+        assert rebuilt.num_entries == small_catalogue.num_entries
+        assert rebuilt.edge_counts == small_catalogue.edge_counts
+        assert set(rebuilt.entries) == set(small_catalogue.entries)
+        for key, entry in small_catalogue.entries.items():
+            other = rebuilt.entries[key]
+            assert other.mu == pytest.approx(entry.mu)
+            assert other.avg_list_sizes == pytest.approx(entry.avg_list_sizes)
+
+    def test_dict_is_json_serializable(self, small_catalogue):
+        text = json.dumps(catalogue_to_dict(small_catalogue))
+        assert isinstance(text, str) and len(text) > 2
+
+    def test_file_round_trip(self, small_catalogue, tmp_path):
+        path = tmp_path / "catalogue.json"
+        save_catalogue(small_catalogue, str(path))
+        rebuilt = load_catalogue(str(path))
+        assert rebuilt.num_entries == small_catalogue.num_entries
+        assert rebuilt.h == small_catalogue.h
+        assert rebuilt.z == small_catalogue.z
+
+    def test_rebuilt_catalogue_gives_same_estimates(self, small_catalogue, random_graph):
+        rebuilt = catalogue_from_dict(catalogue_to_dict(small_catalogue))
+        for query in (catalog_queries.q1(), catalog_queries.q3()):
+            original = estimate_cardinality(small_catalogue, query, graph=random_graph)
+            replayed = estimate_cardinality(rebuilt, query, graph=random_graph)
+            assert replayed == pytest.approx(original)
+
+    def test_unknown_version_rejected(self, small_catalogue):
+        data = catalogue_to_dict(small_catalogue)
+        data["format_version"] = 42
+        with pytest.raises(CatalogueError):
+            catalogue_from_dict(data)
+
+
+class TestMerge:
+    def test_merge_is_union_of_keys(self, random_graph):
+        first = build_catalogue(
+            random_graph, h=2, z=50, seed=1, queries=[catalog_queries.q1()]
+        )
+        second = build_catalogue(
+            random_graph, h=3, z=50, seed=2, queries=[catalog_queries.diamond_x()]
+        )
+        merged = merge_catalogues(first, second)
+        assert set(merged.entries) >= set(first.entries)
+        assert set(merged.entries) >= set(second.entries)
+        assert merged.z == first.z + second.z
+        assert merged.h == max(first.h, second.h)
+
+    def test_merge_weighted_average_between_bounds(self, random_graph):
+        first = build_catalogue(
+            random_graph, h=2, z=60, seed=1, queries=[catalog_queries.q1()]
+        )
+        second = build_catalogue(
+            random_graph, h=2, z=60, seed=9, queries=[catalog_queries.q1()]
+        )
+        merged = merge_catalogues(first, second)
+        shared = set(first.entries) & set(second.entries)
+        assert shared, "expected at least one shared catalogue key"
+        for key in shared:
+            lo = min(first.entries[key].mu, second.entries[key].mu)
+            hi = max(first.entries[key].mu, second.entries[key].mu)
+            assert lo - 1e-9 <= merged.entries[key].mu <= hi + 1e-9
+
+    def test_merge_rejects_different_graphs(self, random_graph, social_graph):
+        first = build_catalogue(random_graph, h=2, z=30, seed=1)
+        second = build_catalogue(social_graph, h=2, z=30, seed=1)
+        assert first.num_graph_vertices != second.num_graph_vertices
+        with pytest.raises(CatalogueError):
+            merge_catalogues(first, second)
+
+    def test_merge_with_self_is_idempotent_on_estimates(self, small_catalogue):
+        merged = merge_catalogues(small_catalogue, small_catalogue)
+        for key, entry in small_catalogue.entries.items():
+            assert merged.entries[key].mu == pytest.approx(entry.mu)
+
+
+class TestRendering:
+    def test_render_contains_header_and_rows(self, small_catalogue):
+        text = render_entries(small_catalogue, limit=5)
+        lines = text.splitlines()
+        assert "Q_(k-1)" in lines[0]
+        assert len(lines) <= 2 + 5
+
+    def test_render_sort_by_mu_descending(self, small_catalogue):
+        text = render_entries(small_catalogue, sort_by_mu=True)
+        mus = []
+        for line in text.splitlines()[2:]:
+            mus.append(float(line.split()[-1]))
+        assert mus == sorted(mus, reverse=True)
+
+    def test_render_limit_zero_is_header_only(self, small_catalogue):
+        text = render_entries(small_catalogue, limit=0)
+        assert len(text.splitlines()) == 2

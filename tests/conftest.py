@@ -1,0 +1,115 @@
+"""Shared fixtures and reference implementations for the test suite."""
+
+from __future__ import annotations
+
+from itertools import permutations, product
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import clustered_social, complete_graph, erdos_renyi
+from repro.graph.graph import Graph
+from repro.query.query_graph import QueryGraph
+
+
+# --------------------------------------------------------------------------- #
+# reference matcher
+# --------------------------------------------------------------------------- #
+def brute_force_count(
+    graph: Graph, query: QueryGraph, isomorphism: bool = False
+) -> int:
+    """Count matches by brute-force backtracking over all assignments.
+
+    Homomorphism semantics by default (matching the executor); pass
+    ``isomorphism=True`` for injective matches.  Only suitable for small graphs.
+    """
+    vertices = list(query.vertices)
+    candidates: Dict[str, List[int]] = {}
+    for qv in vertices:
+        label = query.vertex_label(qv)
+        candidates[qv] = [
+            v for v in range(graph.num_vertices) if label is None or graph.vertex_label(v) == label
+        ]
+
+    count = 0
+
+    def backtrack(idx: int, assignment: Dict[str, int]) -> None:
+        nonlocal count
+        if idx == len(vertices):
+            count += 1
+            return
+        qv = vertices[idx]
+        for v in candidates[qv]:
+            if isomorphism and v in assignment.values():
+                continue
+            assignment[qv] = v
+            ok = True
+            for e in query.edges:
+                if e.src in assignment and e.dst in assignment:
+                    if not graph.has_edge(assignment[e.src], assignment[e.dst], e.label):
+                        ok = False
+                        break
+            if ok:
+                backtrack(idx + 1, assignment)
+            del assignment[qv]
+
+    backtrack(0, {})
+    return count
+
+
+# --------------------------------------------------------------------------- #
+# fixtures
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """A small hand-built graph with known triangles and diamonds.
+
+    Edges: a 4-clique on {0,1,2,3} (acyclic orientation), a pendant path
+    4 -> 5, and a reciprocal pair 1 <-> 4.
+    """
+    b = GraphBuilder()
+    for i in range(4):
+        for j in range(i + 1, 4):
+            b.add_edge(i, j)
+    b.add_edge(4, 5)
+    b.add_edge(1, 4)
+    b.add_edge(4, 1)
+    return b.build(name="tiny")
+
+
+@pytest.fixture(scope="session")
+def labeled_graph() -> Graph:
+    """A small graph with 2 vertex labels and 2 edge labels."""
+    b = GraphBuilder()
+    b.add_vertex(0, 0)
+    b.add_vertex(1, 1)
+    b.add_vertex(2, 0)
+    b.add_vertex(3, 1)
+    b.add_vertex(4, 0)
+    b.add_edge(0, 1, 0)
+    b.add_edge(1, 2, 1)
+    b.add_edge(0, 2, 0)
+    b.add_edge(2, 3, 1)
+    b.add_edge(3, 4, 0)
+    b.add_edge(0, 3, 1)
+    b.add_edge(2, 4, 0)
+    return b.build(name="tiny-labeled")
+
+
+@pytest.fixture(scope="session")
+def random_graph() -> Graph:
+    """A 120-vertex Erdos-Renyi graph used for cross-checking plan results."""
+    return erdos_renyi(120, 900, seed=42, name="er-120")
+
+
+@pytest.fixture(scope="session")
+def social_graph() -> Graph:
+    """A clustered social-style graph with plenty of triangles."""
+    return clustered_social(250, avg_degree=8, clustering=0.4, seed=3, name="social-250")
+
+
+@pytest.fixture(scope="session")
+def clique_graph() -> Graph:
+    """Complete directed graph on 8 vertices (stress for clique queries)."""
+    return complete_graph(8)

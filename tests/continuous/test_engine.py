@@ -1,0 +1,220 @@
+"""Tests for incremental query maintenance (repro.continuous)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continuous import ContinuousQueryEngine
+from repro.continuous.engine import ContinuousQueryError
+from repro.errors import InvalidQueryError
+from repro.graph.builder import GraphBuilder, graph_from_edges
+from repro.graph.generators import erdos_renyi
+from repro.query import catalog_queries
+from repro.query.query_graph import QueryGraph
+from tests.conftest import brute_force_count
+
+
+def _rebuild_count(engine: ContinuousQueryEngine, query: QueryGraph) -> int:
+    """Recompute the count from scratch on the engine's current graph."""
+    return brute_force_count(engine.graph, query)
+
+
+class TestRegistration:
+    def test_initial_count_matches_brute_force(self, tiny_graph):
+        engine = ContinuousQueryEngine(tiny_graph)
+        total = engine.register("triangles", catalog_queries.q1())
+        assert total == brute_force_count(tiny_graph, catalog_queries.q1())
+        assert engine.current_count("triangles") == total
+
+    def test_duplicate_name_rejected(self, tiny_graph):
+        engine = ContinuousQueryEngine(tiny_graph)
+        engine.register("q", catalog_queries.q1())
+        with pytest.raises(ContinuousQueryError):
+            engine.register("q", catalog_queries.q2())
+
+    def test_deregister(self, tiny_graph):
+        engine = ContinuousQueryEngine(tiny_graph)
+        engine.register("q", catalog_queries.q1())
+        engine.deregister("q")
+        assert "q" not in engine.registered_queries
+        with pytest.raises(ContinuousQueryError):
+            engine.current_count("q")
+
+    def test_unknown_query_lookup_rejected(self, tiny_graph):
+        engine = ContinuousQueryEngine(tiny_graph)
+        with pytest.raises(ContinuousQueryError):
+            engine.current_count("missing")
+
+
+class TestInsertions:
+    def test_closing_a_triangle(self):
+        graph = graph_from_edges([(0, 1), (1, 2)])
+        engine = ContinuousQueryEngine(graph)
+        engine.register("triangles", catalog_queries.q1())
+        (result,) = engine.insert_edges([(0, 2)])
+        assert result.delta == 1
+        assert result.total == 1
+        assert engine.graph.num_edges == 3
+
+    def test_duplicate_insert_is_ignored(self):
+        graph = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        engine = ContinuousQueryEngine(graph)
+        engine.register("triangles", catalog_queries.q1())
+        (result,) = engine.insert_edges([(0, 2)])
+        assert result.delta == 0
+        assert engine.graph.num_edges == 3
+
+    def test_insert_creates_new_vertices(self):
+        graph = graph_from_edges([(0, 1)])
+        engine = ContinuousQueryEngine(graph)
+        engine.register("edges", QueryGraph([("a", "b")], name="edge"))
+        (result,) = engine.insert_edges([(5, 6)])
+        assert result.delta == 1
+        assert engine.graph.num_vertices >= 7
+
+    def test_batch_insert_counts_each_new_match_once(self):
+        # Insert two edges of a triangle at once; only one triangle appears.
+        graph = graph_from_edges([(0, 1)])
+        engine = ContinuousQueryEngine(graph)
+        engine.register("triangles", catalog_queries.q1())
+        (result,) = engine.insert_edges([(1, 2), (0, 2)])
+        assert result.delta == 1
+        assert result.total == brute_force_count(engine.graph, catalog_queries.q1())
+
+    def test_whole_query_inserted_in_one_batch(self):
+        graph = graph_from_edges([(10, 11)])  # unrelated edge
+        engine = ContinuousQueryEngine(graph)
+        engine.register("triangles", catalog_queries.q1())
+        (result,) = engine.insert_edges([(0, 1), (1, 2), (0, 2)])
+        assert result.delta == 1
+
+    def test_multiple_registered_queries_updated_together(self):
+        graph = graph_from_edges([(0, 1), (1, 2)])
+        engine = ContinuousQueryEngine(graph)
+        engine.register("triangles", catalog_queries.q1())
+        engine.register("paths", catalog_queries.path(3, "p3"))
+        results = {r.query_name: r for r in engine.insert_edges([(0, 2)])}
+        assert results["triangles"].delta == 1
+        assert results["paths"].total == brute_force_count(
+            engine.graph, catalog_queries.path(3, "p3")
+        )
+
+    def test_labeled_query_only_counts_matching_labels(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, 0)
+        builder.add_edge(1, 2, 0)
+        graph = builder.build()
+        query = QueryGraph([("a", "b", 0), ("b", "c", 0), ("a", "c", 1)], name="mixed")
+        engine = ContinuousQueryEngine(graph)
+        engine.register("mixed", query)
+        (wrong_label,) = engine.insert_edges([(0, 2, 0)])
+        assert wrong_label.delta == 0
+        (right_label,) = engine.insert_edges([(0, 2, 1)])
+        assert right_label.delta == 1
+
+
+class TestDeletions:
+    def test_deleting_breaks_triangle(self):
+        graph = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        engine = ContinuousQueryEngine(graph)
+        engine.register("triangles", catalog_queries.q1())
+        (result,) = engine.delete_edges([(1, 2)])
+        assert result.delta == -1
+        assert result.total == 0
+        assert engine.graph.num_edges == 2
+
+    def test_deleting_missing_edge_is_ignored(self):
+        graph = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        engine = ContinuousQueryEngine(graph)
+        engine.register("triangles", catalog_queries.q1())
+        (result,) = engine.delete_edges([(2, 0)])
+        assert result.delta == 0
+        assert engine.graph.num_edges == 3
+
+    def test_insert_then_delete_returns_to_original(self, random_graph):
+        engine = ContinuousQueryEngine(random_graph)
+        before = engine.register("triangles", catalog_queries.q1())
+        new_edges = [(0, 60), (60, 90), (0, 90)]
+        engine.insert_edges(new_edges)
+        engine.delete_edges(new_edges)
+        assert engine.current_count("triangles") == before
+
+
+class TestErrors:
+    def test_self_loop_rejected(self, tiny_graph):
+        engine = ContinuousQueryEngine(tiny_graph)
+        with pytest.raises(ContinuousQueryError):
+            engine.insert_edges([(3, 3)])
+
+    def test_bad_edge_tuple_rejected(self, tiny_graph):
+        engine = ContinuousQueryEngine(tiny_graph)
+        with pytest.raises(ContinuousQueryError):
+            engine.insert_edges([(1, 2, 3, 4)])
+
+    def test_disconnected_query_rejected(self, tiny_graph):
+        engine = ContinuousQueryEngine(tiny_graph)
+        disconnected = QueryGraph([("a", "b"), ("c", "d")], name="disc")
+        with pytest.raises(InvalidQueryError):
+            engine.register("disc", disconnected)
+
+
+class TestAgainstRecomputation:
+    @pytest.mark.parametrize(
+        "query_factory",
+        [catalog_queries.q1, catalog_queries.diamond_x, catalog_queries.q2],
+    )
+    def test_random_insertion_stream(self, query_factory):
+        rng = np.random.default_rng(7)
+        base = erdos_renyi(30, 90, seed=3, name="stream")
+        engine = ContinuousQueryEngine(base)
+        query = query_factory()
+        engine.register("q", query)
+        for _ in range(6):
+            batch = [
+                (int(rng.integers(0, 30)), int(rng.integers(0, 30)))
+                for _ in range(3)
+            ]
+            batch = [(s, d) for s, d in batch if s != d]
+            engine.insert_edges(batch)
+            assert engine.current_count("q") == _rebuild_count(engine, query)
+
+    def test_mixed_insert_delete_stream(self):
+        rng = np.random.default_rng(11)
+        base = erdos_renyi(25, 80, seed=5, name="mixed-stream")
+        engine = ContinuousQueryEngine(base)
+        query = catalog_queries.q1()
+        engine.register("q", query)
+        for step in range(8):
+            if step % 2 == 0:
+                batch = [
+                    (int(rng.integers(0, 25)), int(rng.integers(0, 25)))
+                    for _ in range(2)
+                ]
+                batch = [(s, d) for s, d in batch if s != d]
+                engine.insert_edges(batch)
+            else:
+                existing = list(
+                    zip(engine.graph.edge_src.tolist(), engine.graph.edge_dst.tolist())
+                )
+                picks = rng.choice(len(existing), size=min(2, len(existing)), replace=False)
+                engine.delete_edges([existing[i] for i in picks])
+            assert engine.current_count("q") == _rebuild_count(engine, query)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_single_insertions_always_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        base = erdos_renyi(20, 50, seed=seed % 1000, name="prop-stream")
+        engine = ContinuousQueryEngine(base)
+        query = catalog_queries.q1()
+        engine.register("q", query)
+        for _ in range(3):
+            src = int(rng.integers(0, 20))
+            dst = int(rng.integers(0, 20))
+            if src == dst:
+                continue
+            engine.insert_edges([(src, dst)])
+        assert engine.current_count("q") == _rebuild_count(engine, query)

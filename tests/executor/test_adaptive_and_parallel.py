@@ -1,0 +1,118 @@
+"""Tests for the adaptive executor and the morsel-parallel executor."""
+
+import pytest
+
+from repro.catalogue.construction import build_catalogue
+from repro.executor.adaptive import execute_adaptive
+from repro.executor.operators import ExecutionConfig
+from repro.executor.parallel import execute_parallel
+from repro.executor.pipeline import count_matches, execute_plan
+from repro.planner.plan import wco_plan_from_order
+from repro.planner.qvo import enumerate_wco_plans
+from repro.query import catalog_queries as cq
+
+from tests.conftest import brute_force_count
+
+
+class TestAdaptiveExecution:
+    def test_adaptive_counts_match_fixed(self, social_graph):
+        q = cq.diamond_x()
+        catalogue = build_catalogue(social_graph, z=100)
+        for plan in enumerate_wco_plans(q)[:6]:
+            fixed = execute_plan(plan, social_graph)
+            adaptive = execute_adaptive(plan, social_graph, catalogue=catalogue)
+            assert adaptive.num_matches == fixed.num_matches
+
+    def test_adaptive_counts_match_brute_force(self, tiny_graph):
+        q = cq.diamond_x()
+        plan = wco_plan_from_order(q, ("a1", "a2", "a3", "a4"))
+        adaptive = execute_adaptive(plan, tiny_graph)
+        assert adaptive.num_matches == brute_force_count(tiny_graph, q)
+
+    def test_adaptive_without_catalogue(self, social_graph):
+        q = cq.q2()
+        plan = wco_plan_from_order(q, ("a1", "a2", "a3", "a4"))
+        adaptive = execute_adaptive(plan, social_graph)
+        assert adaptive.num_matches == count_matches(plan, social_graph)
+
+    def test_adaptive_on_short_chain_falls_back(self, social_graph):
+        q = cq.triangle()  # only one E/I operator: nothing to adapt
+        plan = wco_plan_from_order(q, ("a1", "a2", "a3"))
+        adaptive = execute_adaptive(plan, social_graph)
+        assert adaptive.num_matches == count_matches(plan, social_graph)
+        assert not adaptive.plan.adaptive
+
+    def test_adaptive_collect_normalised_order(self, tiny_graph):
+        q = cq.diamond_x()
+        plan = wco_plan_from_order(q, ("a1", "a2", "a3", "a4"))
+        adaptive = execute_adaptive(plan, tiny_graph, collect=True)
+        for match in adaptive.matches_as_dicts():
+            assert tiny_graph.has_edge(match["a1"], match["a2"])
+            assert tiny_graph.has_edge(match["a2"], match["a4"])
+            assert tiny_graph.has_edge(match["a3"], match["a4"])
+
+    def test_adaptive_output_limit(self, social_graph):
+        q = cq.diamond_x()
+        plan = wco_plan_from_order(q, ("a1", "a2", "a3", "a4"))
+        adaptive = execute_adaptive(
+            plan, social_graph, config=ExecutionConfig(output_limit=10)
+        )
+        assert adaptive.num_matches == 10
+        assert adaptive.truncated
+
+    def test_adaptive_isomorphism_semantics(self, tiny_graph):
+        q = cq.q2()
+        plan = wco_plan_from_order(q, ("a1", "a2", "a3", "a4"))
+        adaptive = execute_adaptive(
+            plan, tiny_graph, config=ExecutionConfig(isomorphism=True)
+        )
+        assert adaptive.num_matches == brute_force_count(tiny_graph, q, isomorphism=True)
+
+    def test_adaptive_plan_flag_set(self, social_graph):
+        q = cq.diamond_x()
+        plan = wco_plan_from_order(q, ("a2", "a3", "a1", "a4"))
+        adaptive = execute_adaptive(plan, social_graph)
+        assert adaptive.plan.adaptive
+        assert "adaptive" in adaptive.plan.label
+
+
+class TestParallelExecution:
+    def test_parallel_counts_match_serial(self, social_graph):
+        q = cq.triangle()
+        plan = wco_plan_from_order(q, ("a1", "a2", "a3"))
+        serial = count_matches(plan, social_graph)
+        for workers in (1, 2, 4):
+            parallel = execute_parallel(plan, social_graph, num_workers=workers)
+            assert parallel.num_matches == serial
+
+    def test_parallel_diamond(self, random_graph):
+        q = cq.diamond_x()
+        plan = wco_plan_from_order(q, ("a1", "a2", "a3", "a4"))
+        serial = count_matches(plan, random_graph)
+        parallel = execute_parallel(plan, random_graph, num_workers=3, morsel_size=128)
+        assert parallel.num_matches == serial
+
+    def test_parallel_hybrid_plan(self, random_graph):
+        from repro.planner.plan import Plan, make_hash_join
+
+        q = cq.diamond_x()
+        left = wco_plan_from_order(q.project(["a1", "a2", "a3"]), ("a1", "a2", "a3"))
+        right = wco_plan_from_order(q.project(["a2", "a3", "a4"]), ("a2", "a3", "a4"))
+        hybrid = Plan(query=q, root=make_hash_join(q, left.root, right.root))
+        serial = count_matches(hybrid, random_graph)
+        parallel = execute_parallel(hybrid, random_graph, num_workers=2, morsel_size=200)
+        assert parallel.num_matches == serial
+
+    def test_work_based_speedup_positive(self, social_graph):
+        q = cq.triangle()
+        plan = wco_plan_from_order(q, ("a1", "a2", "a3"))
+        result = execute_parallel(plan, social_graph, num_workers=4, morsel_size=64)
+        assert result.work_based_speedup >= 1.0
+        assert result.num_workers == 4
+
+    def test_single_worker_path(self, social_graph):
+        q = cq.triangle()
+        plan = wco_plan_from_order(q, ("a1", "a2", "a3"))
+        result = execute_parallel(plan, social_graph, num_workers=1)
+        assert result.num_workers == 1
+        assert result.num_matches == count_matches(plan, social_graph)

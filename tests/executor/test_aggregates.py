@@ -1,0 +1,94 @@
+"""Tests for streaming aggregation (repro.executor.aggregates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.executor.aggregates import (
+    distinct_count,
+    group_count,
+    per_vertex_participation,
+    top_k_vertices,
+)
+from repro.executor.operators import ExecutionConfig
+from repro.executor.pipeline import execute_plan
+from repro.planner.plan import wco_plan_from_order
+from repro.query import catalog_queries
+
+
+@pytest.fixture(scope="module")
+def triangle_plan():
+    return wco_plan_from_order(catalog_queries.q1(), ("a1", "a2", "a3"))
+
+
+class TestGroupCount:
+    def test_group_totals_equal_match_count(self, random_graph, triangle_plan):
+        expected = execute_plan(triangle_plan, random_graph).num_matches
+        result = group_count(triangle_plan, random_graph, ["a1"])
+        assert result.total_matches == expected
+        assert sum(result.counts.values()) == expected
+
+    def test_grouping_by_all_vertices_gives_singleton_groups(self, random_graph, triangle_plan):
+        result = group_count(triangle_plan, random_graph, ["a1", "a2", "a3"])
+        assert all(count == 1 for count in result.counts.values())
+        assert result.num_groups == result.total_matches
+
+    def test_counts_match_collected_matches(self, random_graph, triangle_plan):
+        collected = execute_plan(triangle_plan, random_graph, collect=True)
+        manual = {}
+        for match in collected.matches:
+            manual[match[0]] = manual.get(match[0], 0) + 1
+        result = group_count(triangle_plan, random_graph, ["a1"])
+        assert {key[0]: value for key, value in result.counts.items()} == manual
+
+    def test_unknown_vertex_rejected(self, random_graph, triangle_plan):
+        with pytest.raises(PlanError):
+            group_count(triangle_plan, random_graph, ["zz"])
+
+    def test_empty_group_by_rejected(self, random_graph, triangle_plan):
+        with pytest.raises(PlanError):
+            group_count(triangle_plan, random_graph, [])
+
+    def test_output_limit_bounds_total(self, random_graph, triangle_plan):
+        result = group_count(
+            triangle_plan, random_graph, ["a1"], config=ExecutionConfig(output_limit=5)
+        )
+        assert result.total_matches <= 5
+
+    def test_top_and_count_for_helpers(self, random_graph, triangle_plan):
+        result = group_count(triangle_plan, random_graph, ["a1"])
+        top = result.top(3)
+        assert len(top) <= 3
+        if top:
+            best_key, best_count = top[0]
+            assert result.count_for(*best_key) == best_count
+            assert best_count == max(result.counts.values())
+        assert result.count_for(10**9) == 0
+
+
+class TestDerivedAggregates:
+    def test_distinct_count_le_groups_of_matches(self, random_graph, triangle_plan):
+        matches = execute_plan(triangle_plan, random_graph, collect=True).matches
+        expected = len({m[0] for m in matches})
+        assert distinct_count(triangle_plan, random_graph, ["a1"]) == expected
+
+    def test_top_k_vertices_sorted_descending(self, social_graph, triangle_plan):
+        ranking = top_k_vertices(triangle_plan, social_graph, "a1", k=5)
+        counts = [count for _, count in ranking]
+        assert counts == sorted(counts, reverse=True)
+        assert len(ranking) <= 5
+
+    def test_per_vertex_participation_consistency(self, random_graph, triangle_plan):
+        participation = per_vertex_participation(triangle_plan, random_graph)
+        matches = execute_plan(triangle_plan, random_graph, collect=True).matches
+        manual = {}
+        for match in matches:
+            for vertex in set(match):
+                manual[vertex] = manual.get(vertex, 0) + 1
+        assert participation == manual
+
+    def test_diamond_aggregation_on_clustered_graph(self, social_graph):
+        plan = wco_plan_from_order(catalog_queries.diamond_x(), ("a2", "a3", "a1", "a4"))
+        result = group_count(plan, social_graph, ["a2", "a3"])
+        assert sum(result.counts.values()) == execute_plan(plan, social_graph).num_matches

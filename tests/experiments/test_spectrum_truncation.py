@@ -1,0 +1,57 @@
+"""Tests for plan-spectrum truncation behaviour (repro.experiments.spectrum).
+
+The spectrum generator samples an exponentially large plan space; these tests
+pin down the properties the Figure 7/9 benchmarks rely on: truncation keeps
+plan-type diversity, and the optimizer's chosen plan is always present.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.spectrum import generate_spectrum
+from repro.graph.generators import erdos_renyi
+from repro.planner.plan import wco_plan_from_order
+from repro.query import catalog_queries as cq
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return erdos_renyi(60, 360, seed=2, name="spectrum-graph")
+
+
+class TestTruncation:
+    def test_truncation_respects_max_plans(self, small_graph):
+        spectrum = generate_spectrum(cq.diamond_x(), small_graph, max_plans=6)
+        assert len(spectrum.points) <= 6
+
+    def test_truncation_keeps_hybrid_plans(self, small_graph):
+        # Q8 has dozens of WCO orderings; a small spectrum must still sample
+        # hybrid plans or Figure 9's superset comparison is meaningless.
+        spectrum = generate_spectrum(cq.q8(), small_graph, max_plans=12)
+        types = {p.plan_type for p in spectrum.points}
+        assert "wco" in types
+        assert "hybrid" in types
+
+    def test_chosen_plan_always_included(self, small_graph):
+        query = cq.diamond_x()
+        chosen = wco_plan_from_order(query, ("a2", "a3", "a4", "a1"))
+        spectrum = generate_spectrum(
+            query, small_graph, chosen_plan=chosen, max_plans=3
+        )
+        assert spectrum.optimizer_choice is not None
+        assert spectrum.optimizer_choice.plan.signature() == chosen.signature()
+
+    def test_all_points_return_same_match_count(self, small_graph):
+        spectrum = generate_spectrum(cq.q8(), small_graph, max_plans=10)
+        counts = {p.num_matches for p in spectrum.points}
+        assert len(counts) == 1
+
+    def test_untruncated_spectrum_unchanged(self, small_graph):
+        query = cq.q1()
+        wide = generate_spectrum(query, small_graph, max_plans=500)
+        narrow = generate_spectrum(query, small_graph, max_plans=500)
+        assert len(wide.points) == len(narrow.points)
+        assert {p.plan.signature() for p in wide.points} == {
+            p.plan.signature() for p in narrow.points
+        }

@@ -1,0 +1,149 @@
+"""Tests for synthetic graph generators, labeling, statistics, and I/O."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph import generators, io, labeling, statistics
+from repro.graph.graph import Direction
+
+
+class TestGenerators:
+    def test_erdos_renyi_edge_count(self):
+        g = generators.erdos_renyi(100, 500, seed=1)
+        assert g.num_vertices == 100
+        assert g.num_edges == 500
+
+    def test_erdos_renyi_no_self_loops(self):
+        g = generators.erdos_renyi(50, 300, seed=2)
+        assert all(s != d for s, d, _ in g.iter_edges())
+
+    def test_erdos_renyi_deterministic(self):
+        g1 = generators.erdos_renyi(60, 200, seed=5)
+        g2 = generators.erdos_renyi(60, 200, seed=5)
+        assert list(g1.iter_edges()) == list(g2.iter_edges())
+
+    def test_power_law_is_skewed(self):
+        g = generators.power_law(400, 3000, seed=3)
+        degrees = g.degree_array(Direction.BACKWARD)
+        assert degrees.max() > 5 * max(degrees.mean(), 1)
+
+    def test_preferential_attachment_grows(self):
+        g = generators.preferential_attachment(200, edges_per_vertex=3, seed=4)
+        assert g.num_edges >= 3 * (200 - 4)
+
+    def test_clustered_social_has_triangles(self):
+        g = generators.clustered_social(200, avg_degree=8, clustering=0.5, seed=5)
+        assert statistics.count_triangles(g) > 0
+
+    def test_clustering_parameter_increases_triangles(self):
+        low = generators.clustered_social(200, avg_degree=8, clustering=0.05, seed=6)
+        high = generators.clustered_social(200, avg_degree=8, clustering=0.6, seed=6)
+        assert statistics.count_triangles(high) > statistics.count_triangles(low)
+
+    def test_web_graph_indegree_hubs(self):
+        g = generators.web_graph(300, avg_degree=8, hub_fraction=0.02, seed=7)
+        in_deg = g.degree_array(Direction.BACKWARD)
+        out_deg = g.degree_array(Direction.FORWARD)
+        assert in_deg.max() > out_deg.max()
+
+    def test_grid_with_chords(self):
+        g = generators.grid_with_chords(6, seed=8)
+        assert g.num_vertices == 36
+        assert g.num_edges >= 2 * 5 * 6
+
+    def test_complete_graph(self):
+        g = generators.complete_graph(5)
+        assert g.num_edges == 20
+        assert all(
+            g.has_edge(i, j) for i in range(5) for j in range(5) if i != j
+        )
+
+
+class TestLabeling:
+    def test_random_edge_labels_in_range(self, random_graph):
+        g = labeling.with_random_edge_labels(random_graph, 3, seed=1)
+        assert set(np.unique(g.edge_labels)).issubset({0, 1, 2})
+        assert g.num_edges == random_graph.num_edges
+
+    def test_single_label_collapses_to_zero(self, random_graph):
+        g = labeling.with_random_edge_labels(random_graph, 1)
+        assert set(np.unique(g.edge_labels)) == {0}
+
+    def test_random_vertex_labels(self, random_graph):
+        g = labeling.with_random_vertex_labels(random_graph, 4, seed=2)
+        assert set(np.unique(g.vertex_labels)).issubset({0, 1, 2, 3})
+
+    def test_with_random_labels_both(self, random_graph):
+        g = labeling.with_random_labels(random_graph, num_edge_labels=2, num_vertex_labels=3, seed=3)
+        assert len(np.unique(g.edge_labels)) <= 2
+        assert len(np.unique(g.vertex_labels)) <= 3
+
+    def test_labeling_is_deterministic(self, random_graph):
+        a = labeling.with_random_edge_labels(random_graph, 5, seed=10)
+        b = labeling.with_random_edge_labels(random_graph, 5, seed=10)
+        assert np.array_equal(a.edge_labels, b.edge_labels)
+
+
+class TestStatistics:
+    def test_degree_summary(self, tiny_graph):
+        summary = statistics.degree_summary(tiny_graph, Direction.FORWARD)
+        assert summary.maximum >= 1
+        assert summary.mean > 0
+
+    def test_reciprocity(self, tiny_graph):
+        # Only the 1<->4 pair is reciprocal: 2 of the 9 edges
+        # (6 clique edges + 4->5 + 1->4 + 4->1).
+        assert statistics.reciprocity(tiny_graph) == pytest.approx(2 / 9)
+
+    def test_count_triangles_tiny(self, tiny_graph):
+        # The acyclic 4-clique orientation contains C(4,3)=4 asymmetric triangles.
+        assert statistics.count_triangles(tiny_graph) == 4
+
+    def test_average_clustering_range(self, social_graph):
+        c = statistics.average_clustering(social_graph, sample_size=100, seed=1)
+        assert 0.0 <= c <= 1.0
+
+    def test_compute_statistics_bundle(self, social_graph):
+        stats = statistics.compute_statistics(social_graph, clustering_sample=50)
+        assert stats.num_vertices == social_graph.num_vertices
+        assert stats.num_edges == social_graph.num_edges
+        assert stats.out_degrees.mean > 0
+        assert stats.triangle_estimate >= 0
+
+
+class TestIO:
+    def test_save_and_load_roundtrip(self, tmp_path, labeled_graph):
+        path = os.path.join(tmp_path, "graph.txt")
+        io.save_edge_list(labeled_graph, path)
+        loaded = io.load_edge_list(path)
+        assert loaded.num_edges == labeled_graph.num_edges
+        assert sorted(l for _, _, l in loaded.iter_edges()) == sorted(
+            l for _, _, l in labeled_graph.iter_edges()
+        )
+
+    def test_vertex_label_file(self, tmp_path, labeled_graph):
+        edge_path = os.path.join(tmp_path, "graph.txt")
+        label_path = os.path.join(tmp_path, "labels.txt")
+        io.save_edge_list(labeled_graph, edge_path)
+        io.save_vertex_labels(labeled_graph, label_path)
+        loaded = io.load_edge_list(edge_path, vertex_label_path=label_path)
+        # Vertex ids are remapped in first-seen order but the multiset of
+        # labels must be preserved for vertices that appear in edges.
+        assert sorted(loaded.vertex_labels.tolist()) == sorted(
+            labeled_graph.vertex_labels.tolist()
+        )
+
+    def test_load_missing_file(self):
+        from repro.errors import GraphConstructionError
+
+        with pytest.raises(GraphConstructionError):
+            io.load_edge_list("/nonexistent/file.txt")
+
+    def test_load_skips_comments(self, tmp_path):
+        path = os.path.join(tmp_path, "g.txt")
+        with open(path, "w") as f:
+            f.write("# comment\n0 1\n1 2\n\n")
+        g = io.load_edge_list(path)
+        assert g.num_edges == 2

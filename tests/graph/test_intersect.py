@@ -1,0 +1,108 @@
+"""Unit and property-based tests for the sorted-intersection kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.intersect import (
+    contains_sorted,
+    intersect_multiway,
+    intersect_sorted,
+    intersect_sorted_python,
+    is_sorted_unique,
+)
+
+
+sorted_unique_arrays = st.lists(
+    st.integers(min_value=0, max_value=300), max_size=60
+).map(lambda xs: np.array(sorted(set(xs)), dtype=np.int64))
+
+
+class TestIntersectSorted:
+    def test_basic(self):
+        a = np.array([1, 3, 5, 7])
+        b = np.array([3, 4, 5, 8])
+        assert list(intersect_sorted(a, b)) == [3, 5]
+
+    def test_empty_inputs(self):
+        a = np.array([], dtype=np.int64)
+        b = np.array([1, 2, 3])
+        assert len(intersect_sorted(a, b)) == 0
+        assert len(intersect_sorted(b, a)) == 0
+
+    def test_disjoint(self):
+        assert len(intersect_sorted(np.array([1, 2]), np.array([3, 4]))) == 0
+
+    def test_identical(self):
+        a = np.array([2, 4, 6])
+        assert list(intersect_sorted(a, a)) == [2, 4, 6]
+
+    @given(sorted_unique_arrays, sorted_unique_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_python_reference(self, a, b):
+        expected = intersect_sorted_python(a.tolist(), b.tolist())
+        got = intersect_sorted(a, b)
+        assert list(got) == expected
+
+    @given(sorted_unique_arrays, sorted_unique_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_result_is_sorted_unique_subset(self, a, b):
+        got = intersect_sorted(a, b)
+        assert is_sorted_unique(got)
+        assert set(got).issubset(set(a.tolist()))
+        assert set(got).issubset(set(b.tolist()))
+
+
+class TestIntersectMultiway:
+    def test_empty_list_of_lists(self):
+        assert len(intersect_multiway([])) == 0
+
+    def test_single_list(self):
+        a = np.array([1, 2, 3])
+        assert list(intersect_multiway([a])) == [1, 2, 3]
+
+    def test_three_way(self):
+        a = np.array([1, 2, 3, 4, 5])
+        b = np.array([2, 3, 4, 9])
+        c = np.array([0, 3, 4])
+        assert list(intersect_multiway([a, b, c])) == [3, 4]
+
+    def test_any_empty_kills_result(self):
+        a = np.array([1, 2, 3])
+        b = np.array([], dtype=np.int64)
+        assert len(intersect_multiway([a, b])) == 0
+
+    @given(st.lists(sorted_unique_arrays, min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_equals_set_intersection(self, lists):
+        expected = set(lists[0].tolist())
+        for other in lists[1:]:
+            expected &= set(other.tolist())
+        got = intersect_multiway(lists)
+        assert set(got.tolist()) == expected
+        assert is_sorted_unique(got)
+
+    @given(st.lists(sorted_unique_arrays, min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_order_invariant(self, lists):
+        forward = intersect_multiway(lists)
+        backward = intersect_multiway(list(reversed(lists)))
+        assert list(forward) == list(backward)
+
+
+class TestHelpers:
+    def test_is_sorted_unique(self):
+        assert is_sorted_unique(np.array([], dtype=np.int64))
+        assert is_sorted_unique(np.array([5]))
+        assert is_sorted_unique(np.array([1, 2, 9]))
+        assert not is_sorted_unique(np.array([1, 1, 2]))
+        assert not is_sorted_unique(np.array([3, 2]))
+
+    def test_contains_sorted(self):
+        a = np.array([1, 4, 7, 9])
+        assert contains_sorted(a, 4)
+        assert not contains_sorted(a, 5)
+        assert not contains_sorted(np.array([], dtype=np.int64), 3)
+        assert contains_sorted(a, 9)
+        assert not contains_sorted(a, 10)

@@ -1,0 +1,98 @@
+"""Tests for named label schemas (repro.graph.schema)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph.schema import GraphSchema
+
+
+class TestRegistration:
+    def test_ids_are_assigned_in_order(self):
+        schema = GraphSchema()
+        assert schema.add_vertex_label("Person") == 0
+        assert schema.add_vertex_label("Account") == 1
+        assert schema.add_edge_label("FOLLOWS") == 0
+        assert schema.add_edge_label("PAYS") == 1
+
+    def test_re_adding_same_name_is_idempotent(self):
+        schema = GraphSchema()
+        assert schema.add_vertex_label("Person") == 0
+        assert schema.add_vertex_label("Person") == 0
+        assert len(schema.vertex_labels) == 1
+
+    def test_explicit_ids_respected(self):
+        schema = GraphSchema()
+        assert schema.add_vertex_label("Person", 7) == 7
+        assert schema.vertex_label_name(7) == "Person"
+
+    def test_conflicting_remap_rejected(self):
+        schema = GraphSchema()
+        schema.add_vertex_label("Person", 1)
+        with pytest.raises(GraphConstructionError):
+            schema.add_vertex_label("Person", 2)
+
+    def test_duplicate_id_rejected(self):
+        schema = GraphSchema()
+        schema.add_edge_label("FOLLOWS", 0)
+        with pytest.raises(GraphConstructionError):
+            schema.add_edge_label("PAYS", 0)
+
+    def test_vertex_and_edge_spaces_are_independent(self):
+        schema = GraphSchema()
+        assert schema.add_vertex_label("X") == 0
+        assert schema.add_edge_label("X") == 0
+        assert schema.vertex_label_id("X") == 0
+        assert schema.edge_label_id("X") == 0
+
+
+class TestLookups:
+    def test_unknown_name_raises(self):
+        schema = GraphSchema()
+        with pytest.raises(KeyError):
+            schema.vertex_label_id("Nope")
+        with pytest.raises(KeyError):
+            schema.edge_label_name(3)
+
+    def test_create_on_lookup(self):
+        schema = GraphSchema()
+        assert schema.vertex_label_id("Person", create=True) == 0
+        assert schema.vertex_label_id("Person") == 0
+
+    def test_resolve_numeric_token_bypasses_schema(self):
+        schema = GraphSchema()
+        assert schema.resolve_vertex_label("3") == 3
+        assert schema.resolve_edge_label("0") == 0
+        assert len(schema.vertex_labels) == 0
+
+    def test_resolve_none_is_wildcard(self):
+        schema = GraphSchema()
+        assert schema.resolve_vertex_label(None) is None
+        assert schema.resolve_edge_label(None) is None
+
+
+class TestPersistence:
+    def test_dict_round_trip(self):
+        schema = GraphSchema.from_names(["Person", "Account"], ["FOLLOWS", "PAYS"])
+        rebuilt = GraphSchema.from_dict(schema.to_dict())
+        assert rebuilt.vertex_label_id("Account") == schema.vertex_label_id("Account")
+        assert rebuilt.edge_label_name(1) == "PAYS"
+
+    def test_json_round_trip(self):
+        schema = GraphSchema.from_names(["A"], ["x", "y"])
+        rebuilt = GraphSchema.from_json(schema.to_json())
+        assert rebuilt.edge_label_id("y") == 1
+
+    def test_file_round_trip(self, tmp_path):
+        schema = GraphSchema.from_names(["Person"], ["FOLLOWS"])
+        path = tmp_path / "schema.json"
+        schema.save(str(path))
+        rebuilt = GraphSchema.load(str(path))
+        assert rebuilt.vertex_label_name(0) == "Person"
+        assert rebuilt.edge_label_name(0) == "FOLLOWS"
+
+    def test_repr_lists_names(self):
+        schema = GraphSchema.from_names(["Person"], ["FOLLOWS"])
+        assert "Person" in repr(schema)
+        assert "FOLLOWS" in repr(schema)

@@ -1,0 +1,121 @@
+"""Tests for the triangle index (repro.graph.triangle_index) and its
+integration with the EXTEND/INTERSECT operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.executor.operators import ExecutionConfig
+from repro.executor.pipeline import execute_plan
+from repro.graph.graph import Direction
+from repro.graph.intersect import intersect_sorted, is_sorted_unique
+from repro.graph.triangle_index import ALL_PAIRS, DEFAULT_PAIRS, TriangleIndex
+from repro.planner.plan import wco_plan_from_order
+from repro.planner.qvo import enumerate_orderings
+from repro.query import catalog_queries
+
+
+@pytest.fixture(scope="module")
+def index(request):
+    graph = request.getfixturevalue("random_graph")
+    return TriangleIndex.build(graph, pairs=ALL_PAIRS)
+
+
+class TestConstruction:
+    def test_every_edge_is_indexed(self, random_graph, index):
+        assert index.num_indexed_edges == len(set(zip(
+            random_graph.edge_src.tolist(), random_graph.edge_dst.tolist()
+        )))
+
+    def test_entries_match_direct_intersections(self, random_graph, index):
+        for u, v in list(zip(random_graph.edge_src, random_graph.edge_dst))[:50]:
+            u, v = int(u), int(v)
+            expected = intersect_sorted(
+                random_graph.neighbors(u, Direction.FORWARD),
+                random_graph.neighbors(v, Direction.FORWARD),
+            )
+            stored = index.lookup(u, v, Direction.FORWARD, Direction.FORWARD)
+            assert stored is not None
+            assert np.array_equal(stored, expected)
+
+    def test_entries_are_sorted_unique(self, index):
+        for entry in list(index.entries.values())[:200]:
+            assert is_sorted_unique(entry)
+
+    def test_default_pairs_only_forward_forward(self, random_graph):
+        small = TriangleIndex.build(random_graph, pairs=DEFAULT_PAIRS)
+        assert small.covers(Direction.FORWARD, Direction.FORWARD)
+        assert not small.covers(Direction.BACKWARD, Direction.BACKWARD)
+        assert small.num_entries <= small.num_indexed_edges
+
+    def test_statistics_are_consistent(self, index):
+        assert index.total_triangles() == sum(len(e) for e in index.entries.values())
+        assert index.memory_estimate_bytes() >= 8 * index.total_triangles()
+        assert "TriangleIndex" in repr(index)
+
+
+class TestLookups:
+    def test_lookup_reversed_orientation(self, random_graph, index):
+        u = int(random_graph.edge_src[0])
+        v = int(random_graph.edge_dst[0])
+        direct = index.lookup(u, v, Direction.FORWARD, Direction.BACKWARD)
+        swapped = index.lookup(v, u, Direction.BACKWARD, Direction.FORWARD)
+        assert direct is not None and swapped is not None
+        assert np.array_equal(direct, swapped)
+
+    def test_lookup_non_edge_returns_none(self, random_graph, index):
+        # Find a vertex pair with no edge in either direction.
+        edges = set(zip(random_graph.edge_src.tolist(), random_graph.edge_dst.tolist()))
+        for a in range(random_graph.num_vertices):
+            for b in range(a + 1, random_graph.num_vertices):
+                if (a, b) not in edges and (b, a) not in edges:
+                    assert index.lookup(a, b, Direction.FORWARD, Direction.FORWARD) is None
+                    return
+        pytest.skip("graph is complete; no non-edge exists")
+
+
+class TestExecutorIntegration:
+    @pytest.mark.parametrize(
+        "query_factory",
+        [catalog_queries.q1, catalog_queries.directed_3cycle, catalog_queries.diamond_x],
+    )
+    def test_counts_unchanged_with_index(self, random_graph, index, query_factory):
+        query = query_factory()
+        ordering = enumerate_orderings(query)[0]
+        plan = wco_plan_from_order(query, ordering)
+        baseline = execute_plan(plan, random_graph).num_matches
+        indexed = execute_plan(
+            plan, random_graph, config=ExecutionConfig(triangle_index=index)
+        )
+        assert indexed.num_matches == baseline
+
+    def test_index_hits_recorded_and_icost_reduced(self, random_graph, index):
+        query = catalog_queries.q1()
+        plan = wco_plan_from_order(query, ("a1", "a2", "a3"))
+        baseline = execute_plan(plan, random_graph, config=ExecutionConfig())
+        indexed = execute_plan(
+            plan, random_graph, config=ExecutionConfig(triangle_index=index)
+        )
+        assert indexed.profile.index_hits > 0
+        assert indexed.profile.intersection_cost < baseline.profile.intersection_cost
+
+    def test_labeled_extension_falls_back_to_intersection(self, random_graph, index):
+        query = catalog_queries.q1().with_random_edge_labels(1, seed=0)
+        plan = wco_plan_from_order(query, ("a1", "a2", "a3"))
+        result = execute_plan(
+            plan, random_graph, config=ExecutionConfig(triangle_index=index)
+        )
+        # Edge labels on the query disqualify the (label-oblivious) index.
+        assert result.profile.index_hits == 0
+
+    def test_adaptive_execution_still_correct_with_index(self, random_graph, index):
+        from repro.executor.adaptive import execute_adaptive
+
+        query = catalog_queries.diamond_x()
+        plan = wco_plan_from_order(query, ("a2", "a3", "a1", "a4"))
+        baseline = execute_plan(plan, random_graph).num_matches
+        adaptive = execute_adaptive(
+            plan, random_graph, config=ExecutionConfig(triangle_index=index)
+        )
+        assert adaptive.num_matches == baseline

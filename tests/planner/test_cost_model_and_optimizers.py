@@ -1,0 +1,189 @@
+"""Tests for the cost model, the DP optimizer, and the full-enumeration
+optimizer: plan validity, correctness of the chosen plans, and the qualitative
+properties the paper claims (cache-consciousness, hybrid plans for multi-cycle
+queries, i-cost ranking plans consistently with runtimes)."""
+
+import pytest
+
+from repro.catalogue.construction import build_catalogue
+from repro.executor.pipeline import count_matches, execute_plan
+from repro.planner.cost_model import CostModel, calibrate_hash_join_weights
+from repro.planner.dp_optimizer import DynamicProgrammingOptimizer
+from repro.planner.full_enumeration import FullEnumerationOptimizer, PlanSpaceEnumerator
+from repro.planner.plan import wco_plan_from_order
+from repro.planner.qvo import enumerate_wco_plans
+from repro.query import catalog_queries as cq
+
+from tests.conftest import brute_force_count
+
+
+@pytest.fixture(scope="module")
+def social_cost_model(request):
+    social_graph = request.getfixturevalue("social_graph")
+    catalogue = build_catalogue(social_graph, z=300)
+    return CostModel(social_graph, catalogue)
+
+
+class TestCostModel:
+    def test_plan_cost_positive(self, social_cost_model):
+        plan = wco_plan_from_order(cq.triangle(), ("a1", "a2", "a3"))
+        assert social_cost_model.plan_cost(plan) > 0
+
+    def test_cost_breakdown_sums(self, social_cost_model):
+        plan = wco_plan_from_order(cq.diamond_x(), ("a1", "a2", "a3", "a4"))
+        breakdown = social_cost_model.cost_breakdown(plan)
+        assert breakdown.total == pytest.approx(sum(c for _, c in breakdown.per_operator))
+        assert len(breakdown.per_operator) == 3
+
+    def test_cache_conscious_cheaper_for_cacheable_ordering(self, social_graph):
+        catalogue = build_catalogue(social_graph, z=300)
+        conscious = CostModel(social_graph, catalogue, cache_conscious=True)
+        oblivious = CostModel(social_graph, catalogue, cache_conscious=False)
+        q = cq.symmetric_diamond_x()
+        cacheable = wco_plan_from_order(q, ("a2", "a3", "a1", "a4"))
+        assert conscious.plan_cost(cacheable) <= oblivious.plan_cost(cacheable)
+
+    def test_cache_conscious_prefers_cacheable_ordering(self, social_graph):
+        catalogue = build_catalogue(social_graph, z=300)
+        conscious = CostModel(social_graph, catalogue, cache_conscious=True)
+        q = cq.symmetric_diamond_x()
+        cacheable = wco_plan_from_order(q, ("a2", "a3", "a1", "a4"))
+        oblivious_order = wco_plan_from_order(q, ("a1", "a2", "a3", "a4"))
+        assert conscious.plan_cost(cacheable) <= conscious.plan_cost(oblivious_order)
+
+    def test_icost_ranks_plans_like_runtime(self, social_graph):
+        """The key property of Section 3.3: estimated i-cost orders the plans
+        of the tailed-triangle query consistently with their actual i-cost."""
+        catalogue = build_catalogue(social_graph, z=300)
+        model = CostModel(social_graph, catalogue, cache_conscious=False)
+        q = cq.tailed_triangle()
+        plans = enumerate_wco_plans(q)
+        estimated = [model.plan_cost(p) for p in plans]
+        actual = [
+            execute_plan(p, social_graph).profile.intersection_cost for p in plans
+        ]
+        # The plan with the lowest estimated cost must be among the cheaper
+        # half by actual i-cost.
+        best_est = actual[estimated.index(min(estimated))]
+        assert best_est <= sorted(actual)[len(actual) // 2]
+
+    def test_calibrate_hash_join_weights(self, social_graph):
+        catalogue = build_catalogue(social_graph, z=100)
+        w1, w2 = calibrate_hash_join_weights(social_graph, catalogue)
+        assert w1 > 0 and w2 > 0
+
+    def test_cardinality_cached(self, social_cost_model):
+        q = cq.triangle()
+        first = social_cost_model.cardinality(q)
+        second = social_cost_model.cardinality(q)
+        assert first == second
+
+
+class TestDPOptimizer:
+    @pytest.mark.parametrize("query_name", ["Q1", "Q2", "Q3", "Q4", "Q5", "Q8", "Q11"])
+    def test_chosen_plan_is_correct(self, social_graph, social_cost_model, query_name):
+        query = cq.get(query_name)
+        optimizer = DynamicProgrammingOptimizer(social_cost_model)
+        plan = optimizer.optimize(query)
+        reference = wco_plan_from_order(
+            query, enumerate_wco_plans(query)[0].qvo()
+        )
+        assert count_matches(plan, social_graph) == count_matches(reference, social_graph)
+
+    def test_chosen_plan_correct_vs_brute_force(self, tiny_graph):
+        catalogue = build_catalogue(tiny_graph, z=20)
+        optimizer = DynamicProgrammingOptimizer(CostModel(tiny_graph, catalogue))
+        for query in (cq.triangle(), cq.diamond_x(), cq.q2()):
+            plan = optimizer.optimize(query)
+            assert count_matches(plan, tiny_graph) == brute_force_count(tiny_graph, query)
+
+    def test_estimated_cost_attached(self, social_cost_model):
+        plan = DynamicProgrammingOptimizer(social_cost_model).optimize(cq.q3())
+        assert plan.estimated_cost > 0
+        assert plan.label == "dp-optimizer"
+
+    def test_clique_gets_wco_plan(self, social_cost_model):
+        """Clique-like densely cyclic queries should be evaluated with WCO
+        plans (Section 8.2)."""
+        plan = DynamicProgrammingOptimizer(social_cost_model).optimize(cq.q5())
+        assert plan.is_wco
+
+    def test_q8_gets_hybrid_or_wco_plan(self, social_cost_model):
+        plan = DynamicProgrammingOptimizer(social_cost_model).optimize(cq.q8())
+        assert plan.plan_type in ("hybrid", "wco")
+
+    def test_binary_joins_can_be_disabled(self, social_cost_model):
+        optimizer = DynamicProgrammingOptimizer(social_cost_model, enable_binary_joins=False)
+        plan = optimizer.optimize(cq.q8())
+        assert plan.is_wco
+
+    def test_disconnected_query_rejected(self, social_cost_model):
+        from repro.errors import OptimizerError
+        from repro.query.query_graph import QueryGraph
+
+        disconnected = QueryGraph([("a1", "a2"), ("a3", "a4")])
+        with pytest.raises(OptimizerError):
+            DynamicProgrammingOptimizer(social_cost_model).optimize(disconnected)
+
+    def test_large_query_beam_mode(self, social_cost_model):
+        """Queries above the threshold use the pruned enumeration of
+        Section 4.4 and still produce a valid plan."""
+        optimizer = DynamicProgrammingOptimizer(
+            social_cost_model, large_query_threshold=4, beam_width=3
+        )
+        plan = optimizer.optimize(cq.q8())
+        assert set(plan.root.out_vertices) == set(cq.q8().vertices)
+
+    def test_two_vertex_query(self, social_cost_model):
+        from repro.query.query_graph import QueryGraph
+
+        q = QueryGraph([("a1", "a2")])
+        plan = DynamicProgrammingOptimizer(social_cost_model).optimize(q)
+        assert plan.root.out_vertices == ("a1", "a2")
+
+    def test_q9_plan_mixes_joins_and_intersections(self, social_cost_model):
+        """Figure 10: Q9's plan joins two triangles and closes the bridge with
+        intersections — the optimizer must at least produce a valid plan whose
+        type is hybrid or WCO (never BJ-only, which cannot close triangles)."""
+        plan = DynamicProgrammingOptimizer(social_cost_model).optimize(cq.q9())
+        assert plan.plan_type in ("hybrid", "wco")
+
+
+class TestFullEnumeration:
+    def test_enumerator_contains_all_wco_plans(self):
+        q = cq.diamond_x()
+        enumerator = PlanSpaceEnumerator(q)
+        signatures = {p.signature() for p in enumerator.all_plans()}
+        for plan in enumerate_wco_plans(q):
+            assert plan.signature() in signatures
+
+    def test_enumerator_contains_hybrid_plans(self):
+        q = cq.diamond_x()
+        plans = PlanSpaceEnumerator(q).all_plans()
+        assert any(p.plan_type == "hybrid" for p in plans)
+
+    def test_triangle_has_no_bj_plan(self):
+        """The projection constraint excludes open-triangle BJ plans."""
+        plans = PlanSpaceEnumerator(cq.triangle()).all_plans()
+        assert all(not p.is_binary_join_only for p in plans)
+
+    def test_4cycle_has_bj_plan(self):
+        plans = PlanSpaceEnumerator(cq.q2()).all_plans()
+        assert any(p.is_binary_join_only for p in plans)
+
+    def test_full_enumeration_agrees_with_dp(self, social_cost_model, social_graph):
+        """Section 4.3: the DP optimizer returned the same plan as the full
+        enumeration in all the paper's experiments; verify cost parity here."""
+        for query in (cq.triangle(), cq.q2(), cq.diamond_x()):
+            dp_plan = DynamicProgrammingOptimizer(social_cost_model).optimize(query)
+            full_plan = FullEnumerationOptimizer(social_cost_model).optimize(query)
+            assert full_plan.estimated_cost <= dp_plan.estimated_cost * 1.001
+            assert count_matches(dp_plan, social_graph) == count_matches(
+                full_plan, social_graph
+            )
+
+    def test_all_enumerated_plans_agree_on_counts(self, random_graph):
+        q = cq.q2()
+        plans = PlanSpaceEnumerator(q).all_plans()
+        counts = {count_matches(p, random_graph) for p in plans[:30]}
+        assert len(counts) == 1

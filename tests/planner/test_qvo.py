@@ -1,0 +1,92 @@
+"""Tests for query-vertex-ordering enumeration."""
+
+import pytest
+
+from repro.planner.qvo import (
+    degree_heuristic_ordering,
+    enumerate_orderings,
+    enumerate_wco_plans,
+    lexicographic_ordering,
+)
+from repro.query import catalog_queries as cq
+
+
+class TestEnumerateOrderings:
+    def test_triangle_has_six_orderings(self):
+        assert len(enumerate_orderings(cq.triangle())) == 6
+
+    def test_connected_prefix_invariant(self):
+        q = cq.q8()
+        for ordering in enumerate_orderings(q):
+            for k in range(2, len(ordering)):
+                assert q.connected_projection_exists(ordering[:k]), ordering
+
+    def test_first_two_vertices_share_edge(self):
+        q = cq.q11()
+        for ordering in enumerate_orderings(q):
+            assert q.edges_between(ordering[0], ordering[1])
+
+    def test_every_ordering_is_permutation(self):
+        q = cq.diamond_x()
+        for ordering in enumerate_orderings(q):
+            assert sorted(ordering) == sorted(q.vertices)
+
+    def test_prefix_restriction(self):
+        q = cq.diamond_x()
+        orderings = enumerate_orderings(q, prefix=("a2", "a3"))
+        assert orderings
+        assert all(o[:2] == ("a2", "a3") for o in orderings)
+
+    def test_prefix_without_edge_returns_nothing(self):
+        q = cq.diamond_x()
+        assert enumerate_orderings(q, prefix=("a1", "a4")) == []
+
+    def test_limit(self):
+        q = cq.q5()
+        assert len(enumerate_orderings(q, limit=3)) == 3
+
+    def test_clique_ordering_count(self):
+        # For the 4-clique every permutation is valid: 4! = 24.
+        assert len(enumerate_orderings(cq.q5())) == 24
+
+    def test_acyclic_query_orderings(self):
+        q = cq.q11()
+        orderings = enumerate_orderings(q)
+        assert len(orderings) > 0
+        assert all(len(o) == 5 for o in orderings)
+
+
+class TestWcoPlans:
+    def test_plans_match_ordering_count(self):
+        q = cq.diamond_x()
+        assert len(enumerate_wco_plans(q)) == len(enumerate_orderings(q))
+
+    def test_dedup_by_automorphism(self):
+        q = cq.symmetric_diamond_x()
+        all_plans = enumerate_wco_plans(q)
+        deduped = enumerate_wco_plans(q, deduplicate_automorphisms=True)
+        assert len(deduped) < len(all_plans)
+
+    def test_plans_are_wco(self):
+        for plan in enumerate_wco_plans(cq.q2()):
+            assert plan.is_wco
+            assert plan.num_hash_joins == 0
+
+
+class TestHeuristicOrderings:
+    def test_lexicographic_is_valid(self):
+        q = cq.q8()
+        ordering = lexicographic_ordering(q)
+        assert sorted(ordering) == sorted(q.vertices)
+        assert ordering in enumerate_orderings(q)
+
+    def test_degree_heuristic_is_valid(self):
+        q = cq.q10()
+        ordering = degree_heuristic_ordering(q)
+        assert sorted(ordering) == sorted(q.vertices)
+
+    def test_degree_heuristic_starts_with_dense_vertex(self):
+        q = cq.q10()
+        ordering = degree_heuristic_ordering(q)
+        # a4 is the highest-degree vertex in Q10; it should appear early.
+        assert "a4" in ordering[:2]

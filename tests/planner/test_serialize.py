@@ -1,0 +1,176 @@
+"""Tests for plan/query serialization (repro.planner.serialize)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.executor.pipeline import execute_plan
+from repro.planner.plan import Plan, make_hash_join, make_scan, wco_plan_from_order
+from repro.planner.qvo import enumerate_orderings
+from repro.planner.serialize import (
+    FORMAT_VERSION,
+    load_plan,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_dot,
+    plan_to_json,
+    plans_equal,
+    query_from_dict,
+    query_to_dict,
+    save_plan,
+)
+from repro.query import catalog_queries
+from repro.query.query_graph import QueryGraph
+
+
+def _hybrid_plan() -> Plan:
+    """A small hybrid plan: scan two edges of the diamond-X and join them,
+    then the remaining structure is still covered because the sub-query
+    projection keeps every induced edge."""
+    query = catalog_queries.diamond_x()
+    left = wco_plan_from_order(
+        query.project(["a1", "a2", "a3"]), ("a1", "a2", "a3")
+    ).root
+    right = wco_plan_from_order(
+        query.project(["a2", "a3", "a4"]), ("a2", "a3", "a4")
+    ).root
+    join = make_hash_join(query, left, right)
+    return Plan(query=query, root=join, label="test-hybrid")
+
+
+class TestQueryRoundTrip:
+    def test_simple_round_trip(self):
+        query = catalog_queries.diamond_x()
+        rebuilt = query_from_dict(query_to_dict(query))
+        assert rebuilt == query
+        assert rebuilt.name == query.name
+
+    def test_labeled_round_trip(self):
+        query = catalog_queries.diamond_x().with_random_edge_labels(3, seed=7)
+        rebuilt = query_from_dict(query_to_dict(query))
+        assert rebuilt.edge_key_set() == query.edge_key_set()
+
+    def test_vertex_labels_preserved(self):
+        query = QueryGraph(
+            [("a", "b"), ("b", "c")], vertex_labels={"a": 1, "c": 2}, name="labeled-path"
+        )
+        rebuilt = query_from_dict(query_to_dict(query))
+        assert rebuilt.vertex_label("a") == 1
+        assert rebuilt.vertex_label("b") is None
+        assert rebuilt.vertex_label("c") == 2
+
+
+class TestPlanRoundTrip:
+    def test_wco_plan_round_trip(self):
+        query = catalog_queries.diamond_x()
+        plan = wco_plan_from_order(query, ("a2", "a3", "a1", "a4"))
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert plans_equal(plan, rebuilt)
+
+    def test_hybrid_plan_round_trip(self):
+        plan = _hybrid_plan()
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert plans_equal(plan, rebuilt)
+        assert rebuilt.num_hash_joins == 1
+
+    def test_json_round_trip_is_valid_json(self):
+        plan = _hybrid_plan()
+        text = plan_to_json(plan)
+        parsed = json.loads(text)
+        assert parsed["format_version"] == FORMAT_VERSION
+        rebuilt = plan_from_json(text)
+        assert plans_equal(plan, rebuilt)
+
+    def test_metadata_preserved(self):
+        query = catalog_queries.asymmetric_triangle()
+        plan = wco_plan_from_order(query, ("a1", "a2", "a3"))
+        plan.estimated_cost = 123.5
+        plan.estimated_cardinality = 42.0
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert rebuilt.estimated_cost == pytest.approx(123.5)
+        assert rebuilt.estimated_cardinality == pytest.approx(42.0)
+        assert rebuilt.label == plan.label
+
+    def test_nan_cost_becomes_nan_again(self):
+        query = catalog_queries.asymmetric_triangle()
+        plan = wco_plan_from_order(query, ("a1", "a2", "a3"))
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert rebuilt.estimated_cost != rebuilt.estimated_cost  # NaN
+
+    def test_unknown_version_rejected(self):
+        plan = wco_plan_from_order(
+            catalog_queries.asymmetric_triangle(), ("a1", "a2", "a3")
+        )
+        data = plan_to_dict(plan)
+        data["format_version"] = 999
+        with pytest.raises(PlanError):
+            plan_from_dict(data)
+
+    def test_unknown_node_type_rejected(self):
+        plan = wco_plan_from_order(
+            catalog_queries.asymmetric_triangle(), ("a1", "a2", "a3")
+        )
+        data = plan_to_dict(plan)
+        data["root"]["type"] = "mystery"
+        with pytest.raises(PlanError):
+            plan_from_dict(data)
+
+    def test_file_round_trip(self, tmp_path):
+        plan = _hybrid_plan()
+        path = tmp_path / "plan.json"
+        save_plan(plan, str(path))
+        rebuilt = load_plan(str(path))
+        assert plans_equal(plan, rebuilt)
+
+    def test_rebuilt_plan_executes_identically(self, random_graph):
+        query = catalog_queries.diamond_x()
+        plan = wco_plan_from_order(query, ("a1", "a2", "a3", "a4"))
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        original = execute_plan(plan, random_graph).num_matches
+        replayed = execute_plan(rebuilt, random_graph).num_matches
+        assert original == replayed
+
+
+class TestDotRendering:
+    def test_dot_contains_every_operator(self):
+        plan = _hybrid_plan()
+        dot = plan_to_dot(plan)
+        assert dot.startswith("digraph")
+        assert dot.count("SCAN") == 2
+        assert "HASH-JOIN" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_edge_count_matches_tree(self):
+        query = catalog_queries.diamond_x()
+        plan = wco_plan_from_order(query, ("a1", "a2", "a3", "a4"))
+        dot = plan_to_dot(plan)
+        # A chain of 3 operators has 2 parent-child edges.
+        edge_lines = [
+            line for line in dot.splitlines() if "->" in line and "label" not in line
+        ]
+        assert len(edge_lines) == 2
+
+
+class TestPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_every_diamond_ordering_round_trips(self, seed):
+        query = catalog_queries.diamond_x()
+        orderings = enumerate_orderings(query)
+        ordering = orderings[seed % len(orderings)]
+        plan = wco_plan_from_order(query, ordering)
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert plans_equal(plan, rebuilt)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.sampled_from(["Q1", "Q3", "Q5", "Q8", "Q11"]))
+    def test_catalog_queries_round_trip(self, name):
+        query = catalog_queries.get(name)
+        rebuilt = query_from_dict(query_to_dict(query))
+        assert rebuilt == query

@@ -1,0 +1,164 @@
+"""Tests for the Cypher-flavoured parser (repro.query.cypher)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.graph.builder import GraphBuilder
+from repro.graph.schema import GraphSchema
+from repro.query import catalog_queries
+from repro.query.cypher import format_cypher, looks_like_cypher, parse_cypher
+from repro.query.query_graph import QueryGraph
+
+
+@pytest.fixture()
+def schema() -> GraphSchema:
+    return GraphSchema.from_names(["Person", "Account"], ["FOLLOWS", "PAYS"])
+
+
+class TestBasicParsing:
+    def test_triangle_pattern(self, schema):
+        q = parse_cypher(
+            "MATCH (a)-[:FOLLOWS]->(b), (b)-[:FOLLOWS]->(c), (a)-[:FOLLOWS]->(c)",
+            schema,
+        )
+        assert q.num_vertices == 3
+        assert q.num_edges == 3
+        assert all(e.label == schema.edge_label_id("FOLLOWS") for e in q.edges)
+
+    def test_match_keyword_is_optional(self):
+        q = parse_cypher("(a)-->(b), (b)-->(c)")
+        assert q.num_vertices == 3
+        assert q.num_edges == 2
+
+    def test_path_chaining(self, schema):
+        q = parse_cypher("MATCH (a:Person)-[:FOLLOWS]->(b)-[:FOLLOWS]->(c)<--(a)", schema)
+        assert q.num_vertices == 3
+        assert q.num_edges == 3
+        assert q.vertex_label("a") == schema.vertex_label_id("Person")
+
+    def test_reverse_arrow_direction(self):
+        q = parse_cypher("MATCH (a)<--(b)")
+        edge = q.edges[0]
+        assert edge.src == "b" and edge.dst == "a"
+
+    def test_reverse_typed_relationship(self, schema):
+        q = parse_cypher("MATCH (a)<-[:PAYS]-(b)", schema)
+        edge = q.edges[0]
+        assert edge.src == "b" and edge.dst == "a"
+        assert edge.label == schema.edge_label_id("PAYS")
+
+    def test_return_clause_is_ignored(self, schema):
+        q = parse_cypher("MATCH (a)-->(b) RETURN count(*)", schema)
+        assert q.num_edges == 1
+
+    def test_relationship_variable_accepted(self, schema):
+        q = parse_cypher("MATCH (a)-[f:FOLLOWS]->(b)", schema)
+        assert q.edges[0].label == schema.edge_label_id("FOLLOWS")
+
+    def test_numeric_labels_used_verbatim(self):
+        q = parse_cypher("MATCH (a:1)-[:0]->(b)")
+        assert q.vertex_label("a") == 1
+        assert q.edges[0].label == 0
+
+    def test_anonymous_nodes_get_fresh_names(self):
+        q = parse_cypher("MATCH (a)-->()-->(b)")
+        assert q.num_vertices == 3
+        middle = [v for v in q.vertices if v not in ("a", "b")]
+        assert len(middle) == 1 and middle[0].startswith("_anon")
+
+    def test_case_insensitive_match_keyword(self):
+        q = parse_cypher("match (a)-->(b)")
+        assert q.num_edges == 1
+
+
+class TestErrors:
+    def test_where_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_cypher("MATCH (a)-->(b) WHERE a.id = 3")
+
+    def test_undirected_relationship_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_cypher("MATCH (a)--(b)")
+
+    def test_both_direction_arrows_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_cypher("MATCH (a)<-->(b)")
+
+    def test_unknown_label_without_schema_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_cypher("MATCH (a:Person)-->(b)")
+
+    def test_unknown_label_with_create_registers(self):
+        schema = GraphSchema()
+        q = parse_cypher("MATCH (a:Person)-[:FOLLOWS]->(b)", schema, create_labels=True)
+        assert schema.vertex_label_id("Person") == q.vertex_label("a")
+        assert schema.edge_label_id("FOLLOWS") == q.edges[0].label
+
+    def test_single_node_pattern_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_cypher("MATCH (a)")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_cypher("MATCH ")
+
+    def test_conflicting_vertex_labels_rejected(self, schema):
+        with pytest.raises(QueryParseError):
+            parse_cypher("MATCH (a:Person)-->(b), (a:Account)-->(c)", schema)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_cypher("MATCH (a)-->(b) !!!extra")
+
+
+class TestFormatting:
+    def test_format_round_trips_structure(self, schema):
+        q = parse_cypher(
+            "MATCH (a:Person)-[:FOLLOWS]->(b:Person), (b)-[:PAYS]->(c:Account)", schema
+        )
+        text = format_cypher(q, schema)
+        rebuilt = parse_cypher(text, schema)
+        assert rebuilt == q
+
+    def test_format_without_schema_uses_integer_labels(self):
+        q = QueryGraph([("a", "b", 1)], vertex_labels={"a": 0}, name="q")
+        text = format_cypher(q)
+        assert "-[:1]->" in text
+        assert "(a:0)" in text
+
+    def test_looks_like_cypher(self):
+        assert looks_like_cypher("MATCH (a)-->(b)")
+        assert looks_like_cypher("  match (a)-->(b)")
+        assert not looks_like_cypher("(a1)-->(a2)")
+
+
+class TestEndToEnd:
+    def test_graphflowdb_routes_cypher_strings(self, schema):
+        from repro.api import GraphflowDB
+
+        person = schema.vertex_label_id("Person")
+        follows = schema.edge_label_id("FOLLOWS")
+        builder = GraphBuilder()
+        for v in range(4):
+            builder.add_vertex(v, person)
+        builder.add_edge(0, 1, follows)
+        builder.add_edge(1, 2, follows)
+        builder.add_edge(0, 2, follows)
+        builder.add_edge(2, 3, follows)
+        graph = builder.build(name="follows")
+        db = GraphflowDB(graph, schema=schema)
+        db.build_catalogue(z=50)
+        result = db.execute(
+            "MATCH (a:Person)-[:FOLLOWS]->(b:Person), (b)-[:FOLLOWS]->(c), (a)-[:FOLLOWS]->(c)"
+        )
+        assert result.num_matches == 1
+
+    def test_cypher_and_pattern_parser_agree_on_triangle(self):
+        from repro.query.parser import parse_query
+
+        cypher = parse_cypher("MATCH (a1)-->(a2), (a2)-->(a3), (a1)-->(a3)")
+        pattern = parse_query("(a1)-->(a2), (a2)-->(a3), (a1)-->(a3)")
+        assert cypher == pattern
+        assert cypher == catalog_queries.asymmetric_triangle().project(["a1", "a2", "a3"])

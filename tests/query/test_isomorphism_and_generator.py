@@ -1,0 +1,110 @@
+"""Tests for canonicalization, automorphisms, and random query generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import catalog_queries as cq
+from repro.query.generator import all_small_queries, random_connected_query, random_query_set
+from repro.query.isomorphism import (
+    are_isomorphic,
+    automorphisms,
+    canonical_code,
+    canonical_order,
+    orbit_representative_orderings,
+)
+from repro.query.query_graph import QueryGraph
+
+
+class TestCanonicalization:
+    def test_renamed_queries_are_isomorphic(self):
+        q1 = cq.triangle()
+        q2 = q1.rename_vertices({"a1": "x9", "a2": "b", "a3": "qq"})
+        assert are_isomorphic(q1, q2)
+        assert canonical_code(q1) == canonical_code(q2)
+
+    def test_different_shapes_not_isomorphic(self):
+        assert not are_isomorphic(cq.triangle(), cq.directed_3cycle())
+        assert not are_isomorphic(cq.q2(), cq.q5())
+
+    def test_labels_respected(self):
+        a = QueryGraph([("a1", "a2", 0)])
+        b = QueryGraph([("a1", "a2", 1)])
+        assert not are_isomorphic(a, b)
+
+    def test_vertex_labels_respected(self):
+        a = QueryGraph([("a1", "a2")], vertex_labels={"a1": 0, "a2": 1})
+        b = QueryGraph([("a1", "a2")], vertex_labels={"a1": 1, "a2": 0})
+        assert not are_isomorphic(a, b)
+
+    def test_canonical_order_is_permutation(self):
+        q = cq.diamond_x()
+        order = canonical_order(q)
+        assert sorted(order) == sorted(q.vertices)
+
+    def test_size_mismatch_short_circuit(self):
+        assert not are_isomorphic(cq.triangle(), cq.diamond_x())
+
+
+class TestAutomorphisms:
+    def test_identity_always_present(self):
+        for q in (cq.triangle(), cq.diamond_x(), cq.q5()):
+            autos = automorphisms(q)
+            assert {v: v for v in q.vertices} in autos
+
+    def test_directed_3cycle_has_rotations(self):
+        autos = automorphisms(cq.directed_3cycle())
+        assert len(autos) == 3
+
+    def test_asymmetric_triangle_is_rigid(self):
+        autos = automorphisms(cq.asymmetric_triangle())
+        assert len(autos) == 1
+
+    def test_symmetric_diamond_x_has_symmetry(self):
+        autos = automorphisms(cq.symmetric_diamond_x())
+        assert len(autos) >= 2
+
+    def test_orbit_representatives_reduce_orderings(self):
+        q = cq.symmetric_diamond_x()
+        from repro.planner.qvo import enumerate_orderings
+
+        orderings = enumerate_orderings(q)
+        reps = orbit_representative_orderings(q, orderings)
+        assert len(reps) < len(orderings)
+        assert set(reps).issubset(set(orderings))
+
+
+class TestRandomQueries:
+    def test_random_query_connected(self):
+        for seed in range(5):
+            q = random_connected_query(6, avg_degree=2.5, seed=seed)
+            assert q.is_connected()
+            assert q.num_vertices == 6
+
+    def test_random_query_deterministic(self):
+        a = random_connected_query(5, seed=3)
+        b = random_connected_query(5, seed=3)
+        assert a.edge_key_set() == b.edge_key_set()
+
+    def test_dense_queries_have_more_edges(self):
+        sparse = random_query_set(5, 8, dense=False, seed=1)
+        dense = random_query_set(5, 8, dense=True, seed=1)
+        assert sum(q.num_edges for q in dense) > sum(q.num_edges for q in sparse)
+
+    def test_labeled_random_queries(self):
+        q = random_connected_query(5, seed=2, num_edge_labels=3, num_vertex_labels=2)
+        assert all(e.label in (0, 1, 2) for e in q.edges)
+        assert all(q.vertex_label(v) in (0, 1) for v in q.vertices)
+
+    def test_all_small_queries_unique_and_connected(self):
+        queries = all_small_queries(5, max_queries=20, seed=0)
+        assert len({q.edge_key_set() for q in queries}) == len(queries)
+        assert all(q.is_connected() for q in queries)
+
+    @given(st.integers(min_value=3, max_value=7), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_random_query_property(self, n, seed):
+        q = random_connected_query(n, seed=seed)
+        assert q.num_vertices == n
+        assert q.is_connected()
+        assert q.num_edges >= n - 1

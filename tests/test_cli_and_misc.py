@@ -1,0 +1,130 @@
+"""Tests for the CLI, the error hierarchy, and the execution profile."""
+
+import pytest
+
+from repro import cli
+from repro.errors import (
+    CatalogueError,
+    GraphConstructionError,
+    InvalidQueryError,
+    OptimizerError,
+    PlanError,
+    QueryParseError,
+    ReproError,
+)
+from repro.executor.profile import ExecutionProfile
+
+
+class TestErrors:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (
+            GraphConstructionError,
+            QueryParseError,
+            InvalidQueryError,
+            PlanError,
+            CatalogueError,
+            OptimizerError,
+        ):
+            assert issubclass(exc, ReproError)
+            with pytest.raises(ReproError):
+                raise exc("boom")
+
+
+class TestExecutionProfile:
+    def test_counters_accumulate(self):
+        p = ExecutionProfile()
+        p.record_intersection(10)
+        p.record_intersection(5)
+        p.record_cache_hit()
+        p.record_cache_miss()
+        p.record_intermediate(3)
+        assert p.intersection_cost == 15
+        assert p.cache_hit_rate == pytest.approx(0.5)
+        assert p.intermediate_matches == 3
+
+    def test_merge(self):
+        a = ExecutionProfile(intersection_cost=10, output_matches=1, elapsed_seconds=0.5)
+        b = ExecutionProfile(intersection_cost=5, output_matches=2, elapsed_seconds=0.8)
+        a.record_operator("SCAN", out=4)
+        b.record_operator("SCAN", out=6)
+        merged = a.merge(b)
+        assert merged.intersection_cost == 15
+        assert merged.output_matches == 3
+        assert merged.elapsed_seconds == pytest.approx(0.8)
+        assert merged.per_operator["SCAN"]["out"] == 10
+
+    def test_as_dict_keys(self):
+        d = ExecutionProfile().as_dict()
+        assert {"i_cost", "output_matches", "elapsed_seconds"} <= set(d)
+
+    def test_cache_hit_rate_no_lookups(self):
+        assert ExecutionProfile().cache_hit_rate == 0.0
+
+    def test_repr(self):
+        text = repr(ExecutionProfile(intersection_cost=7))
+        assert "i_cost=7" in text
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        assert cli.main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "amazon" in out and "twitter" in out
+
+    def test_stats_command(self, capsys):
+        assert cli.main(["stats", "--dataset", "epinions", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "clustering" in out
+
+    def test_run_command_named_query(self, capsys):
+        code = cli.main(
+            ["run", "--dataset", "amazon", "--scale", "0.1", "--z", "50", "--query", "Q1"]
+        )
+        assert code == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_run_command_pattern_query(self, capsys):
+        code = cli.main(
+            [
+                "run",
+                "--dataset",
+                "amazon",
+                "--scale",
+                "0.1",
+                "--z",
+                "50",
+                "--query",
+                "(a)-->(b), (b)-->(c)",
+            ]
+        )
+        assert code == 0
+
+    def test_explain_command(self, capsys):
+        code = cli.main(
+            ["explain", "--dataset", "amazon", "--scale", "0.1", "--z", "50", "--query", "Q3"]
+        )
+        assert code == 0
+        assert "SCAN" in capsys.readouterr().out
+
+    def test_spectrum_command(self, capsys):
+        code = cli.main(
+            [
+                "spectrum",
+                "--dataset",
+                "amazon",
+                "--scale",
+                "0.1",
+                "--z",
+                "50",
+                "--query",
+                "Q1",
+                "--max-plans",
+                "6",
+            ]
+        )
+        assert code == 0
+        assert "optimizer-within" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])

@@ -1,0 +1,132 @@
+"""Tests for the catalogue/plan CLI subcommands and Cypher routing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.catalogue.persistence import load_catalogue
+from repro.cli import main
+from repro.planner.serialize import load_plan
+
+
+class TestCatalogueCommand:
+    def test_catalogue_prints_summary_and_entries(self, capsys):
+        code = main(
+            [
+                "catalogue",
+                "--dataset",
+                "epinions",
+                "--scale",
+                "0.1",
+                "--z",
+                "60",
+                "--show",
+                "3",
+                "--warm-queries",
+                "Q1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SubgraphCatalogue" in out
+        assert "Q_(k-1)" in out
+
+    def test_catalogue_saves_loadable_file(self, capsys, tmp_path):
+        path = tmp_path / "catalogue.json"
+        code = main(
+            [
+                "catalogue",
+                "--dataset",
+                "epinions",
+                "--scale",
+                "0.1",
+                "--z",
+                "50",
+                "--warm-queries",
+                "Q1",
+                "--output",
+                str(path),
+            ]
+        )
+        assert code == 0
+        catalogue = load_catalogue(str(path))
+        assert catalogue.num_entries > 0
+        assert str(path) in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def test_plan_json_to_stdout(self, capsys):
+        code = main(
+            ["plan", "--dataset", "epinions", "--scale", "0.1", "--z", "60", "--query", "Q1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        parsed = json.loads(out)
+        assert parsed["query"]["name"] == "Q1"
+
+    def test_plan_dot_to_file(self, capsys, tmp_path):
+        path = tmp_path / "plan.dot"
+        code = main(
+            [
+                "plan",
+                "--dataset",
+                "epinions",
+                "--scale",
+                "0.1",
+                "--z",
+                "60",
+                "--query",
+                "Q1",
+                "--format",
+                "dot",
+                "--output",
+                str(path),
+            ]
+        )
+        assert code == 0
+        text = path.read_text()
+        assert text.startswith("digraph")
+        assert "SCAN" in text
+
+    def test_plan_json_file_round_trips(self, tmp_path):
+        path = tmp_path / "plan.json"
+        main(
+            [
+                "plan",
+                "--dataset",
+                "epinions",
+                "--scale",
+                "0.1",
+                "--z",
+                "60",
+                "--query",
+                "diamond-X",
+                "--output",
+                str(path),
+            ]
+        )
+        plan = load_plan(str(path))
+        assert plan.query.name == "diamond-X"
+        assert plan.root.out_vertices
+
+
+class TestCypherRouting:
+    def test_run_accepts_cypher_string(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "epinions",
+                "--scale",
+                "0.1",
+                "--z",
+                "60",
+                "--query",
+                "MATCH (a)-->(b), (b)-->(c), (a)-->(c)",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "matches" in out
