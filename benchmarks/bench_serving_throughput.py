@@ -1,0 +1,93 @@
+"""Serving-throughput benchmark: cached vs. uncached planning.
+
+A repeated-query serving workload re-submits a small set of query shapes
+(with vertices renamed per request, as distinct clients would).  With the
+canonical-form plan cache the optimizer runs once per shape; without it every
+request pays the full DP optimization.  This benchmark replays the same mix
+both ways through :class:`repro.server.service.QueryService` and reports the
+throughput ratio — the PR's acceptance bar is cached ≥ 3× uncached.
+
+Run directly (also the CI smoke test):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving_throughput.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from repro.api import GraphflowDB
+from repro.graph.generators import erdos_renyi
+from repro.query import catalog_queries as cq
+from repro.query.query_graph import QueryGraph
+from repro.server.service import QueryService
+
+# Tiny synthetic graph: execution is cheap, so the workload isolates the cost
+# that the plan cache amortises (the DP optimizer on 4-6 vertex shapes).
+NUM_VERTICES = 100
+NUM_EDGES = 400
+NUM_REQUESTS = 30
+CLIENTS = 2
+
+
+def _workload() -> List[QueryGraph]:
+    shapes = [cq.diamond_x(), cq.q8(), cq.q9()]
+    requests = []
+    for i in range(NUM_REQUESTS):
+        shape = shapes[i % len(shapes)]
+        requests.append(
+            shape.rename_vertices({v: f"{v}_client{i}" for v in shape.vertices})
+        )
+    return requests
+
+
+def _make_db(plan_cache_capacity: int) -> GraphflowDB:
+    graph = erdos_renyi(NUM_VERTICES, NUM_EDGES, seed=7, name="bench-serving")
+    db = GraphflowDB(graph, plan_cache_capacity=plan_cache_capacity)
+    db.build_catalogue(z=80)
+    return db
+
+
+def _serve(db: GraphflowDB, requests: List[QueryGraph]) -> float:
+    """Replay the workload; returns throughput in queries/second."""
+    with QueryService(db, max_concurrent=CLIENTS, max_queue=len(requests)) as service:
+        start = time.perf_counter()
+        results = service.execute_batch(requests)
+        elapsed = time.perf_counter() - start
+    assert all(r.status == "ok" for r in results), [r.status for r in results]
+    return len(results) / elapsed
+
+
+def test_bench_cached_vs_uncached_throughput():
+    requests = _workload()
+
+    uncached_db = _make_db(plan_cache_capacity=0)
+    uncached_qps = _serve(uncached_db, requests)
+    assert uncached_db.planner_invocations == NUM_REQUESTS
+
+    cached_db = _make_db(plan_cache_capacity=64)
+    cached_qps = _serve(cached_db, requests)
+    # One optimizer run per distinct shape, not per request.
+    assert cached_db.planner_invocations == 3
+
+    ratio = cached_qps / uncached_qps
+    print(
+        f"\nserving throughput over {NUM_REQUESTS} requests x {CLIENTS} clients: "
+        f"uncached {uncached_qps:.1f} q/s, cached {cached_qps:.1f} q/s "
+        f"({ratio:.1f}x)"
+    )
+    assert ratio >= 3.0, (
+        f"plan cache should give >= 3x serving throughput on a repeated-query "
+        f"mix, got {ratio:.2f}x (cached {cached_qps:.1f} q/s vs uncached "
+        f"{uncached_qps:.1f} q/s)"
+    )
+
+
+def test_bench_cached_serving(benchmark):
+    """Absolute timing of the cached serving path (for regression tracking)."""
+    db = _make_db(plan_cache_capacity=64)
+    requests = _workload()
+    _serve(db, requests)  # warm the plan cache
+    qps = benchmark.pedantic(_serve, args=(db, requests), iterations=1, rounds=3)
+    assert qps > 0

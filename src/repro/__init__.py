@@ -24,6 +24,7 @@ from repro.graph.graph import Graph, Direction
 from repro.graph.builder import GraphBuilder
 from repro.query.query_graph import QueryGraph, QueryEdge
 from repro.query import catalog_queries as queries
+from repro.server import PlanCache, PreparedQuery, QueryService, ServiceResult
 from repro import datasets
 
 __version__ = "1.0.0"
@@ -38,5 +39,9 @@ __all__ = [
     "QueryEdge",
     "queries",
     "datasets",
+    "PlanCache",
+    "PreparedQuery",
+    "QueryService",
+    "ServiceResult",
     "__version__",
 ]

@@ -17,6 +17,7 @@ True
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -35,8 +36,10 @@ from repro.planner.dp_optimizer import DynamicProgrammingOptimizer
 from repro.planner.full_enumeration import FullEnumerationOptimizer
 from repro.planner.plan import Plan
 from repro.query.cypher import looks_like_cypher, parse_cypher
+from repro.query.isomorphism import isomorphism_mapping
 from repro.query.parser import parse_query
 from repro.query.query_graph import QueryGraph
+from repro.server.plan_cache import PlanCache
 
 
 @dataclass
@@ -50,6 +53,8 @@ class QueryResult:
     i_cost: int
     intermediate_matches: int
     matches: Optional[List[dict]] = None
+    truncated: bool = False
+    deadline_exceeded: bool = False
 
     def __repr__(self) -> str:
         return (
@@ -66,11 +71,23 @@ class GraphflowDB:
         graph: Graph,
         catalogue: Optional[SubgraphCatalogue] = None,
         schema: Optional[GraphSchema] = None,
+        plan_cache_capacity: int = 128,
     ) -> None:
         self.graph = graph
         self.catalogue = catalogue
         self.schema = schema
         self._cost_model: Optional[CostModel] = None
+        # Plans are cached by canonical query form so repeated (possibly
+        # vertex-renamed) queries skip the DP optimizer; pass 0 to disable.
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(capacity=plan_cache_capacity) if plan_cache_capacity > 0 else None
+        )
+        # Number of times an optimizer actually ran (cache misses + uncached
+        # planning); serving tests assert on this.
+        self.planner_invocations = 0
+        # Guards lazy catalogue/cost-model construction when concurrent
+        # QueryService workers plan different query shapes on a cold database.
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # catalogue / cost model management
@@ -89,14 +106,28 @@ class GraphflowDB:
         """
         self.catalogue = build_catalogue(self.graph, h=h, z=z, seed=seed, queries=queries)
         self._cost_model = None
+        # Cached plans were costed against the old catalogue; flush them.
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate()
         return self.catalogue
+
+    def set_graph(self, graph: Graph) -> None:
+        """Replace the data graph, dropping the catalogue, cost model, and
+        every cached plan (all were derived from the old graph)."""
+        self.graph = graph
+        self.catalogue = None
+        self._cost_model = None
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate()
 
     @property
     def cost_model(self) -> CostModel:
-        if self.catalogue is None:
-            self.build_catalogue(z=200)
         if self._cost_model is None:
-            self._cost_model = CostModel(self.graph, self.catalogue)
+            with self._stats_lock:
+                if self.catalogue is None:
+                    self.build_catalogue(z=200)
+                if self._cost_model is None:
+                    self._cost_model = CostModel(self.graph, self.catalogue)
         return self._cost_model
 
     # ------------------------------------------------------------------ #
@@ -114,9 +145,32 @@ class GraphflowDB:
         query: Union[QueryGraph, str],
         full_enumeration: bool = False,
         enable_binary_joins: bool = True,
+        use_cache: bool = True,
     ) -> Plan:
-        """Run the optimizer and return the chosen plan."""
+        """Return the optimizer's plan, consulting the plan cache.
+
+        Plans are cached by the query's canonical form plus the planner
+        options, so isomorphic queries (same shape and labels under vertex
+        renaming) share one optimizer invocation.  Pass ``use_cache=False``
+        to force a fresh optimization without touching the cache.
+        """
         query = self._as_query(query)
+        if not use_cache or self.plan_cache is None:
+            return self._plan_uncached(query, full_enumeration, enable_binary_joins)
+        key = (query.canonical_key(), full_enumeration, enable_binary_joins)
+        return self.plan_cache.get_or_compute(
+            key, lambda: self._plan_uncached(query, full_enumeration, enable_binary_joins)
+        )
+
+    def _plan_uncached(
+        self,
+        query: QueryGraph,
+        full_enumeration: bool = False,
+        enable_binary_joins: bool = True,
+    ) -> Plan:
+        """Run the optimizer (always), bypassing the plan cache."""
+        with self._stats_lock:
+            self.planner_invocations += 1
         if full_enumeration:
             optimizer = FullEnumerationOptimizer(
                 self.cost_model, enable_binary_joins=enable_binary_joins
@@ -158,12 +212,26 @@ class GraphflowDB:
         ----------
         adaptive:
             Re-pick query-vertex orderings per partial match at runtime
-            (Section 6).
+            (Section 6).  Not supported together with ``num_workers > 1``.
         collect:
             Materialise matches (as dictionaries keyed by query vertex name).
+            Not supported together with ``num_workers > 1``.
         num_workers:
             When > 1, execute with the morsel-parallel executor.
         """
+        if num_workers > 1 and (adaptive or collect):
+            # Previously these flags were silently ignored in parallel mode;
+            # fail loudly instead of returning something the caller did not
+            # ask for.
+            unsupported = [
+                name for name, on in (("adaptive", adaptive), ("collect", collect)) if on
+            ]
+            raise ValueError(
+                f"execute(num_workers={num_workers}) does not support "
+                f"{' or '.join(unsupported)}; the morsel-parallel executor only "
+                "counts matches with fixed plans. Run with num_workers=1 for "
+                "adaptive ordering selection or match collection."
+            )
         if isinstance(query, Plan):
             plan = query
             query_graph = plan.query
@@ -182,6 +250,8 @@ class GraphflowDB:
                 elapsed_seconds=parallel.elapsed_seconds,
                 i_cost=parallel.profile.intersection_cost,
                 intermediate_matches=parallel.profile.intermediate_matches,
+                truncated=parallel.truncated,
+                deadline_exceeded=parallel.deadline_exceeded,
             )
         if adaptive:
             result: ExecutionResult = execute_adaptive(
@@ -189,6 +259,10 @@ class GraphflowDB:
             )
         else:
             result = execute_plan(plan, self.graph, config=config, collect=collect)
+        matches: Optional[List[dict]] = None
+        if collect:
+            matches = result.matches_as_dicts()
+            matches = self._translate_match_names(matches, plan.query, query_graph)
         return QueryResult(
             query=query_graph,
             plan=plan,
@@ -196,8 +270,28 @@ class GraphflowDB:
             elapsed_seconds=result.elapsed_seconds,
             i_cost=result.profile.intersection_cost,
             intermediate_matches=result.profile.intermediate_matches,
-            matches=result.matches_as_dicts() if collect else None,
+            matches=matches,
+            truncated=result.truncated,
+            deadline_exceeded=result.deadline_exceeded,
         )
+
+    @staticmethod
+    def _translate_match_names(
+        matches: List[dict], plan_query: QueryGraph, query: QueryGraph
+    ) -> List[dict]:
+        """Rekey collected matches from the plan's vertex names to the
+        caller's.
+
+        A cache hit may return a plan built for an isomorphic query whose
+        vertices were named differently; the match *sets* are identical, but
+        the dictionaries must use the caller's names.
+        """
+        if plan_query is query or plan_query.structurally_equal(query):
+            return matches
+        mapping = isomorphism_mapping(plan_query, query)
+        if mapping is None:  # not isomorphic — cannot happen for cached plans
+            return matches
+        return [{mapping[k]: v for k, v in match.items()} for match in matches]
 
     def count(self, query: Union[QueryGraph, str]) -> int:
         """Shorthand: number of matches of the query."""

@@ -10,6 +10,7 @@ A small CLI so that the reproduction can be exercised without writing Python:
     python -m repro.cli stats --dataset epinions
     python -m repro.cli catalogue --dataset amazon --z 500 --output catalogue.json --show 10
     python -m repro.cli plan --dataset amazon --query Q8 --format dot --output plan.dot
+    python -m repro.cli serve --dataset amazon --queries Q1,Q3 --clients 4 --requests 80
 """
 
 from __future__ import annotations
@@ -70,6 +71,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.adaptive and args.workers > 1:
+        print("error: --adaptive is not supported with --workers > 1", file=sys.stderr)
+        return 2
     db = _load_db(args)
     query = _resolve_query(args.query)
     result = db.execute(query, adaptive=args.adaptive, num_workers=args.workers)
@@ -138,6 +142,57 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Replay a repeated-query workload through the QueryService and print
+    the serving metrics table (QPS, latency percentiles, plan-cache stats)."""
+    import time
+
+    from repro.server.service import QueryService
+
+    if args.clients < 1:
+        print("error: --clients must be at least 1", file=sys.stderr)
+        return 2
+    if args.requests < 1:
+        print("error: --requests must be at least 1", file=sys.stderr)
+        return 2
+    db = _load_db(args)
+    if args.no_plan_cache:
+        db.plan_cache = None
+    names = [n.strip() for n in args.queries.split(",") if n.strip()]
+    base_queries = [_resolve_query(n) for n in names]
+    workload = []
+    for i in range(args.requests):
+        query = base_queries[i % len(base_queries)]
+        if args.rename:
+            # Rename vertices per request so cache hits come from canonical
+            # forms, not object identity.
+            query = query.rename_vertices({v: f"{v}_r{i}" for v in query.vertices})
+        workload.append(query)
+
+    with QueryService(
+        db,
+        max_concurrent=args.clients,
+        max_queue=max(len(workload), 1),
+        default_deadline_seconds=args.deadline,
+        default_row_limit=args.row_limit,
+    ) as service:
+        start = time.perf_counter()
+        results = service.execute_batch(workload)
+        elapsed = time.perf_counter() - start
+        matches = sum(r.num_matches for r in results)
+        by_status: dict = {}
+        for r in results:
+            by_status[r.status] = by_status.get(r.status, 0) + 1
+        print(
+            f"served {len(results)} queries ({','.join(names)}) on {db.graph.name} "
+            f"with {args.clients} clients in {elapsed:.3f}s "
+            f"({len(results) / elapsed:.1f} q/s, {matches} total matches)"
+        )
+        print(f"statuses: {by_status}")
+        print(format_table(service.stats_rows(), title="serving metrics"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -192,6 +247,36 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--format", choices=("json", "dot"), default="json")
     plan.add_argument("--output", default=None, help="write to this file instead of stdout")
     plan.set_defaults(func=cmd_plan)
+
+    serve = sub.add_parser(
+        "serve", help="replay a repeated-query workload through the QueryService"
+    )
+    add_common(serve)
+    serve.add_argument(
+        "--queries",
+        default="Q1,Q3",
+        help="comma-separated query mix (names or pattern strings), cycled over",
+    )
+    serve.add_argument("--clients", type=int, default=4, help="concurrent client threads")
+    serve.add_argument("--requests", type=int, default=40, help="total queries to replay")
+    serve.add_argument(
+        "--deadline", type=float, default=None, help="per-query deadline in seconds"
+    )
+    serve.add_argument(
+        "--row-limit", type=int, default=None, dest="row_limit", help="per-query row limit"
+    )
+    serve.add_argument(
+        "--rename",
+        action="store_true",
+        help="rename query vertices per request (exercises canonical-form caching)",
+    )
+    serve.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        dest="no_plan_cache",
+        help="disable the plan cache (re-optimize every request, for comparison)",
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -28,3 +28,13 @@ class CatalogueError(ReproError):
 
 class OptimizerError(ReproError):
     """Raised when the optimizer cannot produce a plan for a query."""
+
+
+class DeadlineExceededError(ReproError):
+    """Raised by the executor when a query's deadline expires mid-execution."""
+
+
+class AdmissionError(ReproError):
+    """Raised by the query service when a submission is rejected because the
+    service is at capacity (running + queued queries exceed the configured
+    bounds)."""

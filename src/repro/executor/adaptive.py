@@ -19,7 +19,12 @@ import numpy as np
 
 from repro.catalogue.catalogue import SubgraphCatalogue
 from repro.catalogue.estimation import extension_statistics
-from repro.executor.operators import ExecutionConfig, build_operator_tree
+from repro.errors import DeadlineExceededError
+from repro.executor.operators import (
+    DEADLINE_CHECK_STRIDE,
+    ExecutionConfig,
+    build_operator_tree,
+)
 from repro.executor.pipeline import ExecutionResult
 from repro.executor.profile import ExecutionProfile
 from repro.graph.graph import Direction, Graph
@@ -160,6 +165,8 @@ def execute_adaptive(
     matches: Optional[List[Tuple[int, ...]]] = [] if collect else None
     count = 0
     truncated = False
+    deadline_exceeded = False
+    ticks = 0
     # Per-template, per-level intersection cache (key -> extension array).
     caches: List[List[Optional[Tuple[Tuple[int, ...], np.ndarray]]]] = [
         [None] * len(template.steps) for template in templates
@@ -170,8 +177,17 @@ def execute_adaptive(
     def extend(
         t: Tuple[int, ...], template_idx: int, level: int
     ) -> None:
-        nonlocal count, truncated
+        nonlocal count, truncated, deadline_exceeded, ticks
         if truncated:
+            return
+        ticks += 1
+        if (
+            config.deadline is not None
+            and ticks % DEADLINE_CHECK_STRIDE == 0
+            and time.monotonic() > config.deadline
+        ):
+            truncated = True
+            deadline_exceeded = True
             return
         template = templates[template_idx]
         if level == len(template.steps):
@@ -214,12 +230,20 @@ def execute_adaptive(
             if truncated:
                 return
 
-    for t in base_operator:
-        if truncated:
-            break
-        costs = [_estimate_template_cost(tpl, t, graph) for tpl in templates]
-        best_idx = int(np.argmin(costs))
-        extend(t, best_idx, 0)
+    try:
+        for t in base_operator:
+            if truncated:
+                break
+            if config.deadline is not None and time.monotonic() > config.deadline:
+                truncated = True
+                deadline_exceeded = True
+                break
+            costs = [_estimate_template_cost(tpl, t, graph) for tpl in templates]
+            best_idx = int(np.argmin(costs))
+            extend(t, best_idx, 0)
+    except DeadlineExceededError:
+        truncated = True
+        deadline_exceeded = True
 
     profile.elapsed_seconds = time.perf_counter() - start
     profile.output_matches = count
@@ -238,4 +262,5 @@ def execute_adaptive(
         matches=matches,
         vertex_order=tuple(plan.root.out_vertices),
         truncated=truncated,
+        deadline_exceeded=deadline_exceeded,
     )

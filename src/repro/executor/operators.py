@@ -12,12 +12,13 @@ Partial matches are plain tuples of vertex ids aligned with the plan node's
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import PlanError
+from repro.errors import DeadlineExceededError, PlanError
 from repro.executor.profile import ExecutionProfile
 from repro.graph.graph import Direction, Graph
 from repro.graph.intersect import contains_sorted, intersect_multiway
@@ -52,6 +53,13 @@ class ExecutionConfig:
         intersections whose (vertex pair, direction pair) the index covers are
         answered with a lookup instead of an adjacency-list intersection; all
         other extensions fall back to ordinary intersections.
+    deadline:
+        Optional absolute ``time.monotonic()`` timestamp.  Operators check it
+        periodically while iterating and raise
+        :class:`repro.errors.DeadlineExceededError` once it has passed, so a
+        query with a deadline cannot hang even when it produces no output
+        rows.  :func:`repro.executor.pipeline.execute_plan` converts the
+        exception into a partial (truncated) result.
     """
 
     enable_intersection_cache: bool = True
@@ -60,6 +68,12 @@ class ExecutionConfig:
     scan_range_vertices: Optional[Tuple[str, ...]] = None
     output_limit: Optional[int] = None
     triangle_index: Optional["TriangleIndex"] = None
+    deadline: Optional[float] = None
+
+
+# How many tuples an operator processes between deadline checks; keeps the
+# time.monotonic() overhead off the per-tuple hot path.
+DEADLINE_CHECK_STRIDE = 256
 
 
 class Operator:
@@ -88,6 +102,15 @@ class Operator:
             self.profile.output_matches += count
         else:
             self.profile.record_intermediate(count)
+
+    def _check_deadline(self) -> None:
+        if (
+            self.config.deadline is not None
+            and time.monotonic() > self.config.deadline
+        ):
+            raise DeadlineExceededError(
+                f"query deadline exceeded in {type(self).__name__}"
+            )
 
 
 class ScanOperator(Operator):
@@ -129,7 +152,11 @@ class ScanOperator(Operator):
         edge = self.scan_node.edge
         src, dst = self._edge_arrays()
         emitted = 0
+        ticks = 0
         for u, v in zip(src, dst):
+            ticks += 1
+            if ticks % DEADLINE_CHECK_STRIDE == 0:
+                self._check_deadline()
             u, v = int(u), int(v)
             if self.config.isomorphism and u == v:
                 continue
@@ -214,8 +241,12 @@ class ExtendIntersectOperator(Operator):
 
     def __iter__(self) -> Iterator[Tuple[int, ...]]:
         emitted = 0
+        ticks = 0
         isomorphism = self.config.isomorphism
         for t in self.child:
+            ticks += 1
+            if ticks % DEADLINE_CHECK_STRIDE == 0:
+                self._check_deadline()
             extension = self._extension_set(t)
             if len(extension) == 0:
                 continue
@@ -279,8 +310,12 @@ class HashJoinOperator(Operator):
         self.profile.hash_table_entries += entries
 
         emitted = 0
+        ticks = 0
         isomorphism = self.config.isomorphism
         for t in self.probe_child:
+            ticks += 1
+            if ticks % DEADLINE_CHECK_STRIDE == 0:
+                self._check_deadline()
             self.profile.hash_probes += 1
             key = tuple(t[i] for i in self._probe_key_idx)
             payloads = table.get(key)

@@ -17,6 +17,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.errors import DeadlineExceededError
 from repro.executor.operators import ExecutionConfig, build_operator_tree
 from repro.executor.profile import ExecutionProfile
 from repro.graph.graph import Graph
@@ -33,6 +34,8 @@ class ParallelResult:
     num_workers: int
     elapsed_seconds: float
     per_worker_work: List[int] = field(default_factory=list)
+    truncated: bool = False
+    deadline_exceeded: bool = False
 
     @property
     def work_based_speedup(self) -> float:
@@ -81,6 +84,8 @@ def execute_parallel(
             num_workers=1,
             elapsed_seconds=elapsed,
             per_worker_work=[result.profile.intersection_cost + result.num_matches],
+            truncated=result.truncated,
+            deadline_exceeded=result.deadline_exceeded,
         )
 
     edge = scan.edge
@@ -94,32 +99,55 @@ def execute_parallel(
         for start in range(0, total_edges, morsel_size)
     ] or [(0, 0)]
 
-    def run_range(scan_range: Tuple[int, int]) -> Tuple[int, ExecutionProfile]:
+    def run_range(scan_range: Tuple[int, int]) -> Tuple[int, ExecutionProfile, bool, bool]:
+        # A global output limit cannot be partitioned across morsels exactly,
+        # but it still bounds each worker: no single range may contribute more
+        # than the limit, and the merged count is capped below.
         worker_config = ExecutionConfig(
             enable_intersection_cache=base_config.enable_intersection_cache,
             isomorphism=base_config.isomorphism,
             scan_range=scan_range,
             scan_range_vertices=tuple(scan.out_vertices),
-            output_limit=None,
+            output_limit=base_config.output_limit,
+            triangle_index=base_config.triangle_index,
+            deadline=base_config.deadline,
         )
         profile = ExecutionProfile()
         root = build_operator_tree(plan.root, graph, profile, worker_config, is_root=True)
         count = 0
-        for _ in root:
-            count += 1
+        exceeded = False
+        range_truncated = False
+        try:
+            for _ in root:
+                count += 1
+                if (
+                    worker_config.output_limit is not None
+                    and count >= worker_config.output_limit
+                ):
+                    range_truncated = True
+                    break
+        except DeadlineExceededError:
+            exceeded = True
         profile.output_matches = count
-        return count, profile
+        return count, profile, exceeded, range_truncated
 
     start_time = time.perf_counter()
     per_worker_work = [0] * num_workers
     total = 0
     merged = ExecutionProfile()
+    deadline_exceeded = False
+    truncated = False
     with ThreadPoolExecutor(max_workers=num_workers) as pool:
         results = list(pool.map(run_range, ranges))
-    for i, (count, profile) in enumerate(results):
+    for i, (count, profile, exceeded, range_truncated) in enumerate(results):
         total += count
         merged = merged.merge(profile)
         per_worker_work[i % num_workers] += profile.intersection_cost + count
+        deadline_exceeded = deadline_exceeded or exceeded
+        truncated = truncated or exceeded or range_truncated
+    if base_config.output_limit is not None and total > base_config.output_limit:
+        total = base_config.output_limit
+        truncated = True
     elapsed = time.perf_counter() - start_time
     merged.elapsed_seconds = elapsed
     merged.output_matches = total
@@ -130,4 +158,6 @@ def execute_parallel(
         num_workers=num_workers,
         elapsed_seconds=elapsed,
         per_worker_work=per_worker_work,
+        truncated=truncated,
+        deadline_exceeded=deadline_exceeded,
     )

@@ -6,6 +6,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.errors import DeadlineExceededError
 from repro.executor.operators import ExecutionConfig, build_operator_tree
 from repro.executor.profile import ExecutionProfile
 from repro.graph.graph import Graph
@@ -22,6 +23,7 @@ class ExecutionResult:
     matches: Optional[List[Tuple[int, ...]]] = None
     vertex_order: Tuple[str, ...] = ()
     truncated: bool = False
+    deadline_exceeded: bool = False
 
     @property
     def elapsed_seconds(self) -> float:
@@ -63,14 +65,23 @@ def execute_plan(
     matches: Optional[List[Tuple[int, ...]]] = [] if collect else None
     count = 0
     truncated = False
+    deadline_exceeded = False
     start = time.perf_counter()
-    for t in root:
-        count += 1
-        if collect:
-            matches.append(t)  # type: ignore[union-attr]
-        if config.output_limit is not None and count >= config.output_limit:
-            truncated = True
-            break
+    try:
+        for t in root:
+            count += 1
+            if collect:
+                matches.append(t)  # type: ignore[union-attr]
+            if config.output_limit is not None and count >= config.output_limit:
+                truncated = True
+                break
+            if config.deadline is not None and time.monotonic() > config.deadline:
+                truncated = True
+                deadline_exceeded = True
+                break
+    except DeadlineExceededError:
+        truncated = True
+        deadline_exceeded = True
     profile.elapsed_seconds = time.perf_counter() - start
     # The root operator's own accounting may not have run if we broke early.
     profile.output_matches = count
@@ -81,6 +92,7 @@ def execute_plan(
         matches=matches,
         vertex_order=tuple(plan.root.out_vertices),
         truncated=truncated,
+        deadline_exceeded=deadline_exceeded,
     )
 
 

@@ -28,22 +28,17 @@ def _code_for_order(query: QueryGraph, order: Sequence[str]) -> CanonicalCode:
     return (edges, labels)
 
 
-def canonical_code(query: QueryGraph) -> CanonicalCode:
-    """Smallest code over all vertex orderings — an isomorphism-invariant key.
+def canonical_code_and_order(
+    query: QueryGraph,
+) -> Tuple[CanonicalCode, Tuple[str, ...]]:
+    """The smallest code over all vertex orderings plus an ordering realising
+    it, computed in a single ``O(k!)`` sweep.
 
-    Intended for small sub-queries (≤ 6 vertices); the cost is ``O(k!)``.
+    Intended for small sub-queries (≤ ~8 vertices).
+    ``QueryGraph.canonical_key`` memoises the result per instance, so hot
+    paths (plan-cache lookups, match-name translation) pay the factorial
+    sweep once per query object.
     """
-    best: Optional[CanonicalCode] = None
-    for order in permutations(query.vertices):
-        code = _code_for_order(query, order)
-        if best is None or code < best:
-            best = code
-    assert best is not None
-    return best
-
-
-def canonical_order(query: QueryGraph) -> Tuple[str, ...]:
-    """A vertex ordering realising :func:`canonical_code`."""
     best_code: Optional[CanonicalCode] = None
     best_order: Tuple[str, ...] = query.vertices
     for order in permutations(query.vertices):
@@ -51,7 +46,18 @@ def canonical_order(query: QueryGraph) -> Tuple[str, ...]:
         if best_code is None or code < best_code:
             best_code = code
             best_order = tuple(order)
-    return best_order
+    assert best_code is not None
+    return best_code, best_order
+
+
+def canonical_code(query: QueryGraph) -> CanonicalCode:
+    """Smallest code over all vertex orderings — an isomorphism-invariant key."""
+    return canonical_code_and_order(query)[0]
+
+
+def canonical_order(query: QueryGraph) -> Tuple[str, ...]:
+    """A vertex ordering realising :func:`canonical_code`."""
+    return canonical_code_and_order(query)[1]
 
 
 def are_isomorphic(a: QueryGraph, b: QueryGraph) -> bool:
@@ -59,6 +65,24 @@ def are_isomorphic(a: QueryGraph, b: QueryGraph) -> bool:
     if a.num_vertices != b.num_vertices or a.num_edges != b.num_edges:
         return False
     return canonical_code(a) == canonical_code(b)
+
+
+def isomorphism_mapping(a: QueryGraph, b: QueryGraph) -> Optional[Dict[str, str]]:
+    """A vertex mapping ``a -> b`` witnessing their isomorphism, or ``None``.
+
+    Any witness is as good as any other: the set of matches of a query is
+    closed under its automorphisms, so results translated through one witness
+    equal results translated through another.  Used to reuse a cached plan
+    built for an isomorphic (renamed) query while reporting matches under the
+    caller's vertex names.
+    """
+    if a.num_vertices != b.num_vertices or a.num_edges != b.num_edges:
+        return None
+    # canonical_key()/canonical_vertex_order() are memoised per instance, so
+    # repeated translations (every collected cache-hit execution) are cheap.
+    if a.canonical_key() != b.canonical_key():
+        return None
+    return dict(zip(a.canonical_vertex_order(), b.canonical_vertex_order()))
 
 
 def automorphisms(query: QueryGraph) -> List[Dict[str, str]]:

@@ -207,6 +207,37 @@ class QueryGraph:
     # ------------------------------------------------------------------ #
     # comparisons / hashing
     # ------------------------------------------------------------------ #
+    def canonical_key(self) -> Tuple:
+        """An isomorphism-invariant, hashable key for this query.
+
+        Two queries share a key exactly when they are isomorphic respecting
+        vertex and edge labels — i.e. one can be obtained from the other by
+        renaming query vertices.  The key is what plan caches and prepared
+        queries use to recognise a repeated query regardless of how its
+        vertices happen to be named.
+
+        Computed via brute-force canonicalization (exact for the small query
+        graphs this system plans, ≤ ~8 vertices) and cached on the instance;
+        the structure of a :class:`QueryGraph` is immutable after construction,
+        so the cache can never go stale.
+        """
+        cached = getattr(self, "_canonical_key", None)
+        if cached is None:
+            from repro.query.isomorphism import canonical_code_and_order
+
+            code, order = canonical_code_and_order(self)
+            cached = ("qg", self.num_vertices, code)
+            self._canonical_key = cached
+            self._canonical_order = order
+        return cached
+
+    def canonical_vertex_order(self) -> Tuple[str, ...]:
+        """A vertex ordering realising :meth:`canonical_key` (memoised with
+        it); aligning two isomorphic queries' canonical orders yields an
+        isomorphism mapping between them."""
+        self.canonical_key()
+        return self._canonical_order
+
     def edge_key_set(self) -> FrozenSet[Tuple[str, str, Optional[int]]]:
         return frozenset((e.src, e.dst, e.label) for e in self._edges)
 

@@ -1,0 +1,115 @@
+"""Rolling serving metrics: QPS and latency percentiles.
+
+The service records one sample per completed query into a sliding time
+window; :meth:`ServiceMetrics.snapshot` summarises the window as queries per
+second and p50/p95/p99 latency.  Everything is guarded by one lock so the
+registry can be shared by the service's worker threads.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty list."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A point-in-time summary of the rolling window."""
+
+    window_seconds: float
+    count: int
+    qps: float
+    p50_seconds: float
+    p95_seconds: float
+    p99_seconds: float
+    mean_seconds: float
+
+    def as_rows(self) -> List[dict]:
+        """Rows for :func:`repro.experiments.harness.format_table`."""
+        return [
+            {"metric": "window (s)", "value": f"{self.window_seconds:.0f}"},
+            {"metric": "queries", "value": str(self.count)},
+            {"metric": "qps", "value": f"{self.qps:.1f}"},
+            {"metric": "latency p50 (ms)", "value": f"{self.p50_seconds * 1e3:.2f}"},
+            {"metric": "latency p95 (ms)", "value": f"{self.p95_seconds * 1e3:.2f}"},
+            {"metric": "latency p99 (ms)", "value": f"{self.p99_seconds * 1e3:.2f}"},
+            {"metric": "latency mean (ms)", "value": f"{self.mean_seconds * 1e3:.2f}"},
+        ]
+
+
+class ServiceMetrics:
+    """Thread-safe rolling window of per-query latency samples.
+
+    Parameters
+    ----------
+    window_seconds:
+        Samples older than this are dropped (pruned lazily on record and
+        snapshot).
+    max_samples:
+        Hard bound on retained samples so a hot service cannot grow the
+        window without limit; the oldest samples are dropped first.
+    """
+
+    def __init__(self, window_seconds: float = 60.0, max_samples: int = 8192) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+        # (completion timestamp from time.monotonic(), latency in seconds)
+        self._samples: Deque[Tuple[float, float]] = deque()
+        self.total_recorded = 0
+
+    def record(self, latency_seconds: float, timestamp: Optional[float] = None) -> None:
+        now = time.monotonic() if timestamp is None else timestamp
+        with self._lock:
+            self._samples.append((now, latency_seconds))
+            self.total_recorded += 1
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_seconds
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+        while len(self._samples) > self.max_samples:
+            self._samples.popleft()
+
+    def snapshot(self, timestamp: Optional[float] = None) -> MetricsSnapshot:
+        now = time.monotonic() if timestamp is None else timestamp
+        with self._lock:
+            self._prune(now)
+            latencies = sorted(lat for _, lat in self._samples)
+            count = len(latencies)
+            if count == 0:
+                return MetricsSnapshot(self.window_seconds, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            # QPS over the span actually covered by samples (bounded below to
+            # avoid divide-by-zero when all samples share one timestamp).
+            span = max(now - self._samples[0][0], 1e-9)
+            span = min(span, self.window_seconds)
+            return MetricsSnapshot(
+                window_seconds=self.window_seconds,
+                count=count,
+                qps=count / span,
+                p50_seconds=percentile(latencies, 50.0),
+                p95_seconds=percentile(latencies, 95.0),
+                p99_seconds=percentile(latencies, 99.0),
+                mean_seconds=sum(latencies) / count,
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()

@@ -1,0 +1,149 @@
+"""Prepared (parameterized) queries: parse and plan once, bind per execution.
+
+A :class:`PreparedQuery` fixes a query's *shape* at preparation time and
+leaves vertex/edge labels open as named parameters.  Each execution binds
+concrete labels, producing a bound :class:`~repro.query.query_graph.QueryGraph`
+whose plan is resolved through the database's plan cache — so the optimizer
+runs once per distinct binding, not once per execution, and the parse/
+canonicalization work is shared across bindings through a small binding
+cache.
+
+Example
+-------
+>>> prepared = PreparedQuery(db, "(a1)->(a2), (a2)->(a3), (a1)->(a3)",
+...                          vertex_params={"a1": "root"})
+>>> prepared.execute(root=0).num_matches  # triangles whose a1 has label 0
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+from repro.errors import InvalidQueryError
+from repro.query.cypher import looks_like_cypher, parse_cypher
+from repro.query.parser import parse_query
+from repro.query.query_graph import QueryGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import GraphflowDB, QueryResult
+
+
+class PreparedQuery:
+    """A query template with named label parameters.
+
+    Parameters
+    ----------
+    db:
+        The :class:`repro.api.GraphflowDB` the query will run against.
+    query:
+        A :class:`QueryGraph` or a pattern/Cypher string; parsed once here.
+    vertex_params:
+        Mapping from query-vertex name to parameter name; the vertex's label
+        is bound from that parameter at execution time.
+    edge_params:
+        Mapping from ``(src, dst)`` query-edge endpoints to parameter name.
+    name:
+        Name given to bound queries (the binding is appended).
+    """
+
+    def __init__(
+        self,
+        db: "GraphflowDB",
+        query: Union[QueryGraph, str],
+        vertex_params: Optional[Dict[str, str]] = None,
+        edge_params: Optional[Dict[Tuple[str, str], str]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.db = db
+        self.template = self._parse(query)
+        self.name = name or self.template.name
+        self.vertex_params = dict(vertex_params or {})
+        self.edge_params = dict(edge_params or {})
+        for vertex in self.vertex_params:
+            if not self.template.has_vertex(vertex):
+                raise InvalidQueryError(
+                    f"prepared query has no vertex {vertex!r} to parameterize"
+                )
+        template_edges = {(e.src, e.dst) for e in self.template.edges}
+        for endpoints in self.edge_params:
+            if tuple(endpoints) not in template_edges:
+                raise InvalidQueryError(
+                    f"prepared query has no edge {endpoints!r} to parameterize"
+                )
+        self.param_names = frozenset(self.vertex_params.values()) | frozenset(
+            self.edge_params.values()
+        )
+        # Bound QueryGraphs are memoised per binding so repeated executions
+        # skip relabeling and canonical-key computation entirely.
+        self._bindings: Dict[Tuple[Tuple[str, Optional[int]], ...], QueryGraph] = {}
+        self._lock = threading.Lock()
+
+    def _parse(self, query: Union[QueryGraph, str]) -> QueryGraph:
+        if isinstance(query, QueryGraph):
+            return query
+        if looks_like_cypher(query):
+            return parse_cypher(query, schema=getattr(self.db, "schema", None))
+        return parse_query(query)
+
+    # ------------------------------------------------------------------ #
+    def bind(self, **params: Optional[int]) -> QueryGraph:
+        """The query graph with every parameter bound to a concrete label.
+
+        Unbound parameters keep the template's label for their sites (vertex
+        labels default to the template's, usually the ``None`` wildcard).
+        Unknown parameter names raise :class:`InvalidQueryError`.
+        """
+        unknown = set(params) - self.param_names
+        if unknown:
+            raise InvalidQueryError(
+                f"unknown parameters {sorted(unknown)}; "
+                f"declared parameters are {sorted(self.param_names)}"
+            )
+        key = tuple(sorted(params.items()))
+        with self._lock:
+            bound = self._bindings.get(key)
+        if bound is not None:
+            return bound
+        vertex_labels = self.template.vertex_labels
+        for vertex, param in self.vertex_params.items():
+            if param in params:
+                vertex_labels[vertex] = params[param]
+        edge_label_map = {
+            endpoints: params[param]
+            for endpoints, param in self.edge_params.items()
+            if param in params
+        }
+        bound = QueryGraph(
+            self.template.relabel_edges(edge_label_map).edges,
+            vertex_labels=vertex_labels,
+            name=self.name if not params else f"{self.name}({key})",
+        )
+        with self._lock:
+            self._bindings[key] = bound
+        return bound
+
+    def plan(self, **params: Optional[int]):
+        """The (cached) plan for the given binding."""
+        return self.db.plan(self.bind(**params))
+
+    def execute(
+        self,
+        collect: bool = False,
+        adaptive: bool = False,
+        num_workers: int = 1,
+        config=None,
+        **params: Optional[int],
+    ) -> "QueryResult":
+        """Bind the parameters and execute; planning goes through the plan
+        cache, so only the first execution of a binding pays for optimization."""
+        bound = self.bind(**params)
+        return self.db.execute(
+            bound, collect=collect, adaptive=adaptive, num_workers=num_workers, config=config
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.name!r}, params={sorted(self.param_names)}, "
+            f"bindings={len(self._bindings)})"
+        )

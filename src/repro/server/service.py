@@ -1,0 +1,370 @@
+"""A thread-safe query-serving facade over :class:`repro.api.GraphflowDB`.
+
+:class:`QueryService` turns the single-shot experiment API into something a
+server can sit behind:
+
+- **Admission control** — at most ``max_concurrent`` queries execute at once;
+  up to ``max_queue`` more wait.  A submission beyond both bounds is rejected
+  deterministically with :class:`repro.errors.AdmissionError` instead of
+  growing an unbounded backlog.
+- **Per-query resource bounds** — a deadline (measured from submission, so
+  queue time counts) and a row limit, both enforced through the executor's
+  :class:`~repro.executor.operators.ExecutionConfig`; a query that exceeds
+  its deadline returns a partial result with status ``deadline_exceeded``
+  rather than hanging.
+- **Plan reuse** — all planning goes through the database's canonical-form
+  plan cache, so a repeated query (modulo vertex renaming) invokes the
+  optimizer exactly once; :meth:`execute_batch` additionally warms the cache
+  for each distinct query shape before fanning the batch out.
+- **Observability** — rolling QPS and latency percentiles plus admission,
+  status, and plan-cache counters via :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import AdmissionError
+from repro.executor.operators import ExecutionConfig
+from repro.query.query_graph import QueryGraph
+from repro.server.metrics import MetricsSnapshot, ServiceMetrics
+from repro.server.prepared import PreparedQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import GraphflowDB, QueryResult
+
+
+#: Terminal statuses a served query can end in.
+STATUS_OK = "ok"
+STATUS_TRUNCATED = "truncated"
+STATUS_DEADLINE_EXCEEDED = "deadline_exceeded"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class ServiceResult:
+    """Outcome of one served query."""
+
+    query_name: str
+    status: str
+    result: Optional["QueryResult"]
+    error: Optional[str]
+    queue_seconds: float
+    total_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def num_matches(self) -> int:
+        """Matches produced (possibly partial for non-``ok`` statuses)."""
+        return self.result.num_matches if self.result is not None else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceResult({self.query_name!r}, status={self.status!r}, "
+            f"matches={self.num_matches}, total={self.total_seconds:.3f}s)"
+        )
+
+
+class QueryService:
+    """Concurrent, bounded query serving over a single ``GraphflowDB``.
+
+    Parameters
+    ----------
+    db:
+        The database to serve.  Its plan cache and planner counters are
+        shared with direct API use.
+    max_concurrent:
+        Number of queries executing simultaneously (worker threads).
+    max_queue:
+        Additional submissions allowed to wait; beyond
+        ``max_concurrent + max_queue`` in flight, :meth:`submit` raises
+        :class:`AdmissionError`.
+    default_deadline_seconds / default_row_limit:
+        Per-query bounds applied when a submission does not override them.
+    num_workers:
+        Morsel-parallel workers used *within* each query's execution
+        (:func:`repro.executor.parallel.execute_parallel`); 1 means the
+        single-threaded pipeline.
+    metrics_window_seconds:
+        Width of the rolling metrics window reported by :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        db: "GraphflowDB",
+        max_concurrent: int = 4,
+        max_queue: int = 16,
+        default_deadline_seconds: Optional[float] = None,
+        default_row_limit: Optional[int] = None,
+        num_workers: int = 1,
+        metrics_window_seconds: float = 60.0,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue cannot be negative")
+        self.db = db
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.default_deadline_seconds = default_deadline_seconds
+        self.default_row_limit = default_row_limit
+        self.num_workers = num_workers
+        self.metrics = ServiceMetrics(window_seconds=metrics_window_seconds)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_concurrent, thread_name_prefix="query-service"
+        )
+        self._lock = threading.Lock()
+        self._slots_free = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._closed = False
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "rejected": 0,
+            STATUS_OK: 0,
+            STATUS_TRUNCATED: 0,
+            STATUS_DEADLINE_EXCEEDED: 0,
+            STATUS_ERROR: 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Total in-flight bound (running + queued)."""
+        return self.max_concurrent + self.max_queue
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def _admit(self, block: bool) -> None:
+        with self._slots_free:
+            if self._closed:
+                raise AdmissionError("query service is closed")
+            if not block and self._in_flight >= self.capacity:
+                self.counters["rejected"] += 1
+                raise AdmissionError(
+                    f"service at capacity: {self._in_flight} queries in flight "
+                    f"(max_concurrent={self.max_concurrent}, max_queue={self.max_queue})"
+                )
+            while self._in_flight >= self.capacity:
+                self._slots_free.wait()
+                if self._closed:
+                    raise AdmissionError("query service is closed")
+            self._in_flight += 1
+            self.counters["submitted"] += 1
+
+    def _release(self) -> None:
+        with self._slots_free:
+            self._in_flight -= 1
+            self._slots_free.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        query: Union[QueryGraph, str],
+        collect: bool = False,
+        adaptive: bool = False,
+        deadline_seconds: Optional[float] = None,
+        row_limit: Optional[int] = None,
+        num_workers: Optional[int] = None,
+        _block: bool = False,
+    ) -> "Future[ServiceResult]":
+        """Submit a query for asynchronous execution.
+
+        Raises :class:`AdmissionError` immediately when the service is at
+        capacity (running + queued ≥ ``max_concurrent + max_queue``); never
+        blocks the caller otherwise.  The returned future resolves to a
+        :class:`ServiceResult` and never raises for query-level failures —
+        errors are reported through ``status``/``error``.
+        """
+        query_graph = self.db._as_query(query) if not isinstance(query, QueryGraph) else query
+        self._admit(block=_block)
+        submit_time = time.monotonic()
+        try:
+            return self._pool.submit(
+                self._run,
+                query_graph,
+                submit_time,
+                collect,
+                adaptive,
+                deadline_seconds if deadline_seconds is not None else self.default_deadline_seconds,
+                row_limit if row_limit is not None else self.default_row_limit,
+                num_workers if num_workers is not None else self.num_workers,
+            )
+        except BaseException:
+            self._release()
+            raise
+
+    def execute(self, query: Union[QueryGraph, str], **options) -> ServiceResult:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(query, **options).result()
+
+    def execute_batch(
+        self,
+        queries: Sequence[Union[QueryGraph, str]],
+        collect: bool = False,
+        adaptive: bool = False,
+        deadline_seconds: Optional[float] = None,
+        row_limit: Optional[int] = None,
+    ) -> List[ServiceResult]:
+        """Execute a batch, sharing planning across identical query shapes.
+
+        Each *distinct* canonical query form in the batch is planned exactly
+        once: the plan cache's leader election collapses concurrent misses on
+        the same canonical key, so distinct shapes plan concurrently across
+        the worker pool while repeats wait for (then reuse) the leader's
+        plan.  Unlike :meth:`submit`, batch admission blocks instead of
+        rejecting, so a batch larger than the queue bound flows through in
+        waves; results come back in input order.
+        """
+        graphs = [
+            q if isinstance(q, QueryGraph) else self.db._as_query(q) for q in queries
+        ]
+        futures = [
+            self.submit(
+                graph,
+                collect=collect,
+                adaptive=adaptive,
+                deadline_seconds=deadline_seconds,
+                row_limit=row_limit,
+                _block=True,
+            )
+            for graph in graphs
+        ]
+        return [f.result() for f in futures]
+
+    def prepare(
+        self,
+        query: Union[QueryGraph, str],
+        vertex_params: Optional[Dict[str, str]] = None,
+        edge_params: Optional[Dict[Tuple[str, str], str]] = None,
+        name: Optional[str] = None,
+    ) -> PreparedQuery:
+        """A :class:`PreparedQuery` against this service's database."""
+        return PreparedQuery(
+            self.db, query, vertex_params=vertex_params, edge_params=edge_params, name=name
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _run(
+        self,
+        query: QueryGraph,
+        submit_time: float,
+        collect: bool,
+        adaptive: bool,
+        deadline_seconds: Optional[float],
+        row_limit: Optional[int],
+        num_workers: int,
+    ) -> ServiceResult:
+        start = time.monotonic()
+        queue_seconds = start - submit_time
+        deadline = submit_time + deadline_seconds if deadline_seconds is not None else None
+        result: Optional["QueryResult"] = None
+        error: Optional[str] = None
+        try:
+            if deadline is not None and start >= deadline:
+                # The deadline expired while the query sat in the queue.
+                status = STATUS_DEADLINE_EXCEEDED
+            else:
+                config = ExecutionConfig(output_limit=row_limit, deadline=deadline)
+                result = self.db.execute(
+                    query,
+                    adaptive=adaptive,
+                    collect=collect,
+                    num_workers=num_workers,
+                    config=config,
+                )
+                if result.deadline_exceeded:
+                    status = STATUS_DEADLINE_EXCEEDED
+                elif result.truncated:
+                    status = STATUS_TRUNCATED
+                else:
+                    status = STATUS_OK
+        except Exception as exc:  # query-level failure, not a service failure
+            status = STATUS_ERROR
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            self._release()
+        total_seconds = time.monotonic() - submit_time
+        self.metrics.record(total_seconds)
+        with self._lock:
+            self.counters[status] += 1
+        return ServiceResult(
+            query_name=query.name,
+            status=status,
+            result=result,
+            error=error,
+            queue_seconds=queue_seconds,
+            total_seconds=total_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # observability / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Rolling metrics, status counters, and plan-cache statistics."""
+        snapshot: MetricsSnapshot = self.metrics.snapshot()
+        with self._lock:
+            counters = dict(self.counters)
+            in_flight = self._in_flight
+        out = {
+            "qps": snapshot.qps,
+            "latency_p50_seconds": snapshot.p50_seconds,
+            "latency_p95_seconds": snapshot.p95_seconds,
+            "latency_p99_seconds": snapshot.p99_seconds,
+            "latency_mean_seconds": snapshot.mean_seconds,
+            "window_queries": snapshot.count,
+            "in_flight": in_flight,
+            "counters": counters,
+            "planner_invocations": self.db.planner_invocations,
+        }
+        if self.db.plan_cache is not None:
+            out["plan_cache"] = self.db.plan_cache.stats.as_dict()
+        return out
+
+    def stats_rows(self) -> List[dict]:
+        """The stats flattened into rows for ``format_table``."""
+        stats = self.stats()
+        rows = [
+            {"metric": "qps", "value": f"{stats['qps']:.1f}"},
+            {"metric": "latency p50 (ms)", "value": f"{stats['latency_p50_seconds'] * 1e3:.2f}"},
+            {"metric": "latency p95 (ms)", "value": f"{stats['latency_p95_seconds'] * 1e3:.2f}"},
+            {"metric": "latency p99 (ms)", "value": f"{stats['latency_p99_seconds'] * 1e3:.2f}"},
+            {"metric": "queries in window", "value": str(stats["window_queries"])},
+            {"metric": "planner invocations", "value": str(stats["planner_invocations"])},
+        ]
+        for name, count in stats["counters"].items():
+            rows.append({"metric": f"queries {name}", "value": str(count)})
+        cache = stats.get("plan_cache")
+        if cache:
+            rows.append({"metric": "plan cache hits", "value": str(cache["hits"])})
+            rows.append({"metric": "plan cache misses", "value": str(cache["misses"])})
+            rows.append({"metric": "plan cache hit rate", "value": f"{cache['hit_rate']:.1%}"})
+        return rows
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries and (optionally) wait for in-flight ones."""
+        with self._slots_free:
+            self._closed = True
+            self._slots_free.notify_all()
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,95 @@
+"""Tests for ``QueryGraph.canonical_key`` — the plan cache's cache key.
+
+The key must be invariant under query-vertex renaming (isomorphic queries
+collide) and must separate non-isomorphic queries, including queries that
+differ only in labels or edge directions.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.query import catalog_queries as cq
+from repro.query.isomorphism import are_isomorphic
+from repro.query.query_graph import QueryGraph
+
+
+def _renamed(query: QueryGraph, suffix: str) -> QueryGraph:
+    return query.rename_vertices({v: f"{v}_{suffix}" for v in query.vertices})
+
+
+class TestRenamingInvariance:
+    @pytest.mark.parametrize("name", sorted(cq.all_benchmark_queries()))
+    def test_renamed_catalog_queries_collide(self, name):
+        query = cq.all_benchmark_queries()[name]
+        renamed = _renamed(query, "x")
+        assert query.canonical_key() == renamed.canonical_key()
+
+    def test_scrambled_names_collide(self):
+        q = cq.diamond_x()
+        scrambled = q.rename_vertices({"a1": "a4", "a2": "a3", "a3": "a2", "a4": "a1"})
+        assert q.canonical_key() == scrambled.canonical_key()
+
+    def test_key_is_independent_of_edge_listing_order(self):
+        a = QueryGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        b = QueryGraph([("b", "c"), ("a", "c"), ("a", "b")])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_key_is_independent_of_query_name(self):
+        a = QueryGraph([("a", "b"), ("b", "c")], name="one")
+        b = QueryGraph([("x", "y"), ("y", "z")], name="two")
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_key_is_hashable_and_cached(self):
+        q = cq.q8()
+        first = q.canonical_key()
+        assert hash(first) == hash(q.canonical_key())
+        assert q.canonical_key() is first  # memoised on the instance
+
+
+class TestSeparation:
+    def test_catalog_queries_pairwise_distinct(self):
+        queries = cq.all_benchmark_queries()
+        for (name_a, qa), (name_b, qb) in combinations(sorted(queries.items()), 2):
+            assert qa.canonical_key() != qb.canonical_key(), (
+                f"{name_a} and {name_b} should not share a canonical key"
+            )
+
+    def test_direction_matters(self):
+        asym = cq.asymmetric_triangle()  # a1->a2, a2->a3, a1->a3
+        cycle = cq.directed_3cycle()  # a1->a2->a3->a1
+        assert asym.canonical_key() != cycle.canonical_key()
+
+    def test_vertex_labels_matter(self):
+        plain = QueryGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        labeled = QueryGraph(
+            [("a", "b"), ("b", "c"), ("a", "c")], vertex_labels={"a": 1}
+        )
+        assert plain.canonical_key() != labeled.canonical_key()
+
+    def test_edge_labels_matter(self):
+        plain = cq.diamond_x()
+        labeled = plain.with_random_edge_labels(3, seed=5)
+        assert plain.canonical_key() != labeled.canonical_key()
+
+    def test_different_shapes_same_counts(self):
+        # Both have 4 vertices and 4 edges, but the shapes differ.
+        four_cycle = QueryGraph([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")])
+        triangle_with_tail = QueryGraph(
+            [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+        )
+        assert four_cycle.canonical_key() != triangle_with_tail.canonical_key()
+
+
+class TestAgreementWithIsomorphism:
+    """canonical_key collides exactly when ``are_isomorphic`` says so."""
+
+    @pytest.mark.parametrize("name", sorted(cq.all_benchmark_queries()))
+    def test_key_equality_matches_isomorphism_against_triangle(self, name):
+        query = cq.all_benchmark_queries()[name]
+        probe = _renamed(cq.triangle(), "probe")
+        assert (query.canonical_key() == probe.canonical_key()) == are_isomorphic(
+            query, probe
+        )
