@@ -1,0 +1,109 @@
+"""Batch-executor benchmark: tuple-at-a-time vs vectorized throughput.
+
+Count-only triangle and 4-clique queries on the synthetic registry graphs,
+executed once through the iterator pipeline and once through the vectorized
+batch engine with identical plans.  Counts must agree bit-for-bit; the PR's
+acceptance bar is a >= 3x vectorized speedup on the largest graph (combined
+over both queries).  Results are recorded in ``BENCH_batch_executor.json`` at
+the repo root to start the performance trajectory.
+
+Run directly (also the CI smoke test):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch_executor.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro import datasets
+from repro.executor.operators import ExecutionConfig
+from repro.executor.pipeline import execute_plan
+from repro.planner.qvo import enumerate_wco_plans
+from repro.query import catalog_queries as cq
+
+# Ordered smallest to largest; the acceptance bar applies to the last one.
+GRAPHS = [
+    ("amazon", 0.5),
+    ("epinions", 1.0),
+    ("livejournal", 1.0),
+]
+
+QUERIES = [
+    ("triangle", cq.triangle),
+    ("4-clique", cq.q5),
+]
+
+MIN_SPEEDUP_LARGEST = 3.0
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_batch_executor.json"
+
+
+def _time_count(plan, graph, config: ExecutionConfig):
+    start = time.perf_counter()
+    result = execute_plan(plan, graph, config=config)
+    return result.num_matches, time.perf_counter() - start
+
+
+def run_benchmark() -> Dict:
+    rows: List[Dict] = []
+    for name, scale in GRAPHS:
+        graph = datasets.load(name, scale=scale)
+        for query_name, make_query in QUERIES:
+            plan = enumerate_wco_plans(make_query())[0]
+            matches_it, sec_it = _time_count(plan, graph, ExecutionConfig())
+            matches_vec, sec_vec = _time_count(
+                plan, graph, ExecutionConfig(vectorized=True)
+            )
+            assert matches_it == matches_vec, (
+                f"{name}/{query_name}: vectorized count {matches_vec} != "
+                f"iterator count {matches_it}"
+            )
+            rows.append(
+                {
+                    "graph": name,
+                    "scale": scale,
+                    "num_vertices": graph.num_vertices,
+                    "num_edges": graph.num_edges,
+                    "query": query_name,
+                    "num_matches": matches_it,
+                    "iterator_seconds": round(sec_it, 4),
+                    "vectorized_seconds": round(sec_vec, 4),
+                    "speedup": round(sec_it / sec_vec, 2),
+                }
+            )
+            print(
+                f"{name}(x{scale})/{query_name}: {matches_it} matches, "
+                f"iterator {sec_it:.3f}s, vectorized {sec_vec:.3f}s "
+                f"({sec_it / sec_vec:.1f}x)"
+            )
+    largest = GRAPHS[-1][0]
+    largest_rows = [r for r in rows if r["graph"] == largest]
+    combined = sum(r["iterator_seconds"] for r in largest_rows) / max(
+        sum(r["vectorized_seconds"] for r in largest_rows), 1e-9
+    )
+    return {
+        "benchmark": "batch_executor",
+        "largest_graph": largest,
+        "largest_graph_combined_speedup": round(combined, 2),
+        "min_required_speedup": MIN_SPEEDUP_LARGEST,
+        "results": rows,
+    }
+
+
+def test_bench_vectorized_speedup():
+    report = run_benchmark()
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {RESULT_PATH.name}")
+    combined = report["largest_graph_combined_speedup"]
+    assert combined >= MIN_SPEEDUP_LARGEST, (
+        f"vectorized execution should be >= {MIN_SPEEDUP_LARGEST}x the iterator "
+        f"pipeline on the largest synthetic graph, got {combined:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    test_bench_vectorized_speedup()

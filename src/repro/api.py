@@ -18,7 +18,7 @@ True
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.catalogue.catalogue import SubgraphCatalogue
@@ -205,6 +205,8 @@ class GraphflowDB:
         collect: bool = False,
         num_workers: int = 1,
         config: Optional[ExecutionConfig] = None,
+        vectorized: Optional[bool] = None,
+        batch_size: Optional[int] = None,
     ) -> QueryResult:
         """Plan (if needed) and execute a query.
 
@@ -218,7 +220,23 @@ class GraphflowDB:
             Not supported together with ``num_workers > 1``.
         num_workers:
             When > 1, execute with the morsel-parallel executor.
+        vectorized:
+            When True, run the batch-at-a-time (columnar) engine instead of
+            the tuple-at-a-time pipeline; composes with ``adaptive``
+            (batched base matches), ``collect``, and ``num_workers > 1``
+            (each morsel executes vectorized).  Overrides
+            ``config.vectorized`` when given.
+        batch_size:
+            Rows per columnar frame in vectorized mode; overrides
+            ``config.batch_size`` when given.
         """
+        if vectorized is not None or batch_size is not None:
+            overrides = {}
+            if vectorized is not None:
+                overrides["vectorized"] = vectorized
+            if batch_size is not None:
+                overrides["batch_size"] = batch_size
+            config = replace(config or ExecutionConfig(), **overrides)
         if num_workers > 1 and (adaptive or collect):
             # Previously these flags were silently ignored in parallel mode;
             # fail loudly instead of returning something the caller did not

@@ -76,7 +76,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     db = _load_db(args)
     query = _resolve_query(args.query)
-    result = db.execute(query, adaptive=args.adaptive, num_workers=args.workers)
+    result = db.execute(
+        query,
+        adaptive=args.adaptive,
+        num_workers=args.workers,
+        vectorized=True if args.vectorized else None,
+    )
     print(
         f"{query.name} on {db.graph.name}: {result.num_matches} matches in "
         f"{result.elapsed_seconds:.3f}s (plan={result.plan.plan_type}, i-cost={result.i_cost})"
@@ -175,6 +180,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_queue=max(len(workload), 1),
         default_deadline_seconds=args.deadline,
         default_row_limit=args.row_limit,
+        vectorized=args.vectorized,
     ) as service:
         start = time.perf_counter()
         results = service.execute_batch(workload)
@@ -216,6 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--query", required=True, help="Q1..Q14, a demo query name, or a pattern string")
     run.add_argument("--adaptive", action="store_true")
     run.add_argument("--workers", type=int, default=1)
+    run.add_argument(
+        "--vectorized",
+        action="store_true",
+        help="execute with the batch-at-a-time (columnar) engine",
+    )
     run.set_defaults(func=cmd_run)
 
     explain = sub.add_parser("explain", help="show the optimizer's plan for a query")
@@ -275,6 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="no_plan_cache",
         help="disable the plan cache (re-optimize every request, for comparison)",
+    )
+    serve.add_argument(
+        "--vectorized",
+        action="store_true",
+        help="serve queries with the batch-at-a-time (columnar) engine",
     )
     serve.set_defaults(func=cmd_serve)
     return parser

@@ -1,11 +1,13 @@
 """Volcano-style plan execution: SCAN, EXTEND/INTERSECT, HASH-JOIN, SINK
 operators, runtime profiling (i-cost, intermediate matches, cache hits),
-adaptive query-vertex-ordering selection, and parallel execution."""
+adaptive query-vertex-ordering selection, parallel execution, and a
+vectorized batch-at-a-time engine exchanging columnar morsels."""
 
 from repro.executor.profile import ExecutionProfile
 from repro.executor.pipeline import execute_plan, count_matches
 from repro.executor.adaptive import execute_adaptive
 from repro.executor.parallel import execute_parallel
+from repro.executor.vectorized import execute_plan_vectorized
 
 __all__ = [
     "ExecutionProfile",
@@ -13,4 +15,5 @@ __all__ = [
     "count_matches",
     "execute_adaptive",
     "execute_parallel",
+    "execute_plan_vectorized",
 ]

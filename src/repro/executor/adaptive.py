@@ -154,7 +154,26 @@ def execute_adaptive(
         return execute_plan(plan, graph, config=config, collect=collect)
 
     profile = ExecutionProfile()
-    base_operator = build_operator_tree(base_node, graph, profile, config, is_root=False)
+    if config.vectorized:
+        # The partial matches below the chain stream through the batch engine
+        # (columnar frames straight off the CSR arrays); the per-match
+        # ordering re-selection itself is inherently tuple-at-a-time.
+        from repro.executor.vectorized import build_batch_operator_tree
+
+        batch_base = build_batch_operator_tree(
+            base_node, graph, profile, config, is_root=False
+        )
+
+        def _base_tuples():
+            for frame in batch_base.frames():
+                for row in frame.tolist():
+                    yield tuple(row)
+
+        base_operator = _base_tuples()
+    else:
+        base_operator = build_operator_tree(
+            base_node, graph, profile, config, is_root=False
+        )
     base_vertices = tuple(base_node.out_vertices)
     templates = _build_templates(plan.query, base_vertices, graph, catalogue)
     if not templates:

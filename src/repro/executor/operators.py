@@ -60,6 +60,16 @@ class ExecutionConfig:
         query with a deadline cannot hang even when it produces no output
         rows.  :func:`repro.executor.pipeline.execute_plan` converts the
         exception into a partial (truncated) result.
+    vectorized:
+        Execute with the batch-at-a-time engine of
+        :mod:`repro.executor.vectorized`: operators exchange 2-D ``int64``
+        frames of bound tuples instead of per-tuple Python generators, which
+        removes interpreter overhead from the hot path.  Match counts are
+        identical to the iterator pipeline; only the order in which matches
+        are produced may differ.
+    batch_size:
+        Rows per columnar frame emitted by the batch SCAN operator (and the
+        granularity of deadline checks in vectorized mode).
     """
 
     enable_intersection_cache: bool = True
@@ -69,11 +79,78 @@ class ExecutionConfig:
     output_limit: Optional[int] = None
     triangle_index: Optional["TriangleIndex"] = None
     deadline: Optional[float] = None
+    vectorized: bool = False
+    batch_size: int = 2048
 
 
 # How many tuples an operator processes between deadline checks; keeps the
 # time.monotonic() overhead off the per-tuple hot path.
 DEADLINE_CHECK_STRIDE = 256
+
+
+def resolve_extend_descriptors(
+    node: ExtendNode, child_order: Tuple[str, ...]
+) -> List[Tuple[int, Direction, Optional[int]]]:
+    """Resolve an E/I node's descriptors to ``(tuple index, direction, edge
+    label)`` triples against the child's output order (shared by the iterator
+    and vectorized executors)."""
+    index_of = {v: i for i, v in enumerate(child_order)}
+    return [
+        (index_of[d.from_vertex], d.direction, d.edge_label) for d in node.descriptors
+    ]
+
+
+def resolve_hash_join(
+    node: HashJoinNode,
+) -> Tuple[List[int], List[int], List[int], List[Tuple[int, int, Optional[int]]]]:
+    """Column resolution for a HASH-JOIN node, shared by both executors.
+
+    Returns ``(build_key_idx, probe_key_idx, build_payload_idx,
+    filter_edges)``: key/payload column positions in the children's output
+    orders, plus the query edges of the joined sub-query covered by neither
+    child, resolved to ``(src column, dst column, edge label)`` in the node's
+    own output order (verified as post-filters).
+    """
+    build_order = node.build.out_vertices
+    probe_order = node.probe.out_vertices
+    build_key_idx = [build_order.index(v) for v in node.join_vertices]
+    probe_key_idx = [probe_order.index(v) for v in node.join_vertices]
+    probe_set = set(probe_order)
+    build_payload_idx = [i for i, v in enumerate(build_order) if v not in probe_set]
+    covered = {
+        (e.src, e.dst, e.label)
+        for child in (node.build, node.probe)
+        for e in child.sub_query.edges
+    }
+    out_index = {v: i for i, v in enumerate(node.out_vertices)}
+    filter_edges = [
+        (out_index[e.src], out_index[e.dst], e.label)
+        for e in node.sub_query.edges
+        if (e.src, e.dst, e.label) not in covered
+    ]
+    return build_key_idx, probe_key_idx, build_payload_idx, filter_edges
+
+
+def scan_edge_arrays(
+    scan_node: ScanNode, graph: Graph, config: ExecutionConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(src, dst)`` edge arrays for a SCAN leaf, with the config's scan
+    range applied when it targets this scan (shared by the iterator and
+    vectorized executors)."""
+    edge = scan_node.edge
+    query = scan_node.sub_query
+    src, dst = graph.edges(
+        edge_label=edge.label,
+        src_label=query.vertex_label(edge.src),
+        dst_label=query.vertex_label(edge.dst),
+    )
+    if config.scan_range is not None and (
+        config.scan_range_vertices is None
+        or tuple(config.scan_range_vertices) == tuple(scan_node.out_vertices)
+    ):
+        start, stop = config.scan_range
+        src, dst = src[start:stop], dst[start:stop]
+    return src, dst
 
 
 class Operator:
@@ -126,8 +203,6 @@ class ScanOperator(Operator):
         self.scan_node = node
         query = node.sub_query
         edge = node.edge
-        self._src_label = query.vertex_label(edge.src)
-        self._dst_label = query.vertex_label(edge.dst)
         self._extra_edges = [
             e
             for e in query.edges
@@ -136,17 +211,7 @@ class ScanOperator(Operator):
         self._reversed = node.out_vertices[0] != edge.src
 
     def _edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        edge = self.scan_node.edge
-        src, dst = self.graph.edges(
-            edge_label=edge.label, src_label=self._src_label, dst_label=self._dst_label
-        )
-        if self.config.scan_range is not None and (
-            self.config.scan_range_vertices is None
-            or tuple(self.config.scan_range_vertices) == tuple(self.scan_node.out_vertices)
-        ):
-            start, stop = self.config.scan_range
-            src, dst = src[start:stop], dst[start:stop]
-        return src, dst
+        return scan_edge_arrays(self.scan_node, self.graph, self.config)
 
     def __iter__(self) -> Iterator[Tuple[int, ...]]:
         edge = self.scan_node.edge
@@ -181,12 +246,7 @@ class ExtendIntersectOperator(Operator):
         super().__init__(node, *args, **kwargs)
         self.extend_node = node
         self.child = child
-        child_order = child.node.out_vertices
-        index_of = {v: i for i, v in enumerate(child_order)}
-        # Resolve descriptors to (tuple index, direction, edge label).
-        self._resolved: List[Tuple[int, Direction, Optional[int]]] = [
-            (index_of[d.from_vertex], d.direction, d.edge_label) for d in node.descriptors
-        ]
+        self._resolved = resolve_extend_descriptors(node, child.node.out_vertices)
         self._to_label = node.to_vertex_label
         self._cache_key: Optional[Tuple] = None
         self._cache_value: Optional[np.ndarray] = None
@@ -279,26 +339,12 @@ class HashJoinOperator(Operator):
         self.join_node = node
         self.build_child = build
         self.probe_child = probe
-        build_order = node.build.out_vertices
-        probe_order = node.probe.out_vertices
-        self._build_key_idx = [build_order.index(v) for v in node.join_vertices]
-        self._probe_key_idx = [probe_order.index(v) for v in node.join_vertices]
-        probe_set = set(probe_order)
-        self._build_payload_idx = [
-            i for i, v in enumerate(build_order) if v not in probe_set
-        ]
-        # Edges of the joined sub-query covered by neither child.
-        covered = {
-            (e.src, e.dst, e.label)
-            for child in (node.build, node.probe)
-            for e in child.sub_query.edges
-        }
-        out_index = {v: i for i, v in enumerate(node.out_vertices)}
-        self._filter_edges = [
-            (out_index[e.src], out_index[e.dst], e.label)
-            for e in node.sub_query.edges
-            if (e.src, e.dst, e.label) not in covered
-        ]
+        (
+            self._build_key_idx,
+            self._probe_key_idx,
+            self._build_payload_idx,
+            self._filter_edges,
+        ) = resolve_hash_join(node)
 
     def __iter__(self) -> Iterator[Tuple[int, ...]]:
         table: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}

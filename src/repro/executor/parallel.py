@@ -8,17 +8,22 @@ threads share the GIL, measured wall-clock speed-ups for Python-level work are
 bounded; the result therefore also reports the *work-based* speed-up (the
 maximum over workers of the work each performed, relative to the total), which
 is what the paper's near-linear scaling measures on a JVM.
+
+Scan-range morsels are also the natural unit of the vectorized batch engine:
+each range executes through :func:`repro.executor.pipeline.execute_plan` with
+the caller's config, so ``config.vectorized`` makes every worker process its
+morsel as columnar frames (and NumPy kernels release the GIL, improving the
+wall-clock scaling story).
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
-from repro.errors import DeadlineExceededError
-from repro.executor.operators import ExecutionConfig, build_operator_tree
+from repro.executor.operators import ExecutionConfig
 from repro.executor.profile import ExecutionProfile
 from repro.graph.graph import Graph
 from repro.planner.plan import Plan, ScanNode
@@ -102,34 +107,20 @@ def execute_parallel(
     def run_range(scan_range: Tuple[int, int]) -> Tuple[int, ExecutionProfile, bool, bool]:
         # A global output limit cannot be partitioned across morsels exactly,
         # but it still bounds each worker: no single range may contribute more
-        # than the limit, and the merged count is capped below.
-        worker_config = ExecutionConfig(
-            enable_intersection_cache=base_config.enable_intersection_cache,
-            isomorphism=base_config.isomorphism,
+        # than the limit, and the merged count is capped below.  Every other
+        # knob (intersection cache, isomorphism, vectorized batching, ...)
+        # carries over from the caller's config unchanged, so each morsel runs
+        # through the same engine the serial path would use.
+        from repro.executor.pipeline import execute_plan
+
+        worker_config = replace(
+            base_config,
             scan_range=scan_range,
             scan_range_vertices=tuple(scan.out_vertices),
-            output_limit=base_config.output_limit,
-            triangle_index=base_config.triangle_index,
-            deadline=base_config.deadline,
         )
-        profile = ExecutionProfile()
-        root = build_operator_tree(plan.root, graph, profile, worker_config, is_root=True)
-        count = 0
-        exceeded = False
-        range_truncated = False
-        try:
-            for _ in root:
-                count += 1
-                if (
-                    worker_config.output_limit is not None
-                    and count >= worker_config.output_limit
-                ):
-                    range_truncated = True
-                    break
-        except DeadlineExceededError:
-            exceeded = True
-        profile.output_matches = count
-        return count, profile, exceeded, range_truncated
+        result = execute_plan(plan, graph, config=worker_config)
+        range_truncated = result.truncated and not result.deadline_exceeded
+        return result.num_matches, result.profile, result.deadline_exceeded, range_truncated
 
     start_time = time.perf_counter()
     per_worker_work = [0] * num_workers

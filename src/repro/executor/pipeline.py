@@ -54,12 +54,19 @@ def execute_plan(
     ----------
     config:
         Execution knobs (intersection cache, isomorphism semantics, scan range,
-        output limit).  A default config is used when omitted.
+        output limit).  A default config is used when omitted.  When
+        ``config.vectorized`` is set the batch-at-a-time engine of
+        :mod:`repro.executor.vectorized` runs instead of the tuple-at-a-time
+        pipeline (identical match counts; match order may differ).
     collect:
         When True the matches themselves are materialised (tuples of vertex ids
         in the plan root's ``out_vertices`` order); otherwise only counted.
     """
     config = config or ExecutionConfig()
+    if config.vectorized:
+        from repro.executor.vectorized import execute_plan_vectorized
+
+        return execute_plan_vectorized(plan, graph, config=config, collect=collect)
     profile = ExecutionProfile()
     root = build_operator_tree(plan.root, graph, profile, config, is_root=True)
     matches: Optional[List[Tuple[int, ...]]] = [] if collect else None

@@ -25,8 +25,12 @@ class ExecutionProfile:
     index_hits: int = 0
     hash_table_entries: int = 0
     hash_probes: int = 0
+    batches: int = 0
     elapsed_seconds: float = 0.0
     per_operator: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # Wall-clock seconds spent inside each operator's own batch processing
+    # (vectorized mode only; the iterator pipeline interleaves operators).
+    operator_seconds: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def record_intersection(self, accessed_list_sizes: int) -> None:
@@ -45,10 +49,17 @@ class ExecutionProfile:
     def record_intermediate(self, count: int = 1) -> None:
         self.intermediate_matches += count
 
+    def record_batch(self) -> None:
+        """One columnar frame passed between operators (vectorized mode)."""
+        self.batches += 1
+
     def record_operator(self, name: str, **counters: int) -> None:
         entry = self.per_operator.setdefault(name, {})
         for key, value in counters.items():
             entry[key] = entry.get(key, 0) + int(value)
+
+    def record_operator_time(self, name: str, seconds: float) -> None:
+        self.operator_seconds[name] = self.operator_seconds.get(name, 0.0) + seconds
 
     # ------------------------------------------------------------------ #
     @property
@@ -67,6 +78,7 @@ class ExecutionProfile:
             index_hits=self.index_hits + other.index_hits,
             hash_table_entries=self.hash_table_entries + other.hash_table_entries,
             hash_probes=self.hash_probes + other.hash_probes,
+            batches=self.batches + other.batches,
             elapsed_seconds=max(self.elapsed_seconds, other.elapsed_seconds),
         )
         for source in (self.per_operator, other.per_operator):
@@ -74,6 +86,9 @@ class ExecutionProfile:
                 entry = merged.per_operator.setdefault(name, {})
                 for key, value in counters.items():
                     entry[key] = entry.get(key, 0) + value
+        for source in (self.operator_seconds, other.operator_seconds):
+            for name, seconds in source.items():
+                merged.operator_seconds[name] = merged.operator_seconds.get(name, 0.0) + seconds
         return merged
 
     def as_dict(self) -> Dict[str, float]:
@@ -86,6 +101,7 @@ class ExecutionProfile:
             "index_hits": self.index_hits,
             "hash_table_entries": self.hash_table_entries,
             "hash_probes": self.hash_probes,
+            "batches": self.batches,
             "elapsed_seconds": self.elapsed_seconds,
         }
 

@@ -101,6 +101,11 @@ class Graph:
     _merged_cache: Dict[Tuple[str, Optional[int], Optional[int]], _CSR] = field(
         default_factory=dict, repr=False
     )
+    # Sorted (u * num_vertices + w) key arrays per CSR partition, built lazily
+    # for the vectorized executor's batched membership tests.
+    _adj_key_cache: Dict[Tuple[str, Optional[int], Optional[int]], np.ndarray] = field(
+        default_factory=dict, repr=False
+    )
 
     # ------------------------------------------------------------------ #
     # construction
@@ -240,6 +245,57 @@ class Graph:
                 return np.array([], dtype=np.int64)
             return csr.neighbors(vertex)
         return self._merged(direction, edge_label, neighbor_label).neighbors(vertex)
+
+    def csr(
+        self,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> _CSR:
+        """The CSR partition backing :meth:`neighbors` for these filters.
+
+        The vectorized executor slices ``indptr``/``indices`` directly to
+        gather many adjacency lists in one NumPy operation; an empty CSR is
+        returned when no edge matches the filters.
+        """
+        if edge_label is not ANY_LABEL and neighbor_label is not ANY_LABEL:
+            csr = self._partition_map(direction).get((edge_label, neighbor_label))
+            if csr is None:
+                return _CSR(
+                    np.zeros(self.num_vertices + 1, dtype=np.int64),
+                    np.array([], dtype=np.int64),
+                )
+            return csr
+        return self._merged(direction, edge_label, neighbor_label)
+
+    def adjacency_key_array(
+        self,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> np.ndarray:
+        """Sorted array of ``u * num_vertices + w`` keys, one per adjacency
+        pair of the filtered partition.
+
+        ``w in neighbors(u, ...)`` becomes a vectorized ``searchsorted``
+        membership test over this array — the batch executor's replacement
+        for per-tuple :meth:`has_edge` calls.  Sorted by construction: the
+        CSR groups pairs by ascending ``u`` and each segment is sorted.
+        """
+        key = (direction.value, edge_label, neighbor_label)
+        cached = self._adj_key_cache.get(key)
+        if cached is not None:
+            return cached
+        csr = self.csr(direction, edge_label, neighbor_label)
+        degrees = np.diff(csr.indptr)
+        keys = (
+            np.repeat(np.arange(self.num_vertices, dtype=np.int64), degrees)
+            * self.num_vertices
+            + csr.indices
+        )
+        keys.setflags(write=False)
+        self._adj_key_cache[key] = keys
+        return keys
 
     def degree(
         self,

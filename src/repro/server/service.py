@@ -92,6 +92,13 @@ class QueryService:
         Morsel-parallel workers used *within* each query's execution
         (:func:`repro.executor.parallel.execute_parallel`); 1 means the
         single-threaded pipeline.
+    vectorized / batch_size:
+        Default execution mode for served queries: when ``vectorized`` is
+        True, plans run through the batch-at-a-time (columnar) engine with
+        ``batch_size``-row frames instead of the tuple-at-a-time pipeline.
+        Deadline and row-limit semantics are unchanged (deadlines are checked
+        per batch; the final frame is truncated to the row limit).  A
+        submission can override the mode per query.
     metrics_window_seconds:
         Width of the rolling metrics window reported by :meth:`stats`.
     """
@@ -104,6 +111,8 @@ class QueryService:
         default_deadline_seconds: Optional[float] = None,
         default_row_limit: Optional[int] = None,
         num_workers: int = 1,
+        vectorized: bool = False,
+        batch_size: int = 2048,
         metrics_window_seconds: float = 60.0,
     ) -> None:
         if max_concurrent < 1:
@@ -116,6 +125,8 @@ class QueryService:
         self.default_deadline_seconds = default_deadline_seconds
         self.default_row_limit = default_row_limit
         self.num_workers = num_workers
+        self.vectorized = vectorized
+        self.batch_size = batch_size
         self.metrics = ServiceMetrics(window_seconds=metrics_window_seconds)
         self._pool = ThreadPoolExecutor(
             max_workers=max_concurrent, thread_name_prefix="query-service"
@@ -179,6 +190,7 @@ class QueryService:
         deadline_seconds: Optional[float] = None,
         row_limit: Optional[int] = None,
         num_workers: Optional[int] = None,
+        vectorized: Optional[bool] = None,
         _block: bool = False,
     ) -> "Future[ServiceResult]":
         """Submit a query for asynchronous execution.
@@ -202,6 +214,7 @@ class QueryService:
                 deadline_seconds if deadline_seconds is not None else self.default_deadline_seconds,
                 row_limit if row_limit is not None else self.default_row_limit,
                 num_workers if num_workers is not None else self.num_workers,
+                vectorized if vectorized is not None else self.vectorized,
             )
         except BaseException:
             self._release()
@@ -218,6 +231,7 @@ class QueryService:
         adaptive: bool = False,
         deadline_seconds: Optional[float] = None,
         row_limit: Optional[int] = None,
+        vectorized: Optional[bool] = None,
     ) -> List[ServiceResult]:
         """Execute a batch, sharing planning across identical query shapes.
 
@@ -239,6 +253,7 @@ class QueryService:
                 adaptive=adaptive,
                 deadline_seconds=deadline_seconds,
                 row_limit=row_limit,
+                vectorized=vectorized,
                 _block=True,
             )
             for graph in graphs
@@ -269,6 +284,7 @@ class QueryService:
         deadline_seconds: Optional[float],
         row_limit: Optional[int],
         num_workers: int,
+        vectorized: bool,
     ) -> ServiceResult:
         start = time.monotonic()
         queue_seconds = start - submit_time
@@ -280,7 +296,12 @@ class QueryService:
                 # The deadline expired while the query sat in the queue.
                 status = STATUS_DEADLINE_EXCEEDED
             else:
-                config = ExecutionConfig(output_limit=row_limit, deadline=deadline)
+                config = ExecutionConfig(
+                    output_limit=row_limit,
+                    deadline=deadline,
+                    vectorized=vectorized,
+                    batch_size=self.batch_size,
+                )
                 result = self.db.execute(
                     query,
                     adaptive=adaptive,

@@ -1,0 +1,304 @@
+"""Vectorized-vs-iterator equivalence tests.
+
+For every query shape the integration fixtures exercise (triangles, tailed
+triangle, diamonds, cliques, labeled variants), the batch engine must produce
+bit-identical match counts and identical sorted match sets; deadline and
+``output_limit`` semantics must carry over to batch mode as well.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.executor.operators import ExecutionConfig
+from repro.executor.pipeline import count_matches, execute_plan
+from repro.executor.vectorized import (
+    _expansion_segments,
+    _membership,
+    _ragged_positions,
+    build_batch_operator_tree,
+)
+from repro.executor.profile import ExecutionProfile
+from repro.graph.triangle_index import TriangleIndex
+from repro.planner.plan import Plan, make_hash_join, make_scan, wco_plan_from_order
+from repro.planner.qvo import enumerate_wco_plans
+from repro.query import catalog_queries as cq
+from repro.query.query_graph import QueryGraph
+
+VEC = dict(vectorized=True)
+
+QUERY_SHAPES = [
+    ("triangle", cq.triangle()),
+    ("directed-3-cycle", cq.directed_3cycle()),
+    ("tailed-triangle", cq.tailed_triangle()),
+    ("diamond-x", cq.diamond_x()),
+    ("symmetric-diamond-x", cq.symmetric_diamond_x()),
+    ("4-cycle", cq.q2()),
+    ("4-clique", cq.q5()),
+    ("two-triangles", cq.q8()),
+]
+
+LABELED_SHAPES = [
+    (
+        "labeled-path",
+        QueryGraph(
+            [("a1", "a2", 0), ("a2", "a3", 1)],
+            vertex_labels={"a1": 0, "a2": 0, "a3": 1},
+        ),
+    ),
+    ("labeled-triangle", QueryGraph([("a1", "a2", 0), ("a2", "a3", 0), ("a1", "a3", 0)])),
+]
+
+
+def assert_equivalent(plan, graph, config_kwargs=None, batch_size=97):
+    """The vectorized run must match the iterator run exactly: same count and
+    the same sorted set of collected matches."""
+    config_kwargs = config_kwargs or {}
+    iterator = execute_plan(plan, graph, ExecutionConfig(**config_kwargs), collect=True)
+    vectorized = execute_plan(
+        plan,
+        graph,
+        ExecutionConfig(vectorized=True, batch_size=batch_size, **config_kwargs),
+        collect=True,
+    )
+    assert iterator.num_matches == vectorized.num_matches
+    assert sorted(iterator.matches) == sorted(vectorized.matches)
+    return iterator, vectorized
+
+
+class TestEquivalenceOnQuerySet:
+    @pytest.mark.parametrize("name,query", QUERY_SHAPES, ids=[n for n, _ in QUERY_SHAPES])
+    def test_random_graph(self, random_graph, name, query):
+        for plan in enumerate_wco_plans(query)[:3]:
+            assert_equivalent(plan, random_graph)
+
+    @pytest.mark.parametrize("name,query", QUERY_SHAPES, ids=[n for n, _ in QUERY_SHAPES])
+    def test_social_graph_counts(self, social_graph, name, query):
+        plan = enumerate_wco_plans(query)[0]
+        it = count_matches(plan, social_graph)
+        vec = count_matches(plan, social_graph, ExecutionConfig(**VEC))
+        assert it == vec
+
+    @pytest.mark.parametrize(
+        "name,query", LABELED_SHAPES, ids=[n for n, _ in LABELED_SHAPES]
+    )
+    def test_labeled_variants(self, labeled_graph, name, query):
+        plan = wco_plan_from_order(query, ("a1", "a2", "a3"))
+        assert_equivalent(plan, labeled_graph, batch_size=2)
+
+    def test_isomorphism_semantics(self, tiny_graph, random_graph):
+        for graph in (tiny_graph, random_graph):
+            plan = wco_plan_from_order(cq.q2(), ("a1", "a2", "a3", "a4"))
+            assert_equivalent(plan, graph, {"isomorphism": True})
+
+    def test_reciprocal_edge_scan_filters(self, tiny_graph):
+        q = QueryGraph([("a1", "a2"), ("a2", "a1")])
+        plan = wco_plan_from_order(q, ("a1", "a2"))
+        it, vec = assert_equivalent(plan, tiny_graph)
+        assert vec.num_matches == 2
+
+    def test_batch_size_one(self, tiny_graph):
+        plan = wco_plan_from_order(cq.triangle(), ("a1", "a2", "a3"))
+        assert_equivalent(plan, tiny_graph, batch_size=1)
+
+    def test_empty_result(self, tiny_graph):
+        q = QueryGraph([("a1", "a2", 7)])  # no edges carry label 7
+        plan = Plan(query=q, root=make_scan(q, q.edges[0]))
+        result = execute_plan(plan, tiny_graph, ExecutionConfig(**VEC))
+        assert result.num_matches == 0 and not result.truncated
+
+    def test_intersection_cache_disabled(self, social_graph):
+        plan = wco_plan_from_order(cq.diamond_x(), ("a2", "a3", "a1", "a4"))
+        assert_equivalent(plan, social_graph, {"enable_intersection_cache": False})
+
+
+class TestHashJoinEquivalence:
+    def _hybrid_diamond_plan(self):
+        q = cq.diamond_x()
+        left = wco_plan_from_order(q.project(["a1", "a2", "a3"]), ("a1", "a2", "a3"))
+        right = wco_plan_from_order(q.project(["a2", "a3", "a4"]), ("a2", "a3", "a4"))
+        return Plan(query=q, root=make_hash_join(q, left.root, right.root))
+
+    def test_hybrid_plan(self, random_graph):
+        assert_equivalent(self._hybrid_diamond_plan(), random_graph)
+
+    def test_hybrid_plan_isomorphism(self, random_graph):
+        assert_equivalent(self._hybrid_diamond_plan(), random_graph, {"isomorphism": True})
+
+    def test_uncovered_edge_post_filter(self, tiny_graph):
+        q = cq.triangle()
+        left = q.project(["a1", "a2"])
+        right = q.project(["a2", "a3"])
+        join = make_hash_join(q, make_scan(left, left.edges[0]), make_scan(right, right.edges[0]))
+        assert_equivalent(Plan(query=q, root=join), tiny_graph, batch_size=3)
+
+    def test_python_table_fallback(self, random_graph, monkeypatch):
+        import repro.executor.vectorized as vectorized
+
+        monkeypatch.setattr(vectorized, "_CODE_BITS", 0)
+        assert_equivalent(self._hybrid_diamond_plan(), random_graph)
+
+
+class TestTriangleIndexBatchPath:
+    def test_index_served_extensions_match(self, random_graph):
+        index = TriangleIndex.build(random_graph)
+        plan = wco_plan_from_order(cq.diamond_x(), ("a1", "a2", "a3", "a4"))
+        it, vec = assert_equivalent(plan, random_graph, {"triangle_index": index})
+        assert vec.profile.index_hits > 0
+
+
+class TestBatchModeResourceBounds:
+    def test_output_limit_truncates_final_frame(self, random_graph):
+        plan = wco_plan_from_order(cq.triangle(), ("a1", "a2", "a3"))
+        result = execute_plan(
+            plan, random_graph, ExecutionConfig(output_limit=5, **VEC), collect=True
+        )
+        assert result.num_matches == 5
+        assert result.truncated and not result.deadline_exceeded
+        assert len(result.matches) == 5
+
+    def test_output_limit_without_collect(self, random_graph):
+        plan = wco_plan_from_order(cq.triangle(), ("a1", "a2", "a3"))
+        result = execute_plan(plan, random_graph, ExecutionConfig(output_limit=7, **VEC))
+        assert result.num_matches == 7 and result.truncated
+
+    def test_expired_deadline_reports_partial(self, random_graph):
+        plan = wco_plan_from_order(cq.diamond_x(), ("a1", "a2", "a3", "a4"))
+        result = execute_plan(
+            plan,
+            random_graph,
+            ExecutionConfig(deadline=time.monotonic() - 1.0, **VEC),
+        )
+        assert result.deadline_exceeded and result.truncated
+        assert result.num_matches == 0
+
+    def test_generous_deadline_is_not_triggered(self, tiny_graph):
+        plan = wco_plan_from_order(cq.triangle(), ("a1", "a2", "a3"))
+        result = execute_plan(
+            plan, tiny_graph, ExecutionConfig(deadline=time.monotonic() + 60.0, **VEC)
+        )
+        assert not result.deadline_exceeded
+        assert result.num_matches == count_matches(plan, tiny_graph)
+
+
+class TestBatchProfile:
+    def test_batch_counters_and_operator_times(self, random_graph):
+        plan = wco_plan_from_order(cq.diamond_x(), ("a1", "a2", "a3", "a4"))
+        result = execute_plan(plan, random_graph, ExecutionConfig(batch_size=64, **VEC))
+        profile = result.profile
+        assert profile.batches > 0
+        assert any("batches" in entry for entry in profile.per_operator.values())
+        assert profile.operator_seconds  # wall time per operator recorded
+        assert profile.intersection_cost > 0
+        assert "batches" in profile.as_dict()
+
+    def test_grouping_subsumes_intersection_cache(self, social_graph):
+        # A cache-friendly ordering (duplicate adjacency keys) must register
+        # cache hits through the batch grouping as well.
+        plan = wco_plan_from_order(cq.symmetric_diamond_x(), ("a2", "a3", "a1", "a4"))
+        result = execute_plan(plan, social_graph, ExecutionConfig(**VEC))
+        assert result.profile.cache_hits > 0
+
+
+class TestScanRange:
+    def test_partitioned_scan_counts_add_up(self, random_graph):
+        plan = wco_plan_from_order(cq.triangle(), ("a1", "a2", "a3"))
+        full = count_matches(plan, random_graph, ExecutionConfig(**VEC))
+        m = random_graph.num_edges
+        half1 = count_matches(
+            plan, random_graph, ExecutionConfig(scan_range=(0, m // 2), **VEC)
+        )
+        half2 = count_matches(
+            plan, random_graph, ExecutionConfig(scan_range=(m // 2, m), **VEC)
+        )
+        assert half1 + half2 == full
+
+
+class TestModeComposition:
+    def test_parallel_morsels_execute_vectorized(self, random_graph):
+        from repro.executor.parallel import execute_parallel
+
+        plan = wco_plan_from_order(cq.triangle(), ("a1", "a2", "a3"))
+        serial = count_matches(plan, random_graph)
+        parallel = execute_parallel(
+            plan,
+            random_graph,
+            num_workers=2,
+            morsel_size=128,
+            config=ExecutionConfig(**VEC),
+        )
+        assert parallel.num_matches == serial
+        assert parallel.profile.batches > 0
+
+    def test_adaptive_base_streams_batches(self, random_graph):
+        from repro.executor.adaptive import execute_adaptive
+
+        plan = wco_plan_from_order(cq.diamond_x(), ("a1", "a2", "a3", "a4"))
+        fixed = count_matches(plan, random_graph)
+        adaptive = execute_adaptive(plan, random_graph, config=ExecutionConfig(**VEC))
+        assert adaptive.num_matches == fixed
+
+    def test_api_and_service_expose_the_mode(self, random_graph):
+        from repro.api import GraphflowDB
+        from repro.server.service import QueryService
+
+        db = GraphflowDB(random_graph)
+        db.build_catalogue(z=50)
+        expected = db.execute(cq.triangle()).num_matches
+        assert db.execute(cq.triangle(), vectorized=True).num_matches == expected
+        assert (
+            db.execute(cq.triangle(), vectorized=True, adaptive=True).num_matches
+            == expected
+        )
+        with QueryService(db, vectorized=True) as service:
+            served = service.execute(cq.triangle())
+            assert served.status == "ok" and served.num_matches == expected
+            limited = service.execute(cq.triangle(), row_limit=3)
+            assert limited.status == "truncated" and limited.num_matches == 3
+            # Per-query override back to the iterator pipeline.
+            assert service.execute(cq.triangle(), vectorized=False).num_matches == expected
+
+
+class TestVectorizedHelpers:
+    def test_ragged_positions(self):
+        starts = np.array([10, 0, 5], dtype=np.int64)
+        counts = np.array([2, 0, 3], dtype=np.int64)
+        assert _ragged_positions(starts, counts).tolist() == [10, 11, 5, 6, 7]
+
+    def test_ragged_positions_empty(self):
+        empty = np.array([], dtype=np.int64)
+        assert len(_ragged_positions(empty, empty)) == 0
+
+    def test_expansion_segments_respect_cap(self):
+        counts = np.array([3, 3, 3, 10, 1, 1], dtype=np.int64)
+        segments = list(_expansion_segments(counts, cap=6))
+        assert segments[0] == (0, 2)  # 3 + 3 == cap
+        assert all(lo < hi for lo, hi in segments)
+        assert segments[-1][1] == len(counts)
+        covered = [i for lo, hi in segments for i in range(lo, hi)]
+        assert covered == list(range(len(counts)))
+        # Every segment's total is <= cap unless it is a single oversized row.
+        for lo, hi in segments:
+            assert counts[lo:hi].sum() <= 6 or hi - lo == 1
+
+    def test_output_frames_are_bounded(self, social_graph):
+        # A clique query on a clustered graph has high fanout; no frame
+        # handed upstream may grow far beyond batch_size regardless.
+        plan = wco_plan_from_order(cq.q5(), ("a1", "a2", "a3", "a4"))
+        config = ExecutionConfig(vectorized=True, batch_size=32)
+        root = build_batch_operator_tree(
+            plan.root, social_graph, ExecutionProfile(), config
+        )
+        max_fanout = 0
+        for frame in root.frames():
+            # Bound: cap plus one oversized row's own fanout.
+            assert frame.shape[0] <= 32 + social_graph.num_vertices
+            max_fanout = max(max_fanout, frame.shape[0])
+        assert max_fanout > 0
+
+    def test_membership(self):
+        keys = np.array([2, 5, 9], dtype=np.int64)
+        probe = np.array([5, 3, 9, 11], dtype=np.int64)
+        assert _membership(keys, probe).tolist() == [True, False, True, False]
+        assert _membership(np.array([], dtype=np.int64), probe).tolist() == [False] * 4

@@ -7,8 +7,11 @@ from hypothesis import strategies as st
 
 from repro.graph.intersect import (
     contains_sorted,
+    gallop_search,
     intersect_multiway,
     intersect_sorted,
+    intersect_sorted_gallop,
+    intersect_sorted_gallop_python,
     intersect_sorted_python,
     is_sorted_unique,
 )
@@ -52,6 +55,62 @@ class TestIntersectSorted:
         assert is_sorted_unique(got)
         assert set(got).issubset(set(a.tolist()))
         assert set(got).issubset(set(b.tolist()))
+
+
+class TestGallop:
+    def test_gallop_search_insertion_points(self):
+        arr = [1, 4, 7, 9]
+        assert gallop_search(arr, 0) == 0
+        assert gallop_search(arr, 4) == 1
+        assert gallop_search(arr, 5) == 2
+        assert gallop_search(arr, 10) == 4
+        assert gallop_search(arr, 7, lo=2) == 2
+        assert gallop_search([], 3) == 0
+
+    def test_skewed_pair(self):
+        small = np.array([5, 1000, 100_000], dtype=np.int64)
+        large = np.arange(0, 200_000, 2, dtype=np.int64)
+        expected = [x for x in small.tolist() if x % 2 == 0]
+        assert list(intersect_sorted_gallop(small, large)) == expected
+        assert list(intersect_sorted(small, large)) == expected
+
+    def test_empty_inputs(self):
+        a = np.array([], dtype=np.int64)
+        b = np.array([1, 2, 3], dtype=np.int64)
+        assert len(intersect_sorted_gallop(a, b)) == 0
+        assert len(intersect_sorted_gallop(b, a)) == 0
+
+    @given(sorted_unique_arrays, sorted_unique_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_gallop_matches_merge_reference(self, a, b):
+        small, large = (a, b) if len(a) <= len(b) else (b, a)
+        expected = intersect_sorted_python(a.tolist(), b.tolist())
+        assert list(intersect_sorted_gallop(small, large)) == expected
+        assert intersect_sorted_gallop_python(small.tolist(), large.tolist()) == expected
+
+    @given(sorted_unique_arrays, sorted_unique_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_gallop_result_is_sorted_unique_subset(self, a, b):
+        small, large = (a, b) if len(a) <= len(b) else (b, a)
+        got = intersect_sorted_gallop(small, large)
+        assert is_sorted_unique(got)
+        assert set(got.tolist()) <= set(small.tolist()) & set(large.tolist())
+
+
+class TestEmptySingleton:
+    def test_empty_result_is_read_only(self):
+        a = np.array([], dtype=np.int64)
+        b = np.array([1, 2, 3], dtype=np.int64)
+        empty = intersect_sorted(a, b)
+        assert len(empty) == 0
+        assert not empty.flags.writeable
+        with pytest.raises(ValueError):
+            empty.fill(0)
+
+    def test_disjoint_multiway_empty_is_read_only(self):
+        out = intersect_multiway([np.array([1, 2]), np.array([], dtype=np.int64)])
+        assert len(out) == 0
+        assert not out.flags.writeable
 
 
 class TestIntersectMultiway:
