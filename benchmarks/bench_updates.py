@@ -1,0 +1,149 @@
+"""Update-throughput benchmark: delta-CSR path vs per-batch index rebuild.
+
+Identical random insert batches are applied to two ``ContinuousQueryEngine``
+instances maintaining a registered triangle query:
+
+- **delta path** — the default ``DynamicGraph``: each batch appends sorted
+  per-vertex deltas, the delta terms read O(1) MVCC snapshots, and the CSR
+  base is only rebuilt when the overlay crosses the compaction threshold;
+- **rebuild path** — a ``DynamicGraph`` configured to compact after *every*
+  batch, which reproduces the pre-delta-store behaviour of reconstructing the
+  full adjacency index per update batch.
+
+Both paths must agree on every maintained count.  The acceptance bar is a
+>= 5x delta-path speedup on the largest synthetic graph; results (including
+updates/sec) are recorded in ``BENCH_updates.json`` at the repo root.
+
+Run directly (also the CI smoke test):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_updates.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro import datasets
+from repro.continuous import ContinuousQueryEngine
+from repro.query import catalog_queries as cq
+from repro.storage import DynamicGraph
+
+# Ordered smallest to largest; the acceptance bar applies to the last one.
+GRAPHS = [
+    ("amazon", 0.5),
+    ("epinions", 1.0),
+    ("livejournal", 1.0),
+]
+
+# Many small batches: the per-batch index-rebuild overhead is what the delta
+# path eliminates, while the shared delta-counting work stays proportional to
+# the batch size.
+NUM_BATCHES = 25
+BATCH_SIZE = 20
+MIN_SPEEDUP_LARGEST = 5.0
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_updates.json"
+
+
+def _make_batches(graph, seed: int = 0) -> List[List[Tuple[int, int, int]]]:
+    """Deterministic fresh-edge batches (absent from the graph and from each
+    other), shared by both paths."""
+    rng = np.random.default_rng(seed)
+    used = set()
+    batches = []
+    n = graph.num_vertices
+    for _ in range(NUM_BATCHES):
+        batch = []
+        while len(batch) < BATCH_SIZE:
+            src, dst = (int(x) for x in rng.integers(0, n, 2))
+            if src != dst and (src, dst) not in used and not graph.has_edge(src, dst, 0):
+                used.add((src, dst))
+                batch.append((src, dst, 0))
+        batches.append(batch)
+    return batches
+
+
+def _run_path(graph, batches, rebuild_per_batch: bool) -> Tuple[List[int], float, int]:
+    """Apply all batches; returns (per-batch totals, apply seconds, compactions)."""
+    if rebuild_per_batch:
+        # Threshold 0 forces a full CSR rebuild (compaction) on every write
+        # batch — the pre-delta-store behaviour.
+        dynamic = DynamicGraph(graph, compact_ratio=0.0, compact_min_edges=0)
+    else:
+        dynamic = DynamicGraph(graph)
+    engine = ContinuousQueryEngine(dynamic)
+    engine.register("triangles", cq.triangle())
+    totals = []
+    start = time.perf_counter()
+    for batch in batches:
+        (result,) = engine.insert_edges(batch)
+        totals.append(result.total)
+    elapsed = time.perf_counter() - start
+    return totals, elapsed, dynamic.compactions
+
+
+def run_benchmark() -> Dict:
+    rows: List[Dict] = []
+    for name, scale in GRAPHS:
+        graph = datasets.load(name, scale=scale)
+        batches = _make_batches(graph)
+        totals_delta, sec_delta, compactions = _run_path(graph, batches, rebuild_per_batch=False)
+        totals_rebuild, sec_rebuild, rebuilds = _run_path(graph, batches, rebuild_per_batch=True)
+        assert totals_delta == totals_rebuild, (
+            f"{name}: delta-path totals diverged from rebuild-path totals"
+        )
+        num_edges_applied = NUM_BATCHES * BATCH_SIZE
+        rows.append(
+            {
+                "graph": name,
+                "scale": scale,
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "batches": NUM_BATCHES,
+                "batch_size": BATCH_SIZE,
+                "final_triangles": totals_delta[-1],
+                "delta_seconds": round(sec_delta, 4),
+                "rebuild_seconds": round(sec_rebuild, 4),
+                "delta_updates_per_second": round(num_edges_applied / sec_delta, 1),
+                "rebuild_updates_per_second": round(num_edges_applied / sec_rebuild, 1),
+                "delta_compactions": compactions,
+                "rebuild_compactions": rebuilds,
+                "speedup": round(sec_rebuild / sec_delta, 2),
+            }
+        )
+        print(
+            f"{name}(x{scale}): {num_edges_applied} edges, "
+            f"delta {sec_delta:.3f}s ({num_edges_applied / sec_delta:.0f} up/s), "
+            f"rebuild {sec_rebuild:.3f}s ({num_edges_applied / sec_rebuild:.0f} up/s) "
+            f"-> {sec_rebuild / sec_delta:.1f}x"
+        )
+    largest = GRAPHS[-1][0]
+    largest_row = next(r for r in rows if r["graph"] == largest)
+    return {
+        "benchmark": "updates",
+        "largest_graph": largest,
+        "largest_graph_speedup": largest_row["speedup"],
+        "largest_graph_updates_per_second": largest_row["delta_updates_per_second"],
+        "min_required_speedup": MIN_SPEEDUP_LARGEST,
+        "results": rows,
+    }
+
+
+def test_bench_update_throughput():
+    report = run_benchmark()
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {RESULT_PATH.name}")
+    speedup = report["largest_graph_speedup"]
+    assert speedup >= MIN_SPEEDUP_LARGEST, (
+        f"the delta update path should be >= {MIN_SPEEDUP_LARGEST}x the "
+        f"rebuild-per-batch path on the largest synthetic graph, got {speedup:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    test_bench_update_throughput()

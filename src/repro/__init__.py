@@ -19,22 +19,26 @@ The most convenient entry point is :class:`repro.api.GraphflowDB`:
     217
 """
 
-from repro.api import GraphflowDB, QueryResult
+from repro.api import GraphflowDB, QueryResult, UpdateResult
 from repro.graph.graph import Graph, Direction
 from repro.graph.builder import GraphBuilder
 from repro.query.query_graph import QueryGraph, QueryEdge
 from repro.query import catalog_queries as queries
 from repro.server import PlanCache, PreparedQuery, QueryService, ServiceResult
+from repro.storage import DynamicGraph, GraphSnapshot
 from repro import datasets
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GraphflowDB",
     "QueryResult",
+    "UpdateResult",
     "Graph",
     "GraphBuilder",
     "Direction",
+    "DynamicGraph",
+    "GraphSnapshot",
     "QueryGraph",
     "QueryEdge",
     "queries",

@@ -18,8 +18,9 @@ True
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple, Union
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.catalogue.catalogue import SubgraphCatalogue
 from repro.catalogue.construction import build_catalogue
@@ -31,7 +32,7 @@ from repro.executor.parallel import ParallelResult, execute_parallel
 from repro.executor.pipeline import ExecutionResult, execute_plan
 from repro.graph.graph import Graph
 from repro.graph.schema import GraphSchema
-from repro.planner.cost_model import CostModel
+from repro.planner.cost_model import CostModel, constants_for
 from repro.planner.dp_optimizer import DynamicProgrammingOptimizer
 from repro.planner.full_enumeration import FullEnumerationOptimizer
 from repro.planner.plan import Plan
@@ -40,6 +41,29 @@ from repro.query.isomorphism import isomorphism_mapping
 from repro.query.parser import parse_query
 from repro.query.query_graph import QueryGraph
 from repro.server.plan_cache import PlanCache
+from repro.storage.dynamic import DynamicGraph
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one :meth:`GraphflowDB.apply_updates` batch."""
+
+    inserted: List[Tuple[int, int, int]] = field(default_factory=list)
+    deleted: List[Tuple[int, int, int]] = field(default_factory=list)
+    new_vertices: List[int] = field(default_factory=list)
+    version: int = 0
+    elapsed_seconds: float = 0.0
+    compacted: bool = False
+
+    @property
+    def num_applied(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateResult(+{len(self.inserted)}/-{len(self.deleted)} edges, "
+            f"+{len(self.new_vertices)} vertices, version={self.version})"
+        )
 
 
 @dataclass
@@ -68,7 +92,7 @@ class GraphflowDB:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Union[Graph, DynamicGraph],
         catalogue: Optional[SubgraphCatalogue] = None,
         schema: Optional[GraphSchema] = None,
         plan_cache_capacity: int = 128,
@@ -76,7 +100,8 @@ class GraphflowDB:
         self.graph = graph
         self.catalogue = catalogue
         self.schema = schema
-        self._cost_model: Optional[CostModel] = None
+        # One cost model per execution mode (iterator / vectorized constants).
+        self._cost_models: dict = {}
         # Plans are cached by canonical query form so repeated (possibly
         # vertex-renamed) queries skip the DP optimizer; pass 0 to disable.
         self.plan_cache: Optional[PlanCache] = (
@@ -88,6 +113,13 @@ class GraphflowDB:
         # Guards lazy catalogue/cost-model construction when concurrent
         # QueryService workers plan different query shapes on a cold database.
         self._stats_lock = threading.Lock()
+        # Serialises apply_updates callers (the DynamicGraph additionally has
+        # its own write lock, but catalogue/cache maintenance must be atomic
+        # with respect to other writers too).  Re-entrant: apply_updates
+        # calls to_dynamic() which takes it as well.
+        self._write_lock = threading.RLock()
+        # Logical version of the served graph; bumped by apply_updates.
+        self.graph_version = graph.version if isinstance(graph, DynamicGraph) else 0
 
     # ------------------------------------------------------------------ #
     # catalogue / cost model management
@@ -104,31 +136,130 @@ class GraphflowDB:
         Entries are measured lazily as the optimizer needs them unless a set
         of queries to precompute for is given.
         """
-        self.catalogue = build_catalogue(self.graph, h=h, z=z, seed=seed, queries=queries)
-        self._cost_model = None
+        self.catalogue = build_catalogue(self._read_graph(), h=h, z=z, seed=seed, queries=queries)
+        self._cost_models = {}
         # Cached plans were costed against the old catalogue; flush them.
         if self.plan_cache is not None:
             self.plan_cache.invalidate()
         return self.catalogue
 
-    def set_graph(self, graph: Graph) -> None:
+    def set_graph(self, graph: Union[Graph, DynamicGraph]) -> None:
         """Replace the data graph, dropping the catalogue, cost model, and
         every cached plan (all were derived from the old graph)."""
         self.graph = graph
         self.catalogue = None
-        self._cost_model = None
+        self._cost_models = {}
+        self.graph_version = graph.version if isinstance(graph, DynamicGraph) else 0
         if self.plan_cache is not None:
             self.plan_cache.invalidate()
 
+    def _read_graph(self, materialize: bool = False):
+        """The graph object queries should read: a pinned MVCC snapshot for a
+        :class:`DynamicGraph` (compacted to a flat CSR when ``materialize``),
+        the graph itself otherwise."""
+        if isinstance(self.graph, DynamicGraph):
+            return self.graph.snapshot(materialize=materialize)
+        return self.graph
+
+    # ------------------------------------------------------------------ #
+    # live updates
+    # ------------------------------------------------------------------ #
+    def to_dynamic(self) -> DynamicGraph:
+        """Ensure the served graph is a :class:`DynamicGraph` (wrapping the
+        current immutable graph in place if needed) and return it."""
+        with self._write_lock:
+            if not isinstance(self.graph, DynamicGraph):
+                self.graph = DynamicGraph(self.graph)
+            return self.graph
+
+    def apply_updates(
+        self,
+        inserts: Iterable[Tuple[int, ...]] = (),
+        deletes: Iterable[Tuple[int, ...]] = (),
+        new_vertex_labels: Optional[Sequence[int]] = None,
+    ) -> UpdateResult:
+        """Apply a batch of live updates to the served graph.
+
+        Inserts/deletes are ``(src, dst[, label])`` tuples; already-present
+        inserts and missing deletes are ignored.  ``new_vertex_labels`` adds
+        one vertex per entry.  On any effective change the graph version is
+        bumped, every cached plan is invalidated (statistics changed), and
+        the catalogue's edge/label statistics are maintained incrementally —
+        no full catalogue rebuild.  In-flight queries keep reading the
+        snapshot they pinned at execution start.
+        """
+        start = time.perf_counter()
+        dynamic = self.to_dynamic()
+        with self._write_lock:
+            compactions_before = dynamic.compactions
+            new_ids = (
+                dynamic.add_vertices(labels=new_vertex_labels) if new_vertex_labels else []
+            )
+            inserted = dynamic.add_edges(inserts) if inserts else []
+            deleted = dynamic.delete_edges(deletes) if deletes else []
+            if inserted or deleted or new_ids:
+                self._note_writes_locked(inserted, deleted)
+            return UpdateResult(
+                inserted=inserted,
+                deleted=deleted,
+                new_vertices=new_ids,
+                version=dynamic.version,
+                elapsed_seconds=time.perf_counter() - start,
+                compacted=dynamic.compactions > compactions_before,
+            )
+
+    def note_external_writes(
+        self,
+        inserted: Sequence[Tuple[int, int, int]] = (),
+        deleted: Sequence[Tuple[int, int, int]] = (),
+    ) -> None:
+        """Refresh planning state after writes applied directly to the shared
+        :class:`DynamicGraph` (e.g. through a
+        :class:`~repro.continuous.engine.ContinuousQueryEngine`).
+
+        ``inserted`` / ``deleted`` must be exactly the effectively-applied
+        ``(src, dst, label)`` triples, so the catalogue statistics stay
+        exact.
+        """
+        with self._write_lock:
+            self._note_writes_locked(list(inserted), list(deleted))
+
+    def _note_writes_locked(
+        self,
+        inserted: Sequence[Tuple[int, int, int]],
+        deleted: Sequence[Tuple[int, int, int]],
+    ) -> None:
+        graph = self.graph
+        if self.catalogue is not None and (inserted or deleted):
+            self.catalogue.apply_edge_delta(inserted, deleted, graph.vertex_labels)
+        # Cost models cache cardinalities derived from the old statistics.
+        self._cost_models = {}
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate()
+        self.graph_version = (
+            graph.version if isinstance(graph, DynamicGraph) else self.graph_version + 1
+        )
+
     @property
     def cost_model(self) -> CostModel:
-        if self._cost_model is None:
+        return self.cost_model_for(vectorized=False)
+
+    def cost_model_for(self, vectorized: bool) -> CostModel:
+        """The per-execution-mode cost model (batch-aware constants when
+        ``vectorized``), built lazily against the current statistics."""
+        key = "vectorized" if vectorized else "iterator"
+        model = self._cost_models.get(key)
+        if model is None:
             with self._stats_lock:
                 if self.catalogue is None:
                     self.build_catalogue(z=200)
-                if self._cost_model is None:
-                    self._cost_model = CostModel(self.graph, self.catalogue)
-        return self._cost_model
+                model = self._cost_models.get(key)
+                if model is None:
+                    model = CostModel(
+                        self._read_graph(), self.catalogue, constants=constants_for(vectorized)
+                    )
+                    self._cost_models[key] = model
+        return model
 
     # ------------------------------------------------------------------ #
     # planning
@@ -146,20 +277,24 @@ class GraphflowDB:
         full_enumeration: bool = False,
         enable_binary_joins: bool = True,
         use_cache: bool = True,
+        vectorized: bool = False,
     ) -> Plan:
         """Return the optimizer's plan, consulting the plan cache.
 
         Plans are cached by the query's canonical form plus the planner
         options, so isomorphic queries (same shape and labels under vertex
         renaming) share one optimizer invocation.  Pass ``use_cache=False``
-        to force a fresh optimization without touching the cache.
+        to force a fresh optimization without touching the cache.  With
+        ``vectorized=True`` the plan is priced with the batch engine's
+        per-batch cost constants (and cached under a separate key).
         """
         query = self._as_query(query)
         if not use_cache or self.plan_cache is None:
-            return self._plan_uncached(query, full_enumeration, enable_binary_joins)
-        key = (query.canonical_key(), full_enumeration, enable_binary_joins)
+            return self._plan_uncached(query, full_enumeration, enable_binary_joins, vectorized)
+        key = (query.canonical_key(), full_enumeration, enable_binary_joins, vectorized)
         return self.plan_cache.get_or_compute(
-            key, lambda: self._plan_uncached(query, full_enumeration, enable_binary_joins)
+            key,
+            lambda: self._plan_uncached(query, full_enumeration, enable_binary_joins, vectorized),
         )
 
     def _plan_uncached(
@@ -167,17 +302,19 @@ class GraphflowDB:
         query: QueryGraph,
         full_enumeration: bool = False,
         enable_binary_joins: bool = True,
+        vectorized: bool = False,
     ) -> Plan:
         """Run the optimizer (always), bypassing the plan cache."""
         with self._stats_lock:
             self.planner_invocations += 1
+        cost_model = self.cost_model_for(vectorized)
         if full_enumeration:
             optimizer = FullEnumerationOptimizer(
-                self.cost_model, enable_binary_joins=enable_binary_joins
+                cost_model, enable_binary_joins=enable_binary_joins
             )
         else:
             optimizer = DynamicProgrammingOptimizer(
-                self.cost_model, enable_binary_joins=enable_binary_joins
+                cost_model, enable_binary_joins=enable_binary_joins
             )
         return optimizer.optimize(query)
 
@@ -191,7 +328,7 @@ class GraphflowDB:
             lines.append(f"  {cost:>14.1f}  {name}")
         lines.append(f"  {'total':>14}: {breakdown.total:.1f}")
         lines.append(
-            f"estimated cardinality: {estimate_cardinality(self.catalogue, query, self.graph):.1f}"
+            f"estimated cardinality: {estimate_cardinality(self.catalogue, query, self._read_graph()):.1f}"
         )
         return "\n".join(lines)
 
@@ -250,16 +387,23 @@ class GraphflowDB:
                 "counts matches with fixed plans. Run with num_workers=1 for "
                 "adaptive ordering selection or match collection."
             )
+        effective_vectorized = bool(config.vectorized) if config is not None else False
         if isinstance(query, Plan):
             plan = query
             query_graph = plan.query
         else:
             query_graph = self._as_query(query)
-            plan = self.plan(query_graph)
+            plan = self.plan(query_graph, vectorized=effective_vectorized)
+
+        # Queries over a DynamicGraph read a pinned MVCC snapshot, so
+        # concurrent writers cannot change the matches mid-execution.  The
+        # vectorized engine gets a materialized (compacted) base so its
+        # columnar CSR gathers run at full speed.
+        exec_graph = self._read_graph(materialize=effective_vectorized)
 
         if num_workers > 1:
             parallel: ParallelResult = execute_parallel(
-                plan, self.graph, num_workers=num_workers, config=config
+                plan, exec_graph, num_workers=num_workers, config=config
             )
             return QueryResult(
                 query=query_graph,
@@ -273,10 +417,10 @@ class GraphflowDB:
             )
         if adaptive:
             result: ExecutionResult = execute_adaptive(
-                plan, self.graph, catalogue=self.catalogue, config=config, collect=collect
+                plan, exec_graph, catalogue=self.catalogue, config=config, collect=collect
             )
         else:
-            result = execute_plan(plan, self.graph, config=config, collect=collect)
+            result = execute_plan(plan, exec_graph, config=config, collect=collect)
         matches: Optional[List[dict]] = None
         if collect:
             matches = result.matches_as_dicts()
@@ -320,4 +464,4 @@ class GraphflowDB:
         query = self._as_query(query)
         if self.catalogue is None:
             self.build_catalogue(z=200)
-        return estimate_cardinality(self.catalogue, query, self.graph)
+        return estimate_cardinality(self.catalogue, query, self._read_graph())

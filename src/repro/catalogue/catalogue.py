@@ -156,6 +156,41 @@ class SubgraphCatalogue:
             return float(total)
         return float(self.num_graph_edges)
 
+    def apply_edge_delta(
+        self,
+        inserted: Sequence[Tuple[int, int, int]],
+        deleted: Sequence[Tuple[int, int, int]],
+        vertex_labels,
+    ) -> None:
+        """Incrementally maintain the base edge/label statistics after an
+        update batch, instead of rebuilding the catalogue.
+
+        ``inserted`` / ``deleted`` are the ``(src, dst, label)`` triples that
+        were *effectively* applied; ``vertex_labels`` is the post-update
+        vertex label array.  Only the cheap exact statistics (per-label edge
+        counts and graph sizes) are updated — the sampled ``mu`` / ``|A|``
+        entries remain valid as statistical estimates and are refreshed by
+        the next full :func:`~repro.catalogue.construction.build_catalogue`.
+        """
+        # Copy-on-write: concurrent planners iterate edge_counts lock-free in
+        # edge_count()'s wildcard fallback, so the dict is replaced atomically
+        # rather than mutated in place (readers see old-or-new, never a
+        # dict-changed-size error).
+        counts = dict(self.edge_counts)
+        for src, dst, label in inserted:
+            key = (int(label), int(vertex_labels[src]), int(vertex_labels[dst]))
+            counts[key] = counts.get(key, 0) + 1
+        for src, dst, label in deleted:
+            key = (int(label), int(vertex_labels[src]), int(vertex_labels[dst]))
+            remaining = counts.get(key, 0) - 1
+            if remaining > 0:
+                counts[key] = remaining
+            else:
+                counts.pop(key, None)
+        self.edge_counts = counts
+        self.num_graph_edges += len(inserted) - len(deleted)
+        self.num_graph_vertices = int(len(vertex_labels))
+
     # ------------------------------------------------------------------ #
     @property
     def num_entries(self) -> int:

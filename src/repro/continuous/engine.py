@@ -22,29 +22,34 @@ perform, except that each adjacency list is read from the old or the new graph
 depending on the position of the query edge it represents.
 
 This is the algorithmic core of Graphflow's active queries [18] (and of
-BiGJoin's incremental dataflows [6]).  The storage substrate here is the
-immutable :class:`~repro.graph.graph.Graph`, so applying a batch rebuilds the
-adjacency index; the delta *computation* itself only touches the matches that
-involve inserted or deleted edges.
+BiGJoin's incremental dataflows [6]).  The storage substrate is the
+delta-CSR :class:`~repro.storage.dynamic.DynamicGraph`: applying a batch
+appends sorted per-vertex deltas and bumps the version — no adjacency-index
+rebuild — and the pre-/post-update states the delta rule reads are O(1) MVCC
+:meth:`~repro.storage.dynamic.DynamicGraph.snapshot` views, so the cost of an
+update batch is proportional to the matches it touches, not to the graph.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
-from repro.errors import InvalidQueryError, ReproError
+from repro.errors import GraphConstructionError, InvalidQueryError, ReproError
 from repro.executor.pipeline import execute_plan
 from repro.graph.graph import Direction, Graph
 from repro.graph.intersect import intersect_multiway
 from repro.planner.plan import wco_plan_from_order
 from repro.planner.qvo import enumerate_orderings
 from repro.query.query_graph import QueryEdge, QueryGraph
+from repro.storage.dynamic import DynamicGraph, normalize_edges
+from repro.storage.snapshot import GraphSnapshot
 
 Edge = Tuple[int, int, int]
+
+#: Anything the delta terms can read adjacency from.
+GraphView = Union[Graph, GraphSnapshot]
 
 
 class ContinuousQueryError(ReproError):
@@ -98,9 +103,14 @@ class ContinuousQueryEngine:
     1
     """
 
-    def __init__(self, graph: Graph) -> None:
-        self.graph = graph
+    def __init__(self, graph: Union[Graph, DynamicGraph]) -> None:
+        self._dynamic = graph if isinstance(graph, DynamicGraph) else DynamicGraph(graph)
         self._queries: Dict[str, _RegisteredQuery] = {}
+
+    @property
+    def graph(self) -> DynamicGraph:
+        """The engine's mutable graph (shared when one was passed in)."""
+        return self._dynamic
 
     # ------------------------------------------------------------------ #
     # registration
@@ -140,25 +150,25 @@ class ContinuousQueryEngine:
         label 0.
         """
         batch = self._normalize(edges)
-        batch = [e for e in batch if not self._edge_exists(self.graph, e)]
-        if not batch:
+        old = self._dynamic.snapshot()
+        applied = self._dynamic.add_edges(batch)
+        if not applied:
             return self._unchanged_results()
-        new_graph = self._graph_with(self.graph, added=batch)
+        new = self._dynamic.snapshot()
         results = []
         for name, entry in self._queries.items():
             start = time.perf_counter()
-            delta = self._delta_count(entry, old=self.graph, new=new_graph, delta_edges=batch)
+            delta = self._delta_count(entry, old=old, new=new, delta_edges=applied)
             entry.total += delta
             results.append(
                 DeltaResult(
                     query_name=name,
                     delta=delta,
                     total=entry.total,
-                    inserted_edges=len(batch),
+                    inserted_edges=len(applied),
                     elapsed_seconds=time.perf_counter() - start,
                 )
             )
-        self.graph = new_graph
         return results
 
     def delete_edges(self, edges: Iterable[Tuple[int, ...]]) -> List[DeltaResult]:
@@ -167,107 +177,54 @@ class ContinuousQueryEngine:
         Edges not present are ignored.
         """
         batch = self._normalize(edges)
-        batch = [e for e in batch if self._edge_exists(self.graph, e)]
-        if not batch:
+        before = self._dynamic.snapshot()
+        applied = self._dynamic.delete_edges(batch)
+        if not applied:
             return self._unchanged_results()
-        new_graph = self._graph_with(self.graph, removed=batch)
+        after = self._dynamic.snapshot()
         results = []
         for name, entry in self._queries.items():
             start = time.perf_counter()
             # Matches lost are exactly the matches gained when re-inserting the
             # batch into the post-deletion graph.
-            delta = self._delta_count(entry, old=new_graph, new=self.graph, delta_edges=batch)
+            delta = self._delta_count(entry, old=after, new=before, delta_edges=applied)
             entry.total -= delta
             results.append(
                 DeltaResult(
                     query_name=name,
                     delta=-delta,
                     total=entry.total,
-                    deleted_edges=len(batch),
+                    deleted_edges=len(applied),
                     elapsed_seconds=time.perf_counter() - start,
                 )
             )
-        self.graph = new_graph
         return results
 
     # ------------------------------------------------------------------ #
-    # internals: graph manipulation
+    # internals: edge batches
     # ------------------------------------------------------------------ #
     @staticmethod
     def _normalize(edges: Iterable[Tuple[int, ...]]) -> List[Edge]:
-        batch: List[Edge] = []
-        seen = set()
-        for edge in edges:
-            if len(edge) == 2:
-                src, dst, label = int(edge[0]), int(edge[1]), 0
-            elif len(edge) == 3:
-                src, dst, label = int(edge[0]), int(edge[1]), int(edge[2])
-            else:
-                raise ContinuousQueryError(f"cannot interpret edge tuple {edge!r}")
-            if src == dst:
-                raise ContinuousQueryError("self-loops are not supported")
-            key = (src, dst, label)
-            if key not in seen:
-                seen.add(key)
-                batch.append(key)
-        return batch
-
-    @staticmethod
-    def _edge_exists(graph: Graph, edge: Edge) -> bool:
-        src, dst, label = edge
-        if src >= graph.num_vertices or dst >= graph.num_vertices:
-            return False
-        mask = (graph.edge_src == src) & (graph.edge_dst == dst) & (graph.edge_labels == label)
-        return bool(mask.any())
-
-    @staticmethod
-    def _graph_with(
-        graph: Graph,
-        added: Sequence[Edge] = (),
-        removed: Sequence[Edge] = (),
-    ) -> Graph:
-        src = graph.edge_src.tolist()
-        dst = graph.edge_dst.tolist()
-        labels = graph.edge_labels.tolist()
-        if removed:
-            remove_set = set(removed)
-            kept = [
-                i
-                for i in range(len(src))
-                if (src[i], dst[i], labels[i]) not in remove_set
-            ]
-            src = [src[i] for i in kept]
-            dst = [dst[i] for i in kept]
-            labels = [labels[i] for i in kept]
-        for s, d, l in added:
-            src.append(s)
-            dst.append(d)
-            labels.append(l)
-        max_vertex = max([graph.num_vertices - 1] + [max(s, d) for s, d, _ in added]) if added else graph.num_vertices - 1
-        vertex_labels = graph.vertex_labels
-        if max_vertex >= graph.num_vertices:
-            extension = np.zeros(max_vertex + 1 - graph.num_vertices, dtype=np.int64)
-            vertex_labels = np.concatenate([vertex_labels, extension])
-        return Graph(
-            vertex_labels=vertex_labels,
-            edge_src=np.asarray(src, dtype=np.int64),
-            edge_dst=np.asarray(dst, dtype=np.int64),
-            edge_labels=np.asarray(labels, dtype=np.int64),
-            name=graph.name,
-        )
+        """Shared storage-layer normalization, re-raised under this module's
+        error type for API stability."""
+        try:
+            return normalize_edges(edges)
+        except GraphConstructionError as exc:
+            raise ContinuousQueryError(str(exc)) from exc
 
     # ------------------------------------------------------------------ #
     # internals: counting
     # ------------------------------------------------------------------ #
     def _full_count(self, query: QueryGraph) -> int:
-        if self.graph.num_edges == 0:
+        snapshot = self._dynamic.snapshot()
+        if snapshot.num_edges == 0:
             return 0
         for ordering in enumerate_orderings(query):
             try:
                 plan = wco_plan_from_order(query, ordering)
             except Exception:
                 continue
-            return execute_plan(plan, self.graph).num_matches
+            return execute_plan(plan, snapshot).num_matches
         raise InvalidQueryError(f"query {query.name} admits no connected ordering")
 
     def _ordering_for(
@@ -291,8 +248,8 @@ class ContinuousQueryEngine:
     def _delta_count(
         self,
         entry: _RegisteredQuery,
-        old: Graph,
-        new: Graph,
+        old: GraphView,
+        new: GraphView,
         delta_edges: Sequence[Edge],
     ) -> int:
         """Matches present in ``new`` but not in ``old`` (``old ⊆ new``)."""
@@ -314,7 +271,7 @@ class ContinuousQueryEngine:
         return total
 
     @staticmethod
-    def _vertex_label_ok(graph: Graph, vertex: int, label: Optional[int]) -> bool:
+    def _vertex_label_ok(graph: GraphView, vertex: int, label: Optional[int]) -> bool:
         if label is None:
             return True
         if vertex >= graph.num_vertices:
@@ -322,8 +279,8 @@ class ContinuousQueryEngine:
         return graph.vertex_label(vertex) == label
 
     def _graph_for_position(
-        self, position: int, seed_position: int, old: Graph, new: Graph
-    ) -> Graph:
+        self, position: int, seed_position: int, old: GraphView, new: GraphView
+    ) -> GraphView:
         """Delta-rule role of a query edge: before the seed position read the
         new graph, after it read the old graph (the seed edge itself is bound
         to the delta edge)."""
@@ -336,8 +293,8 @@ class ContinuousQueryEngine:
         seed_position: int,
         ordering: Tuple[str, ...],
         seed_binding: Tuple[int, int],
-        old: Graph,
-        new: Graph,
+        old: GraphView,
+        new: GraphView,
     ) -> int:
         """Count matches with the seed query edge bound to ``seed_binding``,
         other query edges reading old/new according to the delta rule."""
@@ -350,7 +307,7 @@ class ContinuousQueryEngine:
             (e.src, e.dst, e.label): i for i, e in enumerate(query_edges)
         }
 
-        def edge_graph(edge: QueryEdge) -> Graph:
+        def edge_graph(edge: QueryEdge) -> GraphView:
             position = position_of[(edge.src, edge.dst, edge.label)]
             return self._graph_for_position(position, seed_position, old, new)
 
@@ -402,7 +359,7 @@ class ContinuousQueryEngine:
         return count
 
     @staticmethod
-    def _has_edge(graph: Graph, src: int, dst: int, label: Optional[int]) -> bool:
+    def _has_edge(graph: GraphView, src: int, dst: int, label: Optional[int]) -> bool:
         if src >= graph.num_vertices or dst >= graph.num_vertices:
             return False
         return graph.has_edge(src, dst, label)

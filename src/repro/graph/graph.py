@@ -337,15 +337,22 @@ class Graph:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(src, dst)`` arrays of all edges matching the label filters.
 
-        This is what the SCAN operator iterates over.
+        This is what the SCAN operator iterates over.  The unfiltered case
+        (every filter ``ANY_LABEL``) is hot in catalogue construction, morsel
+        partitioning, and update-rate accounting, so it short-circuits to the
+        stored edge arrays instead of allocating full-edge boolean masks.
         """
-        mask = np.ones(self.num_edges, dtype=bool)
+        if edge_label is ANY_LABEL and src_label is ANY_LABEL and dst_label is ANY_LABEL:
+            return self.edge_src, self.edge_dst
+        mask: Optional[np.ndarray] = None
         if edge_label is not ANY_LABEL:
-            mask &= self.edge_labels == edge_label
+            mask = self.edge_labels == edge_label
         if src_label is not ANY_LABEL:
-            mask &= self.vertex_labels[self.edge_src] == src_label
+            part = self.vertex_labels[self.edge_src] == src_label
+            mask = part if mask is None else mask & part
         if dst_label is not ANY_LABEL:
-            mask &= self.vertex_labels[self.edge_dst] == dst_label
+            part = self.vertex_labels[self.edge_dst] == dst_label
+            mask = part if mask is None else mask & part
         return self.edge_src[mask], self.edge_dst[mask]
 
     def count_edges(
@@ -354,6 +361,8 @@ class Graph:
         src_label: Optional[int] = ANY_LABEL,
         dst_label: Optional[int] = ANY_LABEL,
     ) -> int:
+        if edge_label is ANY_LABEL and src_label is ANY_LABEL and dst_label is ANY_LABEL:
+            return self.num_edges
         src, _ = self.edges(edge_label, src_label, dst_label)
         return int(len(src))
 

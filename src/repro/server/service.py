@@ -16,8 +16,14 @@ server can sit behind:
   plan cache, so a repeated query (modulo vertex renaming) invokes the
   optimizer exactly once; :meth:`execute_batch` additionally warms the cache
   for each distinct query shape before fanning the batch out.
+- **Live updates with snapshot-isolated reads** — :meth:`submit_update` /
+  :meth:`apply_updates` route write batches through the same admission
+  control and worker pool as queries, into
+  :meth:`repro.api.GraphflowDB.apply_updates`.  Each read pins an MVCC
+  snapshot of the :class:`~repro.storage.dynamic.DynamicGraph` at execution
+  start, so concurrent writes never change a running query's matches.
 - **Observability** — rolling QPS and latency percentiles plus admission,
-  status, and plan-cache counters via :meth:`stats`.
+  status, update, and plan-cache counters via :meth:`stats`.
 """
 
 from __future__ import annotations
@@ -35,7 +41,9 @@ from repro.server.metrics import MetricsSnapshot, ServiceMetrics
 from repro.server.prepared import PreparedQuery
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.api import GraphflowDB, QueryResult
+    from concurrent.futures import Future as _Future
+
+    from repro.api import GraphflowDB, QueryResult, UpdateResult
 
 
 #: Terminal statuses a served query can end in.
@@ -138,6 +146,8 @@ class QueryService:
         self.counters: Dict[str, int] = {
             "submitted": 0,
             "rejected": 0,
+            "updates": 0,
+            "update_edges": 0,
             STATUS_OK: 0,
             STATUS_TRUNCATED: 0,
             STATUS_DEADLINE_EXCEEDED: 0,
@@ -260,6 +270,56 @@ class QueryService:
         ]
         return [f.result() for f in futures]
 
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def submit_update(
+        self,
+        inserts: Sequence[Tuple[int, ...]] = (),
+        deletes: Sequence[Tuple[int, ...]] = (),
+        new_vertex_labels: Optional[Sequence[int]] = None,
+        _block: bool = False,
+    ) -> "_Future[UpdateResult]":
+        """Submit a live update batch for asynchronous application.
+
+        Updates share the worker pool and admission bounds with queries, so a
+        write-heavy client cannot starve reads past the configured capacity.
+        Reads started before the update resolves keep their pinned snapshot
+        (snapshot isolation); reads submitted after it see the new version.
+        """
+        self._admit(block=_block)
+        try:
+            return self._pool.submit(self._run_update, inserts, deletes, new_vertex_labels)
+        except BaseException:
+            self._release()
+            raise
+
+    def apply_updates(
+        self,
+        inserts: Sequence[Tuple[int, ...]] = (),
+        deletes: Sequence[Tuple[int, ...]] = (),
+        new_vertex_labels: Optional[Sequence[int]] = None,
+    ) -> "UpdateResult":
+        """Synchronous convenience wrapper around :meth:`submit_update`."""
+        return self.submit_update(inserts, deletes, new_vertex_labels, _block=True).result()
+
+    def _run_update(
+        self,
+        inserts: Sequence[Tuple[int, ...]],
+        deletes: Sequence[Tuple[int, ...]],
+        new_vertex_labels: Optional[Sequence[int]],
+    ) -> "UpdateResult":
+        try:
+            result = self.db.apply_updates(
+                inserts=inserts, deletes=deletes, new_vertex_labels=new_vertex_labels
+            )
+        finally:
+            self._release()
+        with self._lock:
+            self.counters["updates"] += 1
+            self.counters["update_edges"] += result.num_applied
+        return result
+
     def prepare(
         self,
         query: Union[QueryGraph, str],
@@ -352,6 +412,7 @@ class QueryService:
             "in_flight": in_flight,
             "counters": counters,
             "planner_invocations": self.db.planner_invocations,
+            "graph_version": self.db.graph_version,
         }
         if self.db.plan_cache is not None:
             out["plan_cache"] = self.db.plan_cache.stats.as_dict()
@@ -361,6 +422,7 @@ class QueryService:
         """The stats flattened into rows for ``format_table``."""
         stats = self.stats()
         rows = [
+            {"metric": "graph version", "value": str(stats["graph_version"])},
             {"metric": "qps", "value": f"{stats['qps']:.1f}"},
             {"metric": "latency p50 (ms)", "value": f"{stats['latency_p50_seconds'] * 1e3:.2f}"},
             {"metric": "latency p95 (ms)", "value": f"{stats['latency_p95_seconds'] * 1e3:.2f}"},

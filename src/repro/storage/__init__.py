@@ -1,0 +1,20 @@
+"""Dynamic graph storage: delta-CSR overlays, MVCC snapshots, compaction.
+
+The subsystem layers mutability on top of the immutable
+:class:`repro.graph.graph.Graph`:
+
+- :class:`DeltaStore` — immutable per-vertex sorted insert/delete deltas,
+  forward and backward, partitioned by ``(edge label, neighbour label)``
+  exactly like the base CSR;
+- :class:`GraphSnapshot` — an O(1) versioned view merging base + delta behind
+  the full ``Graph`` read API (both executors run on it unchanged);
+- :class:`DynamicGraph` — the mutable front end with ``add_edges`` /
+  ``delete_edges`` / ``add_vertices``, an epoch version counter, and
+  threshold- or explicitly-triggered compaction into a fresh CSR base.
+"""
+
+from repro.storage.delta import DeltaStore
+from repro.storage.dynamic import DynamicGraph, normalize_edges
+from repro.storage.snapshot import GraphSnapshot
+
+__all__ = ["DeltaStore", "DynamicGraph", "GraphSnapshot", "normalize_edges"]

@@ -1,0 +1,356 @@
+"""The mutable graph: an immutable CSR base plus a delta overlay.
+
+:class:`DynamicGraph` is the storage subsystem's front end.  Writers call
+:meth:`add_edges` / :meth:`delete_edges` / :meth:`add_vertices`; each batch
+produces a new immutable :class:`~repro.storage.delta.DeltaStore` (structural
+sharing keeps this cheap) and bumps the version counter.  Readers call
+:meth:`snapshot` to pin an O(1) consistent view; the whole
+:class:`~repro.graph.graph.Graph` read API is also available directly on the
+dynamic graph (delegating to the current snapshot), so a ``DynamicGraph`` can
+be dropped anywhere a ``Graph`` is consumed.
+
+When the overlay grows past ``compact_ratio`` of the base edge count (or
+``compact_min_edges``, whichever is larger), the next write triggers
+:meth:`compact`, which merges base + delta into a fresh CSR base.  Compaction
+never disturbs concurrent readers: existing snapshots keep their old
+``(base, delta)`` references, and the logical content — hence the version —
+is unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graph.graph import ANY_LABEL, Direction, Graph
+from repro.storage.delta import DeltaStore, Edge
+from repro.storage.snapshot import GraphSnapshot
+
+
+def normalize_edges(edges: Iterable[Tuple[int, ...]]) -> List[Edge]:
+    """Normalize an iterable of ``(src, dst[, label])`` tuples into unique
+    ``(src, dst, label)`` triples, rejecting self-loops."""
+    batch: List[Edge] = []
+    seen = set()
+    for edge in edges:
+        if len(edge) == 2:
+            key = (int(edge[0]), int(edge[1]), 0)
+        elif len(edge) == 3:
+            key = (int(edge[0]), int(edge[1]), int(edge[2]))
+        else:
+            raise GraphConstructionError(f"cannot interpret edge tuple {edge!r}")
+        if key[0] < 0 or key[1] < 0:
+            raise GraphConstructionError("vertex ids must be non-negative")
+        if key[0] == key[1]:
+            raise GraphConstructionError("self-loops are not supported")
+        if key not in seen:
+            seen.add(key)
+            batch.append(key)
+    return batch
+
+
+class _State(NamedTuple):
+    """One atomically-swapped storage state (everything a snapshot pins)."""
+
+    base: Graph
+    delta: DeltaStore
+    vertex_labels: np.ndarray
+    version: int
+
+
+class DynamicGraph:
+    """A mutable, versioned graph with MVCC snapshot reads.
+
+    Example
+    -------
+    >>> from repro.graph.builder import graph_from_edges
+    >>> g = DynamicGraph(graph_from_edges([(0, 1), (1, 2)]))
+    >>> before = g.snapshot()
+    >>> g.add_edges([(0, 2)])
+    [(0, 2, 0)]
+    >>> before.num_edges, g.num_edges
+    (2, 3)
+    """
+
+    def __init__(
+        self,
+        base: Graph,
+        compact_ratio: float = 0.25,
+        compact_min_edges: int = 4096,
+        auto_compact: bool = True,
+    ) -> None:
+        labels = np.asarray(base.vertex_labels, dtype=np.int64)
+        self._state = _State(base=base, delta=DeltaStore.empty(), vertex_labels=labels, version=0)
+        self._lock = threading.RLock()
+        self.compact_ratio = compact_ratio
+        self.compact_min_edges = compact_min_edges
+        self.auto_compact = auto_compact
+        self.compactions = 0
+        self._snapshot_cache: Optional[GraphSnapshot] = None
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot(self, materialize: bool = False) -> Union[GraphSnapshot, Graph]:
+        """An immutable view of the current state.
+
+        With ``materialize=False`` (default) this is O(1): the snapshot pins
+        the current ``(base, delta)`` pair.  With ``materialize=True`` the
+        graph is compacted first (if dirty) and the resulting flat
+        :class:`Graph` base is returned — the form the vectorized executor
+        gets its columnar arrays from at full speed.
+        """
+        if materialize:
+            with self._lock:
+                self.compact()
+                return self._state.base
+        state = self._state
+        cached = self._snapshot_cache
+        if cached is not None and cached.version == state.version and cached.base is state.base:
+            return cached
+        snap = GraphSnapshot(
+            base=state.base,
+            delta=state.delta,
+            vertex_labels=state.vertex_labels,
+            version=state.version,
+        )
+        self._snapshot_cache = snap
+        return snap
+
+    @property
+    def version(self) -> int:
+        """Monotonic epoch counter; bumped by every effective write batch."""
+        return self._state.version
+
+    @property
+    def base(self) -> Graph:
+        """The current immutable CSR base (changes only on compaction)."""
+        return self._state.base
+
+    @property
+    def delta_edges(self) -> int:
+        """Current overlay size (inserted + deleted edges since compaction)."""
+        return self._state.delta.num_delta_edges
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def add_edges(self, edges: Iterable[Tuple[int, ...]]) -> List[Edge]:
+        """Insert a batch of ``(src, dst[, label])`` edges.
+
+        Edges already present are ignored; vertices referenced beyond the
+        current id range are created with label 0.  Returns the triples
+        actually inserted.
+        """
+        batch = normalize_edges(edges)
+        if not batch:
+            return []
+        with self._lock:
+            state = self._state
+            labels = state.vertex_labels
+            max_vertex = max(max(s, d) for s, d, _ in batch)
+            if max_vertex >= len(labels):
+                labels = np.concatenate(
+                    [labels, np.zeros(max_vertex + 1 - len(labels), dtype=np.int64)]
+                )
+            applied = [e for e in batch if not self._present(state, e)]
+            if not applied and len(labels) == len(state.vertex_labels):
+                return []
+            delta = state.delta.with_insertions(applied, labels) if applied else state.delta
+            self._state = _State(
+                base=state.base,
+                delta=delta,
+                vertex_labels=labels,
+                version=state.version + 1,
+            )
+            self._maybe_compact()
+            return applied
+
+    def delete_edges(self, edges: Iterable[Tuple[int, ...]]) -> List[Edge]:
+        """Delete a batch of edges; missing edges are ignored.  Returns the
+        triples actually removed."""
+        batch = normalize_edges(edges)
+        if not batch:
+            return []
+        with self._lock:
+            state = self._state
+            in_delta = [e for e in batch if e in state.delta.insert_keys]
+            in_base = [
+                e
+                for e in batch
+                if e not in state.delta.insert_keys
+                and e not in state.delta.deleted_keys
+                and e[0] < state.base.num_vertices
+                and state.base.has_edge(e[0], e[1], e[2])
+            ]
+            applied = in_delta + in_base
+            if not applied:
+                return []
+            delta = state.delta.with_deletions(in_base, in_delta, state.vertex_labels)
+            self._state = _State(
+                base=state.base,
+                delta=delta,
+                vertex_labels=state.vertex_labels,
+                version=state.version + 1,
+            )
+            self._maybe_compact()
+            return applied
+
+    def add_vertices(
+        self, count: Optional[int] = None, labels: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Append ``count`` label-0 vertices (or one per entry of ``labels``)
+        and return their new ids."""
+        if (count is None) == (labels is None):
+            raise GraphConstructionError("pass exactly one of count= or labels=")
+        new_labels = (
+            np.zeros(count, dtype=np.int64)
+            if labels is None
+            else np.asarray(list(labels), dtype=np.int64)
+        )
+        if len(new_labels) == 0:
+            return []
+        with self._lock:
+            state = self._state
+            first = len(state.vertex_labels)
+            self._state = _State(
+                base=state.base,
+                delta=state.delta,
+                vertex_labels=np.concatenate([state.vertex_labels, new_labels]),
+                version=state.version + 1,
+            )
+            return list(range(first, first + len(new_labels)))
+
+    @staticmethod
+    def _present(state: _State, edge: Edge) -> bool:
+        src, dst, label = edge
+        if edge in state.delta.insert_keys:
+            return True
+        if edge in state.delta.deleted_keys:
+            return False
+        return src < state.base.num_vertices and state.base.has_edge(src, dst, label)
+
+    def has_edge(self, src: int, dst: int, edge_label: Optional[int] = ANY_LABEL) -> bool:
+        return self.snapshot().has_edge(src, dst, edge_label)
+
+    # ------------------------------------------------------------------ #
+    # compaction
+    # ------------------------------------------------------------------ #
+    def _maybe_compact(self) -> None:
+        if not self.auto_compact:
+            return
+        state = self._state
+        threshold = max(self.compact_min_edges, int(self.compact_ratio * state.base.num_edges))
+        if state.delta.num_delta_edges > threshold:
+            self.compact()
+
+    def compact(self) -> Graph:
+        """Merge the delta overlay into a fresh immutable CSR base.
+
+        Logical content (and therefore the version) is unchanged; existing
+        snapshots keep reading their pinned old state.
+        """
+        with self._lock:
+            state = self._state
+            if state.delta.is_empty and len(state.vertex_labels) == state.base.num_vertices:
+                return state.base
+            snap = GraphSnapshot(
+                base=state.base,
+                delta=state.delta,
+                vertex_labels=state.vertex_labels,
+                version=state.version,
+            )
+            new_base = snap.materialize(name=state.base.name)
+            self._state = _State(
+                base=new_base,
+                delta=DeltaStore.empty(),
+                vertex_labels=new_base.vertex_labels,
+                version=state.version,
+            )
+            self.compactions += 1
+            return new_base
+
+    # ------------------------------------------------------------------ #
+    # Graph read API (delegated to the current snapshot)
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self._state.base.name
+
+    @property
+    def num_vertices(self) -> int:
+        return int(len(self._state.vertex_labels))
+
+    @property
+    def num_edges(self) -> int:
+        state = self._state
+        return state.base.num_edges - state.delta.num_deleted + state.delta.num_inserted
+
+    @property
+    def vertex_labels(self) -> np.ndarray:
+        return self._state.vertex_labels
+
+    @property
+    def edge_src(self) -> np.ndarray:
+        return self.snapshot().edge_src
+
+    @property
+    def edge_dst(self) -> np.ndarray:
+        return self.snapshot().edge_dst
+
+    @property
+    def edge_labels(self) -> np.ndarray:
+        return self.snapshot().edge_labels
+
+    @property
+    def edge_label_values(self) -> np.ndarray:
+        return self.snapshot().edge_label_values
+
+    @property
+    def vertex_label_values(self) -> np.ndarray:
+        return np.unique(self._state.vertex_labels)
+
+    def vertex_label(self, vertex: int) -> int:
+        return int(self._state.vertex_labels[vertex])
+
+    def vertices_with_label(self, label: Optional[int]) -> np.ndarray:
+        return self.snapshot().vertices_with_label(label)
+
+    def neighbors(self, *args, **kwargs) -> np.ndarray:
+        return self.snapshot().neighbors(*args, **kwargs)
+
+    def degree(self, *args, **kwargs) -> int:
+        return self.snapshot().degree(*args, **kwargs)
+
+    def degree_array(self, *args, **kwargs) -> np.ndarray:
+        return self.snapshot().degree_array(*args, **kwargs)
+
+    def csr(self, *args, **kwargs):
+        return self.snapshot().csr(*args, **kwargs)
+
+    def adjacency_key_array(self, *args, **kwargs) -> np.ndarray:
+        return self.snapshot().adjacency_key_array(*args, **kwargs)
+
+    def edges(self, *args, **kwargs) -> Tuple[np.ndarray, np.ndarray]:
+        return self.snapshot().edges(*args, **kwargs)
+
+    def count_edges(self, *args, **kwargs) -> int:
+        return self.snapshot().count_edges(*args, **kwargs)
+
+    def iter_edges(self):
+        return self.snapshot().iter_edges()
+
+    def __repr__(self) -> str:
+        state = self._state
+        return (
+            f"DynamicGraph(name={state.base.name!r}, version={state.version}, "
+            f"vertices={self.num_vertices}, edges={self.num_edges}, "
+            f"delta=+{state.delta.num_inserted}/-{state.delta.num_deleted}, "
+            f"compactions={self.compactions})"
+        )
+
+
+__all__ = ["DynamicGraph", "normalize_edges"]

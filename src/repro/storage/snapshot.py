@@ -1,0 +1,399 @@
+"""Immutable versioned views over a base graph plus a delta overlay.
+
+A :class:`GraphSnapshot` is what queries actually execute against: it pins one
+``(base Graph, DeltaStore, vertex labels, version)`` quadruple — all immutable
+— and serves the *entire* read API of :class:`repro.graph.graph.Graph`
+(``neighbors`` / ``csr`` / ``adjacency_key_array`` / ``edges`` / ``degree`` /
+``has_edge`` / …) by merging base and delta adjacency on the fly.  Creating a
+snapshot is O(1); in-flight queries, the continuous engine's old/new delta
+terms, and concurrent writers therefore never block each other.
+
+Reads fall through to the base CSR untouched-vertex-wise: the per-direction
+``touched`` sets of the delta make the common case (a vertex with no pending
+updates) a single set lookup plus the base's own fast path.  The columnar
+structures the vectorized executor needs (``csr`` and ``adjacency_key_array``)
+are merged lazily per partition and cached on the snapshot; fully dirty-free
+snapshots simply return the base's arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import ANY_LABEL, Direction, Graph, _CSR
+from repro.storage.delta import DeltaStore
+
+_EMPTY = np.array([], dtype=np.int64)
+_EMPTY.setflags(write=False)
+
+
+def _without(sorted_values: np.ndarray, removed: np.ndarray) -> np.ndarray:
+    if len(removed) == 0 or len(sorted_values) == 0:
+        return sorted_values
+    return sorted_values[~np.isin(sorted_values, removed)]
+
+
+def _merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if len(a) == 0:
+        return b
+    if len(b) == 0:
+        return a
+    return np.sort(np.concatenate([a, b]))
+
+
+class GraphSnapshot:
+    """A consistent, immutable view of a :class:`DynamicGraph` at one version."""
+
+    def __init__(
+        self,
+        base: Graph,
+        delta: DeltaStore,
+        vertex_labels: np.ndarray,
+        version: int,
+        name: Optional[str] = None,
+    ) -> None:
+        self.base = base
+        self.delta = delta
+        self.vertex_labels = vertex_labels
+        self.version = version
+        self.name = name if name is not None else base.name
+        # Lazy caches (safe to race: idempotent pure computations).
+        self._csr_cache: Dict[Tuple[str, Optional[int], Optional[int]], _CSR] = {}
+        self._adj_key_cache: Dict[Tuple[str, Optional[int], Optional[int]], np.ndarray] = {}
+        self._edge_arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return int(len(self.vertex_labels))
+
+    @property
+    def num_edges(self) -> int:
+        return self.base.num_edges - self.delta.num_deleted + self.delta.num_inserted
+
+    @property
+    def edge_label_values(self) -> np.ndarray:
+        if self.delta.is_empty:
+            return self.base.edge_label_values
+        if not self.delta.deleted_keys:
+            values = [self.base.edge_label_values]
+            if self.delta.num_inserted:
+                values.append(self.delta.insert_labels)
+            return np.unique(np.concatenate(values)) if values else self.base.edge_label_values
+        return np.unique(self.edge_labels) if self.num_edges else np.array([], dtype=np.int64)
+
+    @property
+    def vertex_label_values(self) -> np.ndarray:
+        return np.unique(self.vertex_labels)
+
+    def vertex_label(self, vertex: int) -> int:
+        return int(self.vertex_labels[vertex])
+
+    def vertices_with_label(self, label: Optional[int]) -> np.ndarray:
+        if label is ANY_LABEL:
+            return np.arange(self.num_vertices, dtype=np.int64)
+        return np.flatnonzero(self.vertex_labels == label).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # adjacency access
+    # ------------------------------------------------------------------ #
+    def neighbors(
+        self,
+        vertex: int,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> np.ndarray:
+        base = self.base
+        in_base = vertex < base.num_vertices
+        if not self.delta.touched(vertex, direction):
+            return base.neighbors(vertex, direction, edge_label, neighbor_label) if in_base else _EMPTY
+        if edge_label is not ANY_LABEL and neighbor_label is not ANY_LABEL:
+            base_run = (
+                base.neighbors(vertex, direction, edge_label, neighbor_label) if in_base else _EMPTY
+            )
+            base_run = _without(
+                base_run,
+                self.delta.deleted_neighbors(vertex, direction, edge_label, neighbor_label),
+            )
+            return _merge_sorted(
+                base_run,
+                self.delta.inserted_neighbors(vertex, direction, edge_label, neighbor_label),
+            )
+        return self._neighbors_wildcard(vertex, direction, edge_label, neighbor_label)
+
+    def _neighbors_wildcard(
+        self,
+        vertex: int,
+        direction: Direction,
+        edge_label: Optional[int],
+        neighbor_label: Optional[int],
+    ) -> np.ndarray:
+        """Per-partition merge for wildcard filters.
+
+        Deletions must be subtracted within their own ``(edge label,
+        neighbour label)`` partition: the merged base list keeps one entry per
+        *edge* (a neighbour reached through two edge labels appears twice),
+        and deleting one of those edges must drop exactly one entry.
+        """
+        base_map = self.base._partition_map(direction) if vertex < self.base.num_vertices else {}
+        adds = self.delta._adds(direction)
+        dels = self.delta._dels(direction)
+
+        def matches(key: Tuple[int, int]) -> bool:
+            el, nl = key
+            return (edge_label is ANY_LABEL or el == edge_label) and (
+                neighbor_label is ANY_LABEL or nl == neighbor_label
+            )
+
+        runs = []
+        keys = {k for k in base_map if matches(k)} | {k for k in adds if matches(k)}
+        for key in keys:
+            base_part = base_map.get(key)
+            run = base_part.neighbors(vertex) if base_part is not None else _EMPTY
+            del_part = dels.get(key)
+            if del_part is not None and len(run):
+                removed = del_part.get(vertex)
+                if removed is not None:
+                    run = _without(run, removed)
+            add_part = adds.get(key)
+            if add_part is not None:
+                inserted = add_part.get(vertex)
+                if inserted is not None:
+                    run = np.concatenate([run, inserted]) if len(run) else inserted
+            if len(run):
+                runs.append(run)
+        if not runs:
+            return _EMPTY
+        if len(runs) == 1:
+            return np.sort(runs[0])
+        return np.sort(np.concatenate(runs))
+
+    def degree(
+        self,
+        vertex: int,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> int:
+        if not self.delta.touched(vertex, direction):
+            if vertex >= self.base.num_vertices:
+                return 0
+            return self.base.degree(vertex, direction, edge_label, neighbor_label)
+        return int(len(self.neighbors(vertex, direction, edge_label, neighbor_label)))
+
+    def degree_array(
+        self,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> np.ndarray:
+        return np.diff(self.csr(direction, edge_label, neighbor_label).indptr)
+
+    def has_edge(
+        self, src: int, dst: int, edge_label: Optional[int] = ANY_LABEL
+    ) -> bool:
+        if src >= self.num_vertices or dst >= self.num_vertices:
+            return False
+        nbrs = self.neighbors(src, Direction.FORWARD, edge_label, ANY_LABEL)
+        pos = np.searchsorted(nbrs, dst)
+        return bool(pos < len(nbrs) and nbrs[pos] == dst)
+
+    # ------------------------------------------------------------------ #
+    # columnar access (vectorized executor)
+    # ------------------------------------------------------------------ #
+    def csr(
+        self,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> _CSR:
+        if self.delta.is_empty and self.num_vertices == self.base.num_vertices:
+            return self.base.csr(direction, edge_label, neighbor_label)
+        key = (direction.value, edge_label, neighbor_label)
+        cached = self._csr_cache.get(key)
+        if cached is not None:
+            return cached
+        merged = self._build_csr(direction, edge_label, neighbor_label)
+        self._csr_cache[key] = merged
+        return merged
+
+    def _build_csr(
+        self,
+        direction: Direction,
+        edge_label: Optional[int],
+        neighbor_label: Optional[int],
+    ) -> _CSR:
+        """Merge the base partition CSR with the delta for every touched
+        vertex, keeping untouched base segments as bulk copies."""
+        base_csr = self.base.csr(direction, edge_label, neighbor_label)
+        n = self.num_vertices
+        nb = self.base.num_vertices
+        base_deg = np.diff(base_csr.indptr)
+        counts = np.zeros(n, dtype=np.int64)
+        counts[:nb] = base_deg
+        touched = sorted(self.delta.touched_vertices(direction))
+        merged_lists = []
+        for v in touched:
+            lst = self.neighbors(v, direction, edge_label, neighbor_label)
+            merged_lists.append(lst)
+            counts[v] = len(lst)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if not touched:
+            return _CSR(indptr, base_csr.indices)
+        touched_arr = np.asarray(touched, dtype=np.int64)
+        keep = np.ones(nb, dtype=bool)
+        keep[touched_arr[touched_arr < nb]] = False
+        kept_positions = np.repeat(keep, base_deg)
+        kept_vertices = np.repeat(np.arange(nb, dtype=np.int64), base_deg)[kept_positions]
+        kept_values = base_csr.indices[kept_positions]
+        merged_lens = np.array([len(lst) for lst in merged_lists], dtype=np.int64)
+        touched_vertices = np.repeat(touched_arr, merged_lens)
+        touched_values = (
+            np.concatenate(merged_lists) if merged_lists else _EMPTY
+        )
+        vertices = np.concatenate([kept_vertices, touched_vertices])
+        values = np.concatenate([kept_values, touched_values])
+        # Vertex sets of the two pieces are disjoint and each per-vertex run is
+        # already sorted, so a stable sort on the vertex column suffices.
+        order = np.argsort(vertices, kind="stable")
+        return _CSR(indptr, values[order])
+
+    def adjacency_key_array(
+        self,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> np.ndarray:
+        if self.delta.is_empty and self.num_vertices == self.base.num_vertices:
+            return self.base.adjacency_key_array(direction, edge_label, neighbor_label)
+        key = (direction.value, edge_label, neighbor_label)
+        cached = self._adj_key_cache.get(key)
+        if cached is not None:
+            return cached
+        csr = self.csr(direction, edge_label, neighbor_label)
+        degrees = np.diff(csr.indptr)
+        keys = (
+            np.repeat(np.arange(self.num_vertices, dtype=np.int64), degrees)
+            * self.num_vertices
+            + csr.indices
+        )
+        keys.setflags(write=False)
+        self._adj_key_cache[key] = keys
+        return keys
+
+    # ------------------------------------------------------------------ #
+    # edge scans
+    # ------------------------------------------------------------------ #
+    def _materialized_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        cached = self._edge_arrays
+        if cached is not None:
+            return cached
+        base = self.base
+        if self.delta.deleted_keys:
+            kept = ~self._base_deleted_mask()
+            src = base.edge_src[kept]
+            dst = base.edge_dst[kept]
+            lab = base.edge_labels[kept]
+        else:
+            src, dst, lab = base.edge_src, base.edge_dst, base.edge_labels
+        if self.delta.num_inserted:
+            src = np.concatenate([src, self.delta.insert_src])
+            dst = np.concatenate([dst, self.delta.insert_dst])
+            lab = np.concatenate([lab, self.delta.insert_labels])
+        arrays = (src, dst, lab)
+        self._edge_arrays = arrays
+        return arrays
+
+    def _base_deleted_mask(self) -> np.ndarray:
+        """Boolean mask over base edge positions that have been deleted."""
+        base = self.base
+        deleted = self.delta.deleted_keys
+        max_label = int(base.edge_labels.max(initial=0)) + 1
+        stride = np.int64(max_label)
+        n = np.int64(base.num_vertices)
+        codes = (base.edge_src * n + base.edge_dst) * stride + base.edge_labels
+        del_codes = np.sort(
+            np.array([(s * n + d) * stride + l for s, d, l in deleted], dtype=np.int64)
+        )
+        pos = np.searchsorted(del_codes, codes)
+        pos[pos == len(del_codes)] = len(del_codes) - 1
+        return del_codes[pos] == codes
+
+    @property
+    def edge_src(self) -> np.ndarray:
+        return self._materialized_edges()[0]
+
+    @property
+    def edge_dst(self) -> np.ndarray:
+        return self._materialized_edges()[1]
+
+    @property
+    def edge_labels(self) -> np.ndarray:
+        return self._materialized_edges()[2]
+
+    def edges(
+        self,
+        edge_label: Optional[int] = ANY_LABEL,
+        src_label: Optional[int] = ANY_LABEL,
+        dst_label: Optional[int] = ANY_LABEL,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        src, dst, lab = self._materialized_edges()
+        if edge_label is ANY_LABEL and src_label is ANY_LABEL and dst_label is ANY_LABEL:
+            return src, dst
+        mask: Optional[np.ndarray] = None
+        if edge_label is not ANY_LABEL:
+            mask = lab == edge_label
+        if src_label is not ANY_LABEL:
+            part = self.vertex_labels[src] == src_label
+            mask = part if mask is None else mask & part
+        if dst_label is not ANY_LABEL:
+            part = self.vertex_labels[dst] == dst_label
+            mask = part if mask is None else mask & part
+        return src[mask], dst[mask]
+
+    def count_edges(
+        self,
+        edge_label: Optional[int] = ANY_LABEL,
+        src_label: Optional[int] = ANY_LABEL,
+        dst_label: Optional[int] = ANY_LABEL,
+    ) -> int:
+        if edge_label is ANY_LABEL and src_label is ANY_LABEL and dst_label is ANY_LABEL:
+            return self.num_edges
+        src, _ = self.edges(edge_label, src_label, dst_label)
+        return int(len(src))
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, int]]:
+        src, dst, lab = self._materialized_edges()
+        for s, d, l in zip(src, dst, lab):
+            yield int(s), int(d), int(l)
+
+    # ------------------------------------------------------------------ #
+    # materialization
+    # ------------------------------------------------------------------ #
+    def materialize(self, name: Optional[str] = None) -> Graph:
+        """Flatten this view into a fresh immutable :class:`Graph` (the
+        compaction primitive)."""
+        src, dst, lab = self._materialized_edges()
+        return Graph(
+            vertex_labels=np.array(self.vertex_labels, dtype=np.int64),
+            edge_src=np.array(src, dtype=np.int64),
+            edge_dst=np.array(dst, dtype=np.int64),
+            edge_labels=np.array(lab, dtype=np.int64),
+            name=name if name is not None else self.name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphSnapshot(name={self.name!r}, version={self.version}, "
+            f"vertices={self.num_vertices}, edges={self.num_edges}, "
+            f"delta=+{self.delta.num_inserted}/-{self.delta.num_deleted})"
+        )
+
+
+__all__ = ["GraphSnapshot"]

@@ -179,3 +179,32 @@ class TestGraphValidation:
         assert g.num_vertices == 5
         assert g.num_edges == 0
         assert list(g.neighbors(0, Direction.FORWARD)) == []
+
+
+class TestUnfilteredScanFastPath:
+    """edges()/count_edges() must short-circuit the all-wildcard case instead
+    of allocating full-edge boolean masks (hot in catalogue construction)."""
+
+    def test_unfiltered_edges_returns_stored_arrays(self, labeled_graph):
+        src, dst = labeled_graph.edges()
+        assert src is labeled_graph.edge_src
+        assert dst is labeled_graph.edge_dst
+
+    def test_unfiltered_count_is_num_edges(self, labeled_graph):
+        assert labeled_graph.count_edges() == labeled_graph.num_edges
+
+    def test_partial_filters_still_correct(self, labeled_graph):
+        full = list(zip(*labeled_graph.edges()))
+        for el in (None, 0, 1):
+            for sl in (None, 0, 1):
+                for dl in (None, 0, 1):
+                    src, dst = labeled_graph.edges(el, sl, dl)
+                    expected = [
+                        (s, d)
+                        for i, (s, d) in enumerate(full)
+                        if (el is None or labeled_graph.edge_labels[i] == el)
+                        and (sl is None or labeled_graph.vertex_label(s) == sl)
+                        and (dl is None or labeled_graph.vertex_label(d) == dl)
+                    ]
+                    assert sorted(zip(src, dst)) == sorted(expected)
+                    assert labeled_graph.count_edges(el, sl, dl) == len(expected)

@@ -1,0 +1,109 @@
+"""Batch-aware cost-model constants (vectorized vs iterator pricing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import GraphflowDB
+from repro.catalogue.construction import build_catalogue
+from repro.graph.generators import clustered_social
+from repro.planner.cost_model import (
+    ITERATOR_COST_CONSTANTS,
+    VECTORIZED_COST_CONSTANTS,
+    CostModel,
+    constants_for,
+)
+from repro.query import catalog_queries as cq
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return clustered_social(num_vertices=150, avg_degree=6, seed=7)
+
+
+@pytest.fixture(scope="module")
+def catalogue(graph):
+    return build_catalogue(graph, z=100, queries=[cq.triangle(), cq.q5()])
+
+
+class TestConstants:
+    def test_constants_for_maps_execution_mode(self):
+        assert constants_for(False) is ITERATOR_COST_CONSTANTS
+        assert constants_for(True) is VECTORIZED_COST_CONSTANTS
+
+    def test_default_model_reproduces_iterator_costs(self, graph, catalogue):
+        """The iterator constant set must price plans exactly as the original
+        formulas did: scan = edge count, extend = multiplier * |A|, hash join
+        = 2*n1 + n2, with no batch overhead terms."""
+        default = CostModel(graph, catalogue)
+        explicit = CostModel(graph, catalogue, constants=ITERATOR_COST_CONSTANTS)
+        plan = GraphflowDB(graph, catalogue=catalogue).plan(cq.q8())
+        assert default.plan_cost(plan) == explicit.plan_cost(plan)
+        scan_nodes = [n for n in plan.root.iter_nodes() if type(n).__name__ == "ScanNode"]
+        for node in scan_nodes:
+            edge = node.edge
+            assert default.scan_cost(node) == catalogue.edge_count(
+                edge.label,
+                node.sub_query.vertex_label(edge.src),
+                node.sub_query.vertex_label(edge.dst),
+            )
+
+    def test_vectorized_discounts_per_tuple_work(self, graph, catalogue):
+        iterator = CostModel(graph, catalogue)
+        vectorized = CostModel(graph, catalogue, constants=VECTORIZED_COST_CONSTANTS)
+        plan = GraphflowDB(graph, catalogue=catalogue).plan(cq.triangle())
+        # Scan-heavy WCO plans get cheaper under batch constants (per-tuple
+        # scan cost is amortised over frames).
+        assert vectorized.plan_cost(plan) < iterator.plan_cost(plan)
+
+    def test_explicit_weights_override_constants(self, graph, catalogue):
+        model = CostModel(
+            graph, catalogue, build_weight=9.0, constants=VECTORIZED_COST_CONSTANTS
+        )
+        assert model.build_weight == 9.0
+        assert model.probe_weight == VECTORIZED_COST_CONSTANTS.probe_weight
+
+
+class TestPlumbing:
+    def test_plan_cache_keys_split_by_mode(self, graph):
+        db = GraphflowDB(graph)
+        db.build_catalogue(z=100)
+        db.plan(cq.triangle(), vectorized=False)
+        invocations = db.planner_invocations
+        # Same query in batch mode must invoke the optimizer again (separate
+        # cache key, batch-aware constants) ...
+        db.plan(cq.triangle(), vectorized=True)
+        assert db.planner_invocations == invocations + 1
+        # ... and then hit its own cache entry.
+        db.plan(cq.triangle(), vectorized=True)
+        db.plan(cq.triangle(), vectorized=False)
+        assert db.planner_invocations == invocations + 1
+
+    def test_execute_plumbs_config_flag_into_planning(self, graph):
+        from repro.executor.operators import ExecutionConfig
+
+        db = GraphflowDB(graph)
+        db.build_catalogue(z=100)
+        baseline = db.planner_invocations
+        db.execute(cq.triangle(), config=ExecutionConfig(vectorized=True))
+        db.execute(cq.triangle(), vectorized=True)
+        assert db.planner_invocations == baseline + 1  # one vectorized planning
+        db.execute(cq.triangle())
+        assert db.planner_invocations == baseline + 2  # plus one iterator planning
+
+    def test_cost_model_for_caches_per_mode(self, graph):
+        db = GraphflowDB(graph)
+        db.build_catalogue(z=100)
+        assert db.cost_model_for(True) is db.cost_model_for(True)
+        assert db.cost_model_for(False) is db.cost_model
+        assert db.cost_model_for(True) is not db.cost_model_for(False)
+        assert db.cost_model_for(True).constants is VECTORIZED_COST_CONSTANTS
+
+    def test_both_modes_agree_on_results(self, graph):
+        db = GraphflowDB(graph)
+        db.build_catalogue(z=100)
+        for query in (cq.triangle(), cq.q2(), cq.q8()):
+            assert (
+                db.execute(query, vectorized=True).num_matches
+                == db.execute(query).num_matches
+            )

@@ -1,0 +1,242 @@
+"""Unit tests for the delta-CSR storage subsystem (repro.storage)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph.builder import graph_from_edges
+from repro.graph.graph import ANY_LABEL, Direction, Graph
+from repro.storage import DeltaStore, DynamicGraph, GraphSnapshot
+
+
+def small_base() -> Graph:
+    return graph_from_edges(
+        [(0, 1, 0), (1, 2, 0), (2, 0, 0), (2, 3, 1), (3, 4, 0)],
+        vertex_labels={0: 0, 1: 0, 2: 1, 3: 1, 4: 0},
+    )
+
+
+DIRECTIONS = (Direction.FORWARD, Direction.BACKWARD)
+
+
+def reference_graph(edges, num_vertices, vertex_labels) -> Graph:
+    labels = {v: int(vertex_labels[v]) for v in range(num_vertices)}
+    builder_edges = sorted(edges)
+    return graph_from_edges(builder_edges, vertex_labels=labels) if builder_edges else None
+
+
+def assert_view_equals_graph(view, ref: Graph, edge_labels=(None, 0, 1), vertex_labels=(None, 0, 1)):
+    """``view`` (snapshot or DynamicGraph) must be indistinguishable from the
+    freshly built ``ref`` across the whole read API."""
+    assert view.num_vertices == ref.num_vertices
+    assert view.num_edges == ref.num_edges
+    for v in range(ref.num_vertices):
+        for direction in DIRECTIONS:
+            for el in edge_labels:
+                for nl in vertex_labels:
+                    expected = ref.neighbors(v, direction, el, nl)
+                    got = view.neighbors(v, direction, el, nl)
+                    assert np.array_equal(got, expected), (v, direction, el, nl)
+                    assert view.degree(v, direction, el, nl) == len(expected)
+    for el in edge_labels:
+        for sl in vertex_labels:
+            got = sorted(zip(*view.edges(el, sl, None)))
+            expected = sorted(zip(*ref.edges(el, sl, None)))
+            assert got == expected, (el, sl)
+            assert view.count_edges(el, sl, None) == ref.count_edges(el, sl, None)
+    for direction in DIRECTIONS:
+        for el in edge_labels:
+            got_csr = view.csr(direction, el, None)
+            ref_csr = ref.csr(direction, el, None)
+            assert np.array_equal(got_csr.indptr, ref_csr.indptr), (direction, el)
+            for v in range(ref.num_vertices):
+                assert np.array_equal(got_csr.neighbors(v), ref_csr.neighbors(v))
+            assert np.array_equal(
+                view.adjacency_key_array(direction, el, None),
+                ref.adjacency_key_array(direction, el, None),
+            )
+
+
+class TestDynamicGraphBasics:
+    def test_wraps_base_unchanged(self):
+        base = small_base()
+        dg = DynamicGraph(base)
+        assert dg.version == 0
+        assert dg.num_edges == base.num_edges
+        assert_view_equals_graph(dg, base)
+
+    def test_add_edges_returns_applied_and_bumps_version(self):
+        dg = DynamicGraph(small_base())
+        applied = dg.add_edges([(0, 3), (0, 1), (0, 3)])  # (0,1) exists, (0,3) repeated
+        assert applied == [(0, 3, 0)]
+        assert dg.version == 1
+        assert dg.has_edge(0, 3)
+        # A fully duplicate batch is a no-op and does not bump the version.
+        assert dg.add_edges([(0, 1), (0, 3)]) == []
+        assert dg.version == 1
+
+    def test_delete_edges_base_and_delta(self):
+        dg = DynamicGraph(small_base())
+        dg.add_edges([(4, 0, 0)])
+        # (4,0) lives in the delta, (0,1) in the base, (1,0) does not exist.
+        assert dg.delete_edges([(4, 0, 0), (0, 1, 0), (1, 0, 0)]) == [
+            (4, 0, 0),
+            (0, 1, 0),
+        ]
+        assert not dg.has_edge(4, 0) and not dg.has_edge(0, 1)
+        assert dg.num_edges == small_base().num_edges - 1
+
+    def test_reinsert_deleted_base_edge(self):
+        dg = DynamicGraph(small_base())
+        dg.delete_edges([(0, 1, 0)])
+        assert not dg.has_edge(0, 1)
+        assert dg.add_edges([(0, 1, 0)]) == [(0, 1, 0)]
+        assert dg.has_edge(0, 1)
+        assert dg.num_edges == small_base().num_edges
+
+    def test_new_vertices_via_edges_get_label_zero(self):
+        dg = DynamicGraph(small_base())
+        dg.add_edges([(4, 7, 0)])
+        assert dg.num_vertices == 8
+        assert dg.vertex_label(7) == 0
+        assert list(dg.neighbors(7, Direction.BACKWARD)) == [4]
+
+    def test_add_vertices_with_labels(self):
+        dg = DynamicGraph(small_base())
+        ids = dg.add_vertices(labels=[3, 4])
+        assert ids == [5, 6]
+        assert dg.vertex_label(6) == 4
+        assert sorted(dg.vertices_with_label(3).tolist()) == [5]
+        with pytest.raises(GraphConstructionError):
+            dg.add_vertices()
+        with pytest.raises(GraphConstructionError):
+            dg.add_vertices(count=1, labels=[0])
+
+    def test_self_loops_rejected(self):
+        dg = DynamicGraph(small_base())
+        with pytest.raises(GraphConstructionError):
+            dg.add_edges([(1, 1)])
+
+
+class TestSnapshots:
+    def test_snapshot_is_o1_and_pinned(self):
+        dg = DynamicGraph(small_base())
+        snap = dg.snapshot()
+        assert isinstance(snap, GraphSnapshot)
+        assert snap.version == 0
+        dg.add_edges([(0, 3), (3, 1)])
+        dg.delete_edges([(0, 1, 0)])
+        # The old snapshot still sees the original state.
+        assert_view_equals_graph(snap, small_base())
+        # A fresh snapshot sees the new state.
+        fresh = dg.snapshot()
+        assert fresh.version == 2
+        assert fresh.has_edge(0, 3) and not fresh.has_edge(0, 1)
+
+    def test_snapshot_reuse_between_writes(self):
+        dg = DynamicGraph(small_base())
+        assert dg.snapshot() is dg.snapshot()
+        dg.add_edges([(0, 3)])
+        assert dg.snapshot().version == 1
+
+    def test_materialized_snapshot_compacts(self):
+        dg = DynamicGraph(small_base())
+        dg.add_edges([(0, 3)])
+        flat = dg.snapshot(materialize=True)
+        assert isinstance(flat, Graph)
+        assert flat.num_edges == 6
+        assert dg.delta_edges == 0 and dg.compactions == 1
+        # Repeat materialization returns the same base without re-compacting.
+        assert dg.snapshot(materialize=True) is flat
+        assert dg.compactions == 1
+
+
+class TestCompaction:
+    def test_compact_preserves_content_and_version(self):
+        dg = DynamicGraph(small_base(), auto_compact=False)
+        dg.add_edges([(0, 3), (4, 2, 1)])
+        dg.delete_edges([(1, 2, 0)])
+        version = dg.version
+        edges_before = sorted(dg.iter_edges())
+        old_snap = dg.snapshot()
+        dg.compact()
+        assert dg.version == version
+        assert dg.delta_edges == 0
+        assert sorted(dg.iter_edges()) == edges_before
+        # Readers pinned before compaction are untouched.
+        assert sorted(old_snap.iter_edges()) == edges_before
+
+    def test_auto_compact_threshold(self):
+        dg = DynamicGraph(small_base(), compact_min_edges=3, compact_ratio=0.0)
+        dg.add_edges([(0, 4), (4, 1)])
+        assert dg.compactions == 0
+        dg.add_edges([(1, 3), (3, 0)])  # overlay grows past the threshold
+        assert dg.compactions == 1
+        assert dg.delta_edges == 0
+
+    def test_auto_compact_disabled(self):
+        dg = DynamicGraph(small_base(), compact_min_edges=1, compact_ratio=0.0, auto_compact=False)
+        dg.add_edges([(0, 4), (4, 1), (1, 3)])
+        assert dg.compactions == 0
+        assert dg.delta_edges == 3
+
+
+class TestRandomizedEquivalence:
+    """After arbitrary interleavings of inserts and deletes, every read of
+    the dynamic graph must match a Graph freshly built from the same edges."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_fresh_graph(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 40
+        edges = set()
+        while len(edges) < 150:
+            s, d = (int(x) for x in rng.integers(0, n, 2))
+            if s != d:
+                edges.add((s, d, int(rng.integers(0, 2))))
+        vertex_labels = {i: int(rng.integers(0, 2)) for i in range(n)}
+        base = graph_from_edges(sorted(edges), vertex_labels=vertex_labels)
+        dg = DynamicGraph(base, auto_compact=False)
+
+        live = set(edges)
+        checkpoints = []
+        for _ in range(12):
+            inserts = []
+            while len(inserts) < 8:
+                s, d = (int(x) for x in rng.integers(0, n + 3, 2))
+                label = int(rng.integers(0, 2))
+                if s != d and (s, d, label) not in live:
+                    inserts.append((s, d, label))
+            deletes = [e for e in sorted(live) if rng.random() < 0.05]
+            live |= set(dg.add_edges(inserts))
+            live -= set(dg.delete_edges(deletes))
+            checkpoints.append((dg.snapshot(), set(live)))
+
+        labels_now = dg.vertex_labels
+        # Every third checkpoint plus the final state, verified after all
+        # mutations (MVCC: old snapshots unaffected by later writes).
+        for snap, snap_edges in checkpoints[::3] + [checkpoints[-1]]:
+            ref = reference_graph(snap_edges, snap.num_vertices, labels_now)
+            assert_view_equals_graph(snap, ref)
+        dg.compact()
+        ref = reference_graph(live, dg.num_vertices, labels_now)
+        assert_view_equals_graph(dg, ref)
+
+
+class TestDeltaStore:
+    def test_empty(self):
+        store = DeltaStore.empty()
+        assert store.is_empty
+        assert store.num_delta_edges == 0
+        assert not store.touched(0, Direction.FORWARD)
+
+    def test_structural_sharing(self):
+        labels = np.zeros(6, dtype=np.int64)
+        store = DeltaStore.empty().with_insertions([(0, 1, 0), (2, 3, 0)], labels)
+        extended = store.with_insertions([(0, 4, 0)], labels)
+        # The untouched per-vertex array of vertex 2 is shared, not copied.
+        assert extended.fwd_add[(0, 0)][2] is store.fwd_add[(0, 0)][2]
+        assert list(store.fwd_add[(0, 0)][0]) == [1]
+        assert list(extended.fwd_add[(0, 0)][0]) == [1, 4]
