@@ -25,7 +25,7 @@ from repro.graph.builder import GraphBuilder
 from repro.query.query_graph import QueryGraph, QueryEdge
 from repro.query import catalog_queries as queries
 from repro.server import PlanCache, PreparedQuery, QueryService, ServiceResult
-from repro.storage import DynamicGraph, GraphSnapshot
+from repro.storage import CompactionManager, DynamicGraph, GraphSnapshot
 from repro import datasets
 
 __version__ = "1.1.0"
@@ -37,6 +37,7 @@ __all__ = [
     "Graph",
     "GraphBuilder",
     "Direction",
+    "CompactionManager",
     "DynamicGraph",
     "GraphSnapshot",
     "QueryGraph",

@@ -41,6 +41,7 @@ from repro.query.isomorphism import isomorphism_mapping
 from repro.query.parser import parse_query
 from repro.query.query_graph import QueryGraph
 from repro.server.plan_cache import PlanCache
+from repro.storage.compaction import CompactionManager
 from repro.storage.dynamic import DynamicGraph
 
 
@@ -120,6 +121,8 @@ class GraphflowDB:
         self._write_lock = threading.RLock()
         # Logical version of the served graph; bumped by apply_updates.
         self.graph_version = graph.version if isinstance(graph, DynamicGraph) else 0
+        # Optional background compaction (enable_background_compaction).
+        self.compaction_manager: Optional[CompactionManager] = None
 
     # ------------------------------------------------------------------ #
     # catalogue / cost model management
@@ -156,7 +159,14 @@ class GraphflowDB:
     def _read_graph(self, materialize: bool = False):
         """The graph object queries should read: a pinned MVCC snapshot for a
         :class:`DynamicGraph` (compacted to a flat CSR when ``materialize``),
-        the graph itself otherwise."""
+        the graph itself otherwise.
+
+        Both executors — including the vectorized batch engine, which reads
+        the snapshot's lazily merged per-partition CSR views — run on dirty
+        snapshots directly, so nothing on the query path passes
+        ``materialize=True`` anymore; the parameter remains for explicit
+        compact-and-export uses.
+        """
         if isinstance(self.graph, DynamicGraph):
             return self.graph.snapshot(materialize=materialize)
         return self.graph
@@ -207,6 +217,51 @@ class GraphflowDB:
                 elapsed_seconds=time.perf_counter() - start,
                 compacted=dynamic.compactions > compactions_before,
             )
+
+    def enable_background_compaction(
+        self,
+        compact_ratio: Optional[float] = None,
+        min_delta_edges: Optional[int] = None,
+        poll_interval_seconds: float = 0.05,
+    ) -> CompactionManager:
+        """Move delta-CSR compaction off the write path.
+
+        Ensures the served graph is dynamic, attaches a
+        :class:`~repro.storage.compaction.CompactionManager`, and starts its
+        thread: :meth:`apply_updates` then returns as soon as the delta is
+        appended, and the CSR rebuild runs in the background with an atomic
+        epoch-checked base swap.  Compaction changes no logical content, so
+        cached plans, the catalogue, and pinned snapshots all stay valid.
+        Idempotent; returns the (running) manager.  When a manager already
+        exists, any thresholds passed here are applied to it, so later
+        callers (e.g. a :class:`QueryService` constructed with tuning knobs)
+        are never silently ignored.
+        """
+        dynamic = self.to_dynamic()
+        with self._write_lock:
+            manager = self.compaction_manager
+            if manager is None:
+                manager = CompactionManager(
+                    dynamic,
+                    compact_ratio=compact_ratio,
+                    min_delta_edges=min_delta_edges,
+                    poll_interval_seconds=poll_interval_seconds,
+                )
+                self.compaction_manager = manager
+            else:
+                if compact_ratio is not None:
+                    manager.compact_ratio = compact_ratio
+                if min_delta_edges is not None:
+                    manager.min_delta_edges = min_delta_edges
+            return manager.start()
+
+    def disable_background_compaction(self, wait: bool = True) -> None:
+        """Stop and detach the background compaction manager (restoring the
+        dynamic graph's synchronous threshold compaction)."""
+        with self._write_lock:
+            manager, self.compaction_manager = self.compaction_manager, None
+        if manager is not None:
+            manager.stop(wait=wait)
 
     def note_external_writes(
         self,
@@ -397,9 +452,10 @@ class GraphflowDB:
 
         # Queries over a DynamicGraph read a pinned MVCC snapshot, so
         # concurrent writers cannot change the matches mid-execution.  The
-        # vectorized engine gets a materialized (compacted) base so its
-        # columnar CSR gathers run at full speed.
-        exec_graph = self._read_graph(materialize=effective_vectorized)
+        # vectorized engine runs on the snapshot directly: its columnar CSR
+        # gathers read lazily merged per-partition views, so a dirty graph
+        # never forces a synchronous compaction onto the query path.
+        exec_graph = self._read_graph()
 
         if num_workers > 1:
             parallel: ParallelResult = execute_parallel(

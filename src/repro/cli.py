@@ -216,6 +216,8 @@ def cmd_update(args: argparse.Namespace) -> int:
         return 2
     db = _load_db(args)
     dynamic = db.to_dynamic()
+    if args.background_compaction:
+        db.enable_background_compaction()
     engine = ContinuousQueryEngine(dynamic)
     names = [n.strip() for n in args.queries.split(",") if n.strip()]
     for name in names:
@@ -247,6 +249,13 @@ def cmd_update(args: argparse.Namespace) -> int:
         f"({applied_edges / elapsed:.0f} updates/s), graph version {dynamic.version}, "
         f"{dynamic.compactions} compaction(s), delta overlay {dynamic.delta_edges} edges"
     )
+    if args.background_compaction:
+        stats = db.compaction_manager.stats()
+        db.disable_background_compaction()
+        print(
+            f"background compaction: {stats['compactions']} run(s), "
+            f"{stats['total_compaction_seconds']:.3f}s off the write path"
+        )
     verify = db.execute(_resolve_query(names[0]))
     print(
         f"re-executed {names[0]} on version {db.graph_version}: "
@@ -365,6 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=100, dest="batch_size", help="edges per batch"
     )
     update.add_argument("--seed", type=int, default=0, help="RNG seed for generated edges")
+    update.add_argument(
+        "--background-compaction",
+        action="store_true",
+        dest="background_compaction",
+        help="run delta-CSR compaction on a background thread instead of on writes",
+    )
     update.set_defaults(func=cmd_update)
     return parser
 

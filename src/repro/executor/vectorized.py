@@ -28,6 +28,31 @@ Match *counts* are identical to the iterator pipeline on every plan; only the
 order in which matches are produced may differ (each batch is sorted by its
 adjacency-key columns).  Counting queries never materialise matches —
 ``num_matches`` accumulates from frame row counts.
+
+Batch-grouping invariants — what the operators assume of their inputs and
+guarantee of their outputs:
+
+* every adjacency structure consumed (``graph.csr(...)`` partitions and
+  ``graph.adjacency_key_array(...)``) has **sorted per-vertex runs** and a
+  **globally sorted key array**; all membership tests are binary searches
+  over them, so any graph-like provider must preserve that ordering;
+* within one E/I invocation, rows are lexsorted by their adjacency-key
+  columns so equal keys are consecutive, ``group_of_row`` is non-decreasing,
+  and the per-group extension lists come back with non-decreasing group ids
+  and sorted values — the ragged expansion gathers index directly into that
+  layout;
+* expansion is chunked (``_expansion_segments``) so no output frame grows far
+  beyond ``batch_size`` rows regardless of per-row fanout, bounding peak
+  memory multiplicatively through an operator chain.
+
+The operators are deliberately agnostic about *which* graph object provides
+the columnar arrays: an immutable :class:`~repro.graph.graph.Graph` serves
+its flat CSR partitions, and a dirty
+:class:`~repro.storage.snapshot.GraphSnapshot` serves lazily merged
+per-partition views with the same ordering contracts — so the batch engine
+runs directly on dirty snapshots of a :class:`DynamicGraph` without any
+synchronous compaction on the query path (delta-merge invariants in
+:mod:`repro.storage.delta`).
 """
 
 from __future__ import annotations

@@ -64,6 +64,15 @@ class CostConstants:
         Fixed cost per ``batch_size``-row frame an operator processes —
         the vectorized engine's per-batch bookkeeping (grouping, lexsort,
         boundary detection).  Zero for the iterator pipeline.
+    delta_scan_weight:
+        Extra cost per scanned tuple, scaled by the scanned partition's
+        delta ratio, when the plan runs against a *dirty*
+        :class:`~repro.storage.snapshot.GraphSnapshot`: the batch engine
+        serves dirty partitions through lazily merged CSR views, and the
+        merge (plus the lost base-array cache reuse) costs roughly in
+        proportion to the overlay share of the partition.  Zero for the
+        iterator pipeline, whose per-vertex merge path is already priced by
+        its much larger per-tuple constants.
     """
 
     name: str
@@ -73,6 +82,7 @@ class CostConstants:
     build_weight: float = DEFAULT_BUILD_WEIGHT
     probe_weight: float = DEFAULT_PROBE_WEIGHT
     batch_overhead: float = 0.0
+    delta_scan_weight: float = 0.0
 
 
 #: Reproduces the paper's iterator formulas bit-for-bit.
@@ -90,6 +100,7 @@ VECTORIZED_COST_CONSTANTS = CostConstants(
     build_weight=0.6,
     probe_weight=0.25,
     batch_overhead=4.0,
+    delta_scan_weight=1.5,
 )
 
 
@@ -169,17 +180,46 @@ class CostModel:
         batches = float(np.ceil(tuples / self.batch_size))
         return batches * self.constants.batch_overhead
 
+    def _scan_delta_penalty(self, node: ScanNode, count: float) -> float:
+        """Per-partition dirty-snapshot surcharge for a SCAN.
+
+        When the plan's graph is a dirty :class:`GraphSnapshot` (duck-typed
+        via ``partition_delta_ratio``), the scanned edge partition pays
+        ``delta_scan_weight`` extra i-cost units per tuple, scaled by the
+        overlay share of that partition — partitions the delta never touched
+        cost exactly what they cost on a flat CSR.
+        """
+        if self.constants.delta_scan_weight == 0.0 or count <= 0:
+            return 0.0
+        ratio_fn = getattr(self.graph, "partition_delta_ratio", None)
+        if ratio_fn is None:
+            return 0.0
+        from repro.graph.graph import Direction
+
+        edge = node.edge
+        ratio = ratio_fn(
+            Direction.FORWARD, edge.label, node.sub_query.vertex_label(edge.dst)
+        )
+        if ratio <= 0.0:
+            return 0.0
+        return count * min(ratio, 1.0) * self.constants.delta_scan_weight
+
     def scan_cost(self, node: ScanNode) -> float:
         """A SCAN costs its output cardinality (the selectivity of the label
         on the scanned query edge — the DP's base case), weighted by the
-        execution mode's per-tuple scan constant."""
+        execution mode's per-tuple scan constant, plus a per-partition
+        surcharge when scanning a dirty snapshot's lazily merged views."""
         edge = node.edge
         count = self.catalogue.edge_count(
             edge.label,
             node.sub_query.vertex_label(edge.src),
             node.sub_query.vertex_label(edge.dst),
         )
-        return count * self.constants.scan_weight + self._batch_cost(count)
+        return (
+            count * self.constants.scan_weight
+            + self._batch_cost(count)
+            + self._scan_delta_penalty(node, count)
+        )
 
     def _cache_prefix_length(self, node: ExtendNode) -> int:
         """Number of leading child vertices the intersection actually depends

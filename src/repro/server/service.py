@@ -104,9 +104,21 @@ class QueryService:
         Default execution mode for served queries: when ``vectorized`` is
         True, plans run through the batch-at-a-time (columnar) engine with
         ``batch_size``-row frames instead of the tuple-at-a-time pipeline.
+        Vectorized reads run on the pinned snapshot directly (dirty or not)
+        — serving a dynamic graph never compacts on the query path.
         Deadline and row-limit semantics are unchanged (deadlines are checked
         per batch; the final frame is truncated to the row limit).  A
         submission can override the mode per query.
+    background_compaction:
+        When True, enable :meth:`GraphflowDB.enable_background_compaction`
+        on the served database: update submissions return as soon as the
+        delta is appended, and the CSR rebuild runs on a background thread
+        with an atomic base swap (pinned snapshots keep serving the old
+        base).  The manager is stopped by :meth:`close` if this service
+        enabled it.
+    compaction_ratio / compaction_min_delta_edges:
+        Overlay thresholds forwarded to the compaction manager (``None``
+        inherits the dynamic graph's own settings).
     metrics_window_seconds:
         Width of the rolling metrics window reported by :meth:`stats`.
     """
@@ -121,6 +133,9 @@ class QueryService:
         num_workers: int = 1,
         vectorized: bool = False,
         batch_size: int = 2048,
+        background_compaction: bool = False,
+        compaction_ratio: Optional[float] = None,
+        compaction_min_delta_edges: Optional[int] = None,
         metrics_window_seconds: float = 60.0,
     ) -> None:
         if max_concurrent < 1:
@@ -128,6 +143,12 @@ class QueryService:
         if max_queue < 0:
             raise ValueError("max_queue cannot be negative")
         self.db = db
+        self._owns_compaction = background_compaction and db.compaction_manager is None
+        if background_compaction:
+            db.enable_background_compaction(
+                compact_ratio=compaction_ratio,
+                min_delta_edges=compaction_min_delta_edges,
+            )
         self.max_concurrent = max_concurrent
         self.max_queue = max_queue
         self.default_deadline_seconds = default_deadline_seconds
@@ -416,6 +437,8 @@ class QueryService:
         }
         if self.db.plan_cache is not None:
             out["plan_cache"] = self.db.plan_cache.stats.as_dict()
+        if self.db.compaction_manager is not None:
+            out["compaction"] = self.db.compaction_manager.stats()
         return out
 
     def stats_rows(self) -> List[dict]:
@@ -437,14 +460,26 @@ class QueryService:
             rows.append({"metric": "plan cache hits", "value": str(cache["hits"])})
             rows.append({"metric": "plan cache misses", "value": str(cache["misses"])})
             rows.append({"metric": "plan cache hit rate", "value": f"{cache['hit_rate']:.1%}"})
+        compaction = stats.get("compaction")
+        if compaction:
+            rows.append(
+                {"metric": "background compactions", "value": str(compaction["compactions"])}
+            )
+            rows.append(
+                {"metric": "delta overlay edges", "value": str(compaction["delta_edges"])}
+            )
         return rows
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting queries and (optionally) wait for in-flight ones."""
+        """Stop accepting queries and (optionally) wait for in-flight ones;
+        stops the background compaction manager if this service enabled it."""
         with self._slots_free:
             self._closed = True
             self._slots_free.notify_all()
         self._pool.shutdown(wait=wait)
+        if self._owns_compaction:
+            self.db.disable_background_compaction(wait=wait)
+            self._owns_compaction = False
 
     def __enter__(self) -> "QueryService":
         return self

@@ -10,11 +10,21 @@ The subsystem layers mutability on top of the immutable
   the full ``Graph`` read API (both executors run on it unchanged);
 - :class:`DynamicGraph` — the mutable front end with ``add_edges`` /
   ``delete_edges`` / ``add_vertices``, an epoch version counter, and
-  threshold- or explicitly-triggered compaction into a fresh CSR base.
+  threshold- or explicitly-triggered compaction into a fresh CSR base;
+- :class:`CompactionManager` — threshold-triggered compaction on a background
+  thread (CAS-installed under the epoch scheme), so neither writers nor
+  queries ever pay the CSR rebuild.
 """
 
+from repro.storage.compaction import CompactionManager
 from repro.storage.delta import DeltaStore
 from repro.storage.dynamic import DynamicGraph, normalize_edges
 from repro.storage.snapshot import GraphSnapshot
 
-__all__ = ["DeltaStore", "DynamicGraph", "GraphSnapshot", "normalize_edges"]
+__all__ = [
+    "CompactionManager",
+    "DeltaStore",
+    "DynamicGraph",
+    "GraphSnapshot",
+    "normalize_edges",
+]

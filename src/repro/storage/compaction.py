@@ -1,0 +1,217 @@
+"""Background compaction: the CSR rebuild moved off both the write and the
+query path.
+
+Historically the delta-CSR store compacted in two places, both synchronous
+with user-visible work: writers crossing the overlay threshold paid the full
+base + delta merge inside ``add_edges`` / ``delete_edges``, and the
+vectorized engine forced ``snapshot(materialize=True)`` — a compaction — onto
+every query against a dirty graph.  With delta-aware vectorized execution the
+query side no longer needs a flat base at all; :class:`CompactionManager`
+removes the write side too.
+
+A manager owns one daemon thread watching one
+:class:`~repro.storage.dynamic.DynamicGraph`.  Writes stay O(batch): the
+graph's write listener merely sets an event, and the manager thread — not the
+writer — checks the overlay threshold and runs the merge via
+:meth:`DynamicGraph.try_compact`, which materializes the new base **without
+the write lock** and installs it with a compare-and-swap on the epoch
+counter.  A write racing the materialization makes the install fail cleanly;
+the manager retries against the newer state, and after
+``max_install_retries`` consecutive losses falls back to one locked
+:meth:`DynamicGraph.compact` so progress is guaranteed even under a
+pathological write storm.
+
+Compaction never changes logical content or the version, so pinned snapshots
+keep serving the old ``(base, delta)`` pair until their readers release them,
+plan caches and catalogues stay valid, and in-flight queries are never
+disturbed — the concurrency tests assert a compaction landing mid-query
+changes no result in either executor mode.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.storage.dynamic import DynamicGraph, compaction_threshold
+
+
+class CompactionManager:
+    """Threshold-triggered background compaction for one ``DynamicGraph``.
+
+    Parameters
+    ----------
+    graph:
+        The dynamic graph to watch.  Constructing a manager *attaches* it:
+        the graph's synchronous threshold compaction is disabled from that
+        moment (writes notify instead of compacting), so construct-and-start
+        together unless a test deliberately wants writes observed without
+        any compaction.  :meth:`stop` detaches (restoring the graph's own
+        behaviour); :meth:`start` re-attaches if needed, so a
+        stop-then-start cycle resumes background compaction cleanly.
+    compact_ratio / min_delta_edges:
+        Overlay threshold: compact when ``delta_edges`` exceeds
+        ``max(min_delta_edges, compact_ratio * base_edges)``.  ``None``
+        inherits the graph's own ``compact_ratio`` / ``compact_min_edges``.
+    poll_interval_seconds:
+        Fallback wake-up period; write notifications wake the thread
+        immediately, so this only bounds how stale a missed wake-up can get.
+    max_install_retries:
+        Consecutive CAS-install failures tolerated per trigger before
+        falling back to a locked compaction.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        compact_ratio: Optional[float] = None,
+        min_delta_edges: Optional[int] = None,
+        poll_interval_seconds: float = 0.05,
+        max_install_retries: int = 3,
+    ) -> None:
+        self.graph = graph
+        self.compact_ratio = compact_ratio if compact_ratio is not None else graph.compact_ratio
+        self.min_delta_edges = (
+            min_delta_edges if min_delta_edges is not None else graph.compact_min_edges
+        )
+        self.poll_interval_seconds = poll_interval_seconds
+        self.max_install_retries = max_install_retries
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._stats_lock = threading.Lock()
+        self.compactions = 0
+        self.install_retries = 0
+        self.fallback_compactions = 0
+        self.total_compaction_seconds = 0.0
+        self.last_compaction_seconds = 0.0
+        self._attached = False
+        self._attach()
+
+    # ------------------------------------------------------------------ #
+    # graph attachment
+    # ------------------------------------------------------------------ #
+    def _attach(self) -> None:
+        if self._attached:
+            return
+        self._saved_auto_compact = self.graph.auto_compact
+        self.graph.auto_compact = False
+        self.graph.set_write_listener(self._wake.set)
+        self._attached = True
+
+    def _detach(self) -> None:
+        if not self._attached:
+            return
+        self.graph.set_write_listener(None)
+        self.graph.auto_compact = self._saved_auto_compact
+        self._attached = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "CompactionManager":
+        if self._thread is not None:
+            return self
+        self._attach()  # no-op unless a prior stop() detached us
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="compaction-manager", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Detach from the graph and stop the thread (restoring the graph's
+        own synchronous auto-compaction behaviour)."""
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None and wait:
+            self._thread.join()
+        self._thread = None
+        self._detach()
+
+    def __enter__(self) -> "CompactionManager":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # the compaction loop
+    # ------------------------------------------------------------------ #
+    def _threshold(self) -> int:
+        return compaction_threshold(
+            self.graph.base.num_edges, self.compact_ratio, self.min_delta_edges
+        )
+
+    def should_compact(self) -> bool:
+        return self.graph.delta_edges > self._threshold()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(timeout=self.poll_interval_seconds)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            if self.should_compact():
+                self.compact_now()
+
+    def compact_now(self) -> bool:
+        """One compaction pass (also callable synchronously, e.g. in tests).
+
+        Returns ``True`` if a compaction was actually installed, ``False``
+        when there was nothing to compact (the overlay was — or emptied —
+        clean), judged by the graph's own compaction counter so the stats
+        here never over-report.
+        """
+        start = time.perf_counter()
+        graph_compactions_before = self.graph.compactions
+        for _ in range(max(1, self.max_install_retries)):
+            if self.graph.try_compact():
+                break
+            with self._stats_lock:
+                self.install_retries += 1
+        else:
+            # A writer won every race; take the lock once so the overlay
+            # cannot grow without bound.
+            self.graph.compact()
+            with self._stats_lock:
+                self.fallback_compactions += 1
+        installed = self.graph.compactions > graph_compactions_before
+        if installed:
+            elapsed = time.perf_counter() - start
+            with self._stats_lock:
+                self.compactions += 1
+                self.last_compaction_seconds = elapsed
+                self.total_compaction_seconds += elapsed
+        return installed
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        with self._stats_lock:
+            return {
+                "running": self.running,
+                "compactions": self.compactions,
+                "install_retries": self.install_retries,
+                "fallback_compactions": self.fallback_compactions,
+                "delta_edges": self.graph.delta_edges,
+                "threshold": self._threshold(),
+                "last_compaction_seconds": self.last_compaction_seconds,
+                "total_compaction_seconds": self.total_compaction_seconds,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactionManager(graph={self.graph.name!r}, running={self.running}, "
+            f"compactions={self.compactions}, delta_edges={self.graph.delta_edges})"
+        )
+
+
+__all__ = ["CompactionManager"]

@@ -13,12 +13,28 @@ that structurally shares all untouched per-vertex arrays with its
 predecessor.  A snapshot therefore pins consistent state simply by holding a
 ``(base, delta)`` pair; writers never mutate anything a reader can see.
 
-Invariants maintained by the mutators:
+Invariants maintained by the mutators (the *delta-merge invariants* every
+reader — :class:`~repro.storage.snapshot.GraphSnapshot` merges, the
+continuous engine's delta terms, and the vectorized executor's merged-CSR
+views — relies on):
 
 * an edge appears in at most one of ``insert_*`` / ``deleted_keys``;
 * ``deleted_keys`` only ever names *base* edges (deleting an edge that was
-  inserted after the last compaction removes it from the insert side);
-* per-vertex arrays are sorted and duplicate-free.
+  inserted after the last compaction removes it from the insert side), so a
+  merge is always ``(base − deletions) ∪ insertions`` with the two operand
+  sets disjoint;
+* per-vertex arrays are sorted and duplicate-free, so merging a base
+  adjacency run with its delta is a merge of two sorted runs and binary
+  search stays valid on the result;
+* deletions are recorded within their own ``(edge label, neighbour label)``
+  partition: the wildcard-merged base list keeps one entry per *edge* (a
+  neighbour reached through two edge labels appears twice) and deleting one
+  of those edges must drop exactly one entry;
+* ``touched_fwd`` / ``touched_bwd`` over-approximate the vertices with any
+  delta adjacency per direction — a vertex outside them may always be read
+  straight from the base CSR, and partitions no delta touches
+  (:meth:`DeltaStore.touches_partition`) may be served as the base's own
+  arrays without copying.
 """
 
 from __future__ import annotations
@@ -155,6 +171,50 @@ class DeltaStore:
     def touched(self, vertex: int, direction: Direction) -> bool:
         sets = self.touched_fwd if direction is Direction.FORWARD else self.touched_bwd
         return vertex in sets
+
+    @staticmethod
+    def _partition_matches(
+        key: Tuple[int, int], edge_label: Optional[int], neighbor_label: Optional[int]
+    ) -> bool:
+        el, nl = key
+        return (edge_label is ANY_LABEL or el == edge_label) and (
+            neighbor_label is ANY_LABEL or nl == neighbor_label
+        )
+
+    def touches_partition(
+        self,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> bool:
+        """Whether any insert or delete lands in an adjacency partition
+        matching the (possibly wildcard) filters.
+
+        A partition the delta never touches can be served directly from the
+        base CSR — the snapshot's columnar accessors use this to stay lazy
+        per partition instead of per snapshot.
+        """
+        for partitions in (self._adds(direction), self._dels(direction)):
+            for key in partitions:
+                if self._partition_matches(key, edge_label, neighbor_label):
+                    return True
+        return False
+
+    def partition_delta_edges(
+        self,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> int:
+        """Number of delta entries (inserted + deleted adjacency slots) in
+        the partitions matching the filters — the numerator of the
+        per-partition delta ratio the cost model prices dirty scans with."""
+        total = 0
+        for partitions in (self._adds(direction), self._dels(direction)):
+            for key, per_vertex in partitions.items():
+                if self._partition_matches(key, edge_label, neighbor_label):
+                    total += sum(len(run) for run in per_vertex.values())
+        return total
 
     # ------------------------------------------------------------------ #
     # mutators (return a new store; structural sharing elsewhere)

@@ -15,12 +15,20 @@ When the overlay grows past ``compact_ratio`` of the base edge count (or
 never disturbs concurrent readers: existing snapshots keep their old
 ``(base, delta)`` references, and the logical content — hence the version —
 is unchanged.
+
+With a :class:`~repro.storage.compaction.CompactionManager` attached
+(:meth:`set_write_listener`), synchronous threshold compaction is disabled:
+writes merely notify the manager and return immediately, and the manager
+merges base + delta on its own thread via :meth:`try_compact` — the heavy
+materialization runs without the write lock, and the new base is installed
+with a compare-and-swap on the epoch counter so a racing write simply makes
+the install retry.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,6 +58,13 @@ def normalize_edges(edges: Iterable[Tuple[int, ...]]) -> List[Edge]:
             seen.add(key)
             batch.append(key)
     return batch
+
+
+def compaction_threshold(base_edges: int, ratio: float, min_edges: int) -> int:
+    """Overlay size beyond which compaction should run — the single
+    definition shared by the synchronous write path and the background
+    :class:`~repro.storage.compaction.CompactionManager`."""
+    return max(min_edges, int(ratio * base_edges))
 
 
 class _State(NamedTuple):
@@ -90,6 +105,10 @@ class DynamicGraph:
         self.auto_compact = auto_compact
         self.compactions = 0
         self._snapshot_cache: Optional[GraphSnapshot] = None
+        # Called (with the write lock held) after every version bump; a
+        # CompactionManager registers a cheap Event.set here.  When set,
+        # threshold compaction is the listener's job — writes never compact.
+        self._write_listener: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------ #
     # snapshots
@@ -239,12 +258,34 @@ class DynamicGraph:
     # ------------------------------------------------------------------ #
     # compaction
     # ------------------------------------------------------------------ #
+    def set_write_listener(self, listener: Optional[Callable[[], None]]) -> None:
+        """Register (or clear, with ``None``) the post-write notification.
+
+        The listener runs with the write lock held, so it must be cheap and
+        must not take other locks — a ``threading.Event.set`` is the intended
+        payload.  While a listener is registered, writes never compact
+        synchronously regardless of ``auto_compact``.
+        """
+        with self._lock:
+            self._write_listener = listener
+
+    @property
+    def compaction_threshold(self) -> int:
+        """Overlay size beyond which compaction should run."""
+        return compaction_threshold(
+            self._state.base.num_edges, self.compact_ratio, self.compact_min_edges
+        )
+
+    def needs_compaction(self) -> bool:
+        return self._state.delta.num_delta_edges > self.compaction_threshold
+
     def _maybe_compact(self) -> None:
+        if self._write_listener is not None:
+            self._write_listener()
+            return
         if not self.auto_compact:
             return
-        state = self._state
-        threshold = max(self.compact_min_edges, int(self.compact_ratio * state.base.num_edges))
-        if state.delta.num_delta_edges > threshold:
+        if self.needs_compaction():
             self.compact()
 
     def compact(self) -> Graph:
@@ -272,6 +313,41 @@ class DynamicGraph:
             )
             self.compactions += 1
             return new_base
+
+    def try_compact(self) -> bool:
+        """One off-lock compaction attempt (the background-compaction
+        primitive).
+
+        The current state is pinned, base + delta are materialized into a
+        fresh CSR **without holding the write lock** (writers proceed
+        concurrently), and the new base is installed only if the epoch
+        counter still matches the pinned state — logical content and version
+        are unchanged by a successful install, exactly like :meth:`compact`.
+        Returns ``False`` when a concurrent write raced the materialization
+        (nothing is installed; the caller may retry against the newer state).
+        """
+        state = self._state
+        if state.delta.is_empty and len(state.vertex_labels) == state.base.num_vertices:
+            return True
+        snap = GraphSnapshot(
+            base=state.base,
+            delta=state.delta,
+            vertex_labels=state.vertex_labels,
+            version=state.version,
+        )
+        new_base = snap.materialize(name=state.base.name)  # heavy, lock-free
+        with self._lock:
+            current = self._state
+            if current.version != state.version or current.base is not state.base:
+                return False
+            self._state = _State(
+                base=new_base,
+                delta=DeltaStore.empty(),
+                vertex_labels=new_base.vertex_labels,
+                version=current.version,
+            )
+            self.compactions += 1
+            return True
 
     # ------------------------------------------------------------------ #
     # Graph read API (delegated to the current snapshot)
@@ -334,6 +410,13 @@ class DynamicGraph:
     def adjacency_key_array(self, *args, **kwargs) -> np.ndarray:
         return self.snapshot().adjacency_key_array(*args, **kwargs)
 
+    @property
+    def delta_ratio(self) -> float:
+        return self.snapshot().delta_ratio
+
+    def partition_delta_ratio(self, *args, **kwargs) -> float:
+        return self.snapshot().partition_delta_ratio(*args, **kwargs)
+
     def edges(self, *args, **kwargs) -> Tuple[np.ndarray, np.ndarray]:
         return self.snapshot().edges(*args, **kwargs)
 
@@ -353,4 +436,4 @@ class DynamicGraph:
         )
 
 
-__all__ = ["DynamicGraph", "normalize_edges"]
+__all__ = ["DynamicGraph", "compaction_threshold", "normalize_edges"]

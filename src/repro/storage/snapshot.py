@@ -10,10 +10,27 @@ terms, and concurrent writers therefore never block each other.
 
 Reads fall through to the base CSR untouched-vertex-wise: the per-direction
 ``touched`` sets of the delta make the common case (a vertex with no pending
-updates) a single set lookup plus the base's own fast path.  The columnar
-structures the vectorized executor needs (``csr`` and ``adjacency_key_array``)
-are merged lazily per partition and cached on the snapshot; fully dirty-free
-snapshots simply return the base's arrays.
+updates) a single set lookup plus the base's own fast path.
+
+The columnar structures the vectorized executor needs (:meth:`csr` and
+:meth:`adjacency_key_array`) are merged **lazily per partition**: a query
+plan only pays the merge for the ``(direction, edge label, neighbour label)``
+partitions its operators actually touch, a partition the delta never touches
+(:meth:`DeltaStore.touches_partition`) is served as the base's own arrays
+without copying, and merged views are cached copy-on-write on the snapshot —
+the snapshot itself is immutable, so the cache is a pure memo shared by every
+reader of the pinned version, never mutated state.  This is what lets the
+batch engine run directly on *dirty* snapshots instead of forcing a full CSR
+rebuild (compaction) onto the query path.
+
+Merge invariants (see :mod:`repro.storage.delta` for the writer-side
+guarantees they rest on): every merged per-vertex run is
+``(base − deletions) ∪ insertions`` with disjoint operands, stays sorted and
+duplicate-free per partition, and wildcard reads subtract deletions within
+their own partition before concatenating partitions, keeping one entry per
+edge.  Consequently the merged CSR/adjacency-key arrays satisfy exactly the
+ordering contracts (sorted per-vertex runs, globally sorted key arrays) the
+vectorized operators' binary searches assume.
 """
 
 from __future__ import annotations
@@ -206,13 +223,25 @@ class GraphSnapshot:
     # ------------------------------------------------------------------ #
     # columnar access (vectorized executor)
     # ------------------------------------------------------------------ #
+    def _partition_clean(
+        self,
+        direction: Direction,
+        edge_label: Optional[int],
+        neighbor_label: Optional[int],
+    ) -> bool:
+        """Whether the base's own columnar arrays can serve this partition
+        unchanged: no new vertices and no delta entry matching the filters."""
+        return self.num_vertices == self.base.num_vertices and not self.delta.touches_partition(
+            direction, edge_label, neighbor_label
+        )
+
     def csr(
         self,
         direction: Direction,
         edge_label: Optional[int] = ANY_LABEL,
         neighbor_label: Optional[int] = ANY_LABEL,
     ) -> _CSR:
-        if self.delta.is_empty and self.num_vertices == self.base.num_vertices:
+        if self._partition_clean(direction, edge_label, neighbor_label):
             return self.base.csr(direction, edge_label, neighbor_label)
         key = (direction.value, edge_label, neighbor_label)
         cached = self._csr_cache.get(key)
@@ -228,35 +257,100 @@ class GraphSnapshot:
         edge_label: Optional[int],
         neighbor_label: Optional[int],
     ) -> _CSR:
-        """Merge the base partition CSR with the delta for every touched
-        vertex, keeping untouched base segments as bulk copies."""
+        """Merge the base partition CSR with the delta, keeping untouched
+        base segments as bulk copies.
+
+        The merge is fully vectorized and restricted to the vertices the
+        delta touches *within the matching partitions* — vertices touched
+        only through other partitions keep their base runs verbatim.  For
+        the touched vertices, base/delta adjacency is encoded as
+        ``vertex * n + neighbour`` keys: deletions are removed one occurrence
+        per deleted edge (wildcard-merged base runs keep one entry per edge,
+        so a neighbour reached through two edge labels appears twice and
+        deleting one edge must drop exactly one), insertions are appended,
+        and one ``np.sort`` restores the (vertex, neighbour) order the CSR
+        contract requires.
+        """
         base_csr = self.base.csr(direction, edge_label, neighbor_label)
         n = self.num_vertices
         nb = self.base.num_vertices
         base_deg = np.diff(base_csr.indptr)
+        matches = self.delta._partition_matches
+        add_parts = [
+            per_vertex
+            for key, per_vertex in self.delta._adds(direction).items()
+            if matches(key, edge_label, neighbor_label)
+        ]
+        del_parts = [
+            per_vertex
+            for key, per_vertex in self.delta._dels(direction).items()
+            if matches(key, edge_label, neighbor_label)
+        ]
+        touched = set()
+        for per_vertex in (*add_parts, *del_parts):
+            touched.update(per_vertex)
+        if not touched:
+            if n == nb:
+                return base_csr
+            indptr = np.concatenate(
+                [base_csr.indptr, np.full(n - nb, base_csr.indptr[-1], dtype=np.int64)]
+            )
+            return _CSR(indptr, base_csr.indices)
+        touched_arr = np.fromiter(sorted(touched), dtype=np.int64, count=len(touched))
+        stride = np.int64(n)
+
+        # Base adjacency of the touched vertices, as sorted encoded keys
+        # (touched ids ascending, per-vertex runs sorted => globally sorted).
+        t_in_base = touched_arr[touched_arr < nb]
+        t_counts = base_deg[t_in_base]
+        total = int(t_counts.sum())
+        if total:
+            ends = np.cumsum(t_counts)
+            positions = np.repeat(base_csr.indptr[t_in_base], t_counts) + (
+                np.arange(total, dtype=np.int64) - np.repeat(ends - t_counts, t_counts)
+            )
+            base_keys = np.repeat(t_in_base, t_counts) * stride + base_csr.indices[positions]
+        else:
+            base_keys = _EMPTY
+
+        del_runs = [
+            v * stride + arr for per_vertex in del_parts for v, arr in per_vertex.items()
+        ]
+        if del_runs and len(base_keys):
+            del_keys = np.sort(np.concatenate(del_runs))
+            # Remove exactly one base occurrence per deleted edge: duplicate
+            # delete keys (same neighbour through several edge labels) hit
+            # consecutive positions of the equal-key run in base_keys.
+            boundary = np.empty(len(del_keys), dtype=bool)
+            boundary[0] = True
+            boundary[1:] = del_keys[1:] != del_keys[:-1]
+            first = np.flatnonzero(boundary)
+            occurrence = np.arange(len(del_keys)) - first[np.cumsum(boundary) - 1]
+            remove = np.searchsorted(base_keys, del_keys) + occurrence
+            keep_mask = np.ones(len(base_keys), dtype=bool)
+            keep_mask[remove] = False
+            base_keys = base_keys[keep_mask]
+
+        add_runs = [
+            v * stride + arr for per_vertex in add_parts for v, arr in per_vertex.items()
+        ]
+        merged_keys = np.concatenate([base_keys, *add_runs]) if add_runs else base_keys
+        merged_keys = np.sort(merged_keys)
+        touched_vertices = merged_keys // stride
+        touched_values = merged_keys % stride
+
         counts = np.zeros(n, dtype=np.int64)
         counts[:nb] = base_deg
-        touched = sorted(self.delta.touched_vertices(direction))
-        merged_lists = []
-        for v in touched:
-            lst = self.neighbors(v, direction, edge_label, neighbor_label)
-            merged_lists.append(lst)
-            counts[v] = len(lst)
+        counts[touched_arr] = np.bincount(touched_vertices, minlength=n)[touched_arr]
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        if not touched:
-            return _CSR(indptr, base_csr.indices)
-        touched_arr = np.asarray(touched, dtype=np.int64)
+
+        # Untouched base segments, bulk-copied.
         keep = np.ones(nb, dtype=bool)
-        keep[touched_arr[touched_arr < nb]] = False
+        keep[t_in_base] = False
         kept_positions = np.repeat(keep, base_deg)
         kept_vertices = np.repeat(np.arange(nb, dtype=np.int64), base_deg)[kept_positions]
         kept_values = base_csr.indices[kept_positions]
-        merged_lens = np.array([len(lst) for lst in merged_lists], dtype=np.int64)
-        touched_vertices = np.repeat(touched_arr, merged_lens)
-        touched_values = (
-            np.concatenate(merged_lists) if merged_lists else _EMPTY
-        )
         vertices = np.concatenate([kept_vertices, touched_vertices])
         values = np.concatenate([kept_values, touched_values])
         # Vertex sets of the two pieces are disjoint and each per-vertex run is
@@ -270,7 +364,7 @@ class GraphSnapshot:
         edge_label: Optional[int] = ANY_LABEL,
         neighbor_label: Optional[int] = ANY_LABEL,
     ) -> np.ndarray:
-        if self.delta.is_empty and self.num_vertices == self.base.num_vertices:
+        if self._partition_clean(direction, edge_label, neighbor_label):
             return self.base.adjacency_key_array(direction, edge_label, neighbor_label)
         key = (direction.value, edge_label, neighbor_label)
         cached = self._adj_key_cache.get(key)
@@ -286,6 +380,35 @@ class GraphSnapshot:
         keys.setflags(write=False)
         self._adj_key_cache[key] = keys
         return keys
+
+    # ------------------------------------------------------------------ #
+    # delta accounting (cost-model input)
+    # ------------------------------------------------------------------ #
+    @property
+    def delta_ratio(self) -> float:
+        """Overall overlay size relative to the base edge count (0 when the
+        snapshot is clean)."""
+        return self.delta.num_delta_edges / max(1, self.base.num_edges)
+
+    def partition_delta_ratio(
+        self,
+        direction: Direction,
+        edge_label: Optional[int] = ANY_LABEL,
+        neighbor_label: Optional[int] = ANY_LABEL,
+    ) -> float:
+        """Delta entries in the matching partitions relative to the base
+        partition size.
+
+        This is what the planner's batch cost constants price dirty-snapshot
+        scans with: a partition the delta never touches costs exactly what it
+        costs on a flat CSR, a heavily dirty partition pays for its lazy
+        merge proportionally.
+        """
+        delta_edges = self.delta.partition_delta_edges(direction, edge_label, neighbor_label)
+        if delta_edges == 0:
+            return 0.0
+        base_size = len(self.base.csr(direction, edge_label, neighbor_label).indices)
+        return delta_edges / max(1, base_size)
 
     # ------------------------------------------------------------------ #
     # edge scans
@@ -343,6 +466,9 @@ class GraphSnapshot:
         src_label: Optional[int] = ANY_LABEL,
         dst_label: Optional[int] = ANY_LABEL,
     ) -> Tuple[np.ndarray, np.ndarray]:
+        if self.delta.is_empty:
+            # Same ANY_LABEL short-circuits (and mask reuse) as Graph.edges.
+            return self.base.edges(edge_label, src_label, dst_label)
         src, dst, lab = self._materialized_edges()
         if edge_label is ANY_LABEL and src_label is ANY_LABEL and dst_label is ANY_LABEL:
             return src, dst
@@ -365,6 +491,15 @@ class GraphSnapshot:
     ) -> int:
         if edge_label is ANY_LABEL and src_label is ANY_LABEL and dst_label is ANY_LABEL:
             return self.num_edges
+        if src_label is ANY_LABEL and dst_label is ANY_LABEL:
+            # Graph.edges-style short-circuit on the snapshot path: an
+            # edge-label-only count never needs the merged edge arrays —
+            # deleted_keys names only base edges and the insert side is
+            # disjoint from both, so the three counts compose exactly.
+            base_count = self.base.count_edges(edge_label)
+            deleted = sum(1 for _, _, label in self.delta.deleted_keys if label == edge_label)
+            inserted = int(np.count_nonzero(self.delta.insert_labels == edge_label))
+            return base_count - deleted + inserted
         src, _ = self.edges(edge_label, src_label, dst_label)
         return int(len(src))
 

@@ -64,6 +64,53 @@ class TestConstants:
         assert model.probe_weight == VECTORIZED_COST_CONSTANTS.probe_weight
 
 
+class TestDeltaPricing:
+    """Dirty-snapshot scans pay a per-partition delta surcharge under the
+    batch constants; clean graphs and the iterator constants are unchanged."""
+
+    @pytest.fixture()
+    def dirty_snapshot(self, graph):
+        from repro.storage import DynamicGraph
+
+        dynamic = DynamicGraph(graph, auto_compact=False)
+        inserts = []
+        v = 0
+        while len(inserts) < 120:
+            s, d = v % graph.num_vertices, (v * 7 + 1) % graph.num_vertices
+            if s != d and not dynamic.has_edge(s, d, 0):
+                inserts.append((s, d, 0))
+            v += 1
+        dynamic.add_edges(inserts)
+        return dynamic.snapshot()
+
+    def _scan_nodes(self, graph, catalogue, query):
+        plan = GraphflowDB(graph, catalogue=catalogue).plan(query)
+        return [n for n in plan.root.iter_nodes() if type(n).__name__ == "ScanNode"]
+
+    def test_vectorized_constants_price_dirty_scans_higher(
+        self, graph, catalogue, dirty_snapshot
+    ):
+        assert VECTORIZED_COST_CONSTANTS.delta_scan_weight > 0
+        clean = CostModel(graph, catalogue, constants=VECTORIZED_COST_CONSTANTS)
+        dirty = CostModel(dirty_snapshot, catalogue, constants=VECTORIZED_COST_CONSTANTS)
+        for node in self._scan_nodes(graph, catalogue, cq.q8()):
+            assert dirty.scan_cost(node) > clean.scan_cost(node)
+
+    def test_iterator_constants_ignore_delta(self, graph, catalogue, dirty_snapshot):
+        assert ITERATOR_COST_CONSTANTS.delta_scan_weight == 0.0
+        clean = CostModel(graph, catalogue, constants=ITERATOR_COST_CONSTANTS)
+        dirty = CostModel(dirty_snapshot, catalogue, constants=ITERATOR_COST_CONSTANTS)
+        for node in self._scan_nodes(graph, catalogue, cq.q8()):
+            assert dirty.scan_cost(node) == clean.scan_cost(node)
+
+    def test_plain_graph_pays_no_surcharge(self, graph, catalogue):
+        """A graph without partition_delta_ratio (flat CSR) prices exactly as
+        before even under the batch constants."""
+        model = CostModel(graph, catalogue, constants=VECTORIZED_COST_CONSTANTS)
+        for node in self._scan_nodes(graph, catalogue, cq.triangle()):
+            assert model._scan_delta_penalty(node, 1000.0) == 0.0
+
+
 class TestPlumbing:
     def test_plan_cache_keys_split_by_mode(self, graph):
         db = GraphflowDB(graph)

@@ -1,0 +1,61 @@
+"""Shared harness for the dynamic-storage acceptance tests.
+
+`build_mutated_pair` produces a dirty ``DynamicGraph`` (delta overlay
+populated through several insert/delete rounds) together with the equivalent
+freshly built ``Graph`` — the reference every equivalence test compares
+against.  ``EQUIVALENCE_QUERIES`` is the query set those tests sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.builder import graph_from_edges
+from repro.graph.generators import clustered_social
+from repro.graph.graph import Graph
+from repro.query import catalog_queries as cq
+from repro.storage import DynamicGraph
+
+EQUIVALENCE_QUERIES = [
+    ("triangle", cq.triangle()),
+    ("directed-3-cycle", cq.directed_3cycle()),
+    ("tailed-triangle", cq.tailed_triangle()),
+    ("diamond-x", cq.diamond_x()),
+    ("4-cycle", cq.q2()),
+    ("4-clique", cq.q5()),
+    ("two-triangles", cq.q8()),
+]
+
+
+def build_mutated_pair(
+    num_vertices: int = 160,
+    avg_degree: int = 6,
+    graph_seed: int = 11,
+    rng_seed: int = 5,
+    rounds: int = 6,
+    inserts_per_round: int = 40,
+    delete_probability: float = 0.03,
+) -> Tuple[DynamicGraph, Graph]:
+    """A DynamicGraph mutated through inserts and deletes, plus the
+    equivalent freshly built Graph (auto-compaction disabled so the overlay
+    stays dirty)."""
+    base = clustered_social(num_vertices=num_vertices, avg_degree=avg_degree, seed=graph_seed)
+    dynamic = DynamicGraph(base, auto_compact=False)
+    rng = np.random.default_rng(rng_seed)
+    live = set(zip(base.edge_src.tolist(), base.edge_dst.tolist(), base.edge_labels.tolist()))
+    for _ in range(rounds):
+        inserts = []
+        while len(inserts) < inserts_per_round:
+            s, d = (int(x) for x in rng.integers(0, dynamic.num_vertices, 2))
+            if s != d and (s, d, 0) not in live:
+                inserts.append((s, d, 0))
+        deletes = [e for e in sorted(live) if rng.random() < delete_probability]
+        live |= set(dynamic.add_edges(inserts))
+        live -= set(dynamic.delete_edges(deletes))
+    assert dynamic.delta_edges > 0, "the overlay must be dirty for these tests"
+    fresh = graph_from_edges(
+        sorted(live), vertex_labels={v: 0 for v in range(dynamic.num_vertices)}
+    )
+    return dynamic, fresh

@@ -1,0 +1,199 @@
+"""CompactionManager: threshold compaction off the write path.
+
+With a manager attached, writes only append deltas and notify; the CSR
+rebuild runs on the manager's thread and installs with a compare-and-swap on
+the epoch counter (a racing write makes the install retry, never lose data).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import GraphflowDB
+from repro.graph.builder import graph_from_edges
+from repro.query import catalog_queries as cq
+from repro.server.service import QueryService
+from repro.storage import CompactionManager, DynamicGraph, GraphSnapshot
+
+
+def _chain_graph(n: int = 30):
+    return graph_from_edges([(i, i + 1) for i in range(n)] + [(n, 0)])
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestWritePath:
+    def test_writes_never_compact_while_attached(self):
+        """Manager attached but not started: crossing the threshold leaves
+        the overlay dirty — proof the write path no longer compacts."""
+        dynamic = DynamicGraph(_chain_graph(), compact_ratio=0.0, compact_min_edges=1)
+        manager = CompactionManager(dynamic, compact_ratio=0.0, min_delta_edges=1)
+        try:
+            dynamic.add_edges([(0, i) for i in range(2, 20)])
+            assert dynamic.compactions == 0
+            assert dynamic.delta_edges > manager._threshold()
+        finally:
+            manager.stop()
+        # Detached again: the graph's own synchronous auto-compaction returns.
+        assert dynamic.auto_compact is True
+        dynamic.add_edges([(1, i) for i in range(3, 10)])
+        assert dynamic.compactions >= 1
+
+    def test_background_thread_compacts_and_preserves_content(self):
+        dynamic = DynamicGraph(_chain_graph(), auto_compact=False)
+        edges_before = dynamic.num_edges
+        with CompactionManager(dynamic, compact_ratio=0.0, min_delta_edges=4) as manager:
+            dynamic.add_edges([(0, i) for i in range(2, 22)])
+            version = dynamic.version
+            assert _wait_until(lambda: dynamic.delta_edges == 0)
+            assert manager.stats()["compactions"] >= 1
+            # Compaction changes neither logical content nor the version.
+            assert dynamic.version == version
+            assert dynamic.num_edges == edges_before + 20
+            assert dynamic.has_edge(0, 2) and dynamic.has_edge(5, 6)
+
+    def test_stop_then_start_reattaches(self):
+        """A stop/start cycle must resume background compaction — stop
+        detaches (restoring sync compaction), start re-attaches."""
+        dynamic = DynamicGraph(_chain_graph(), auto_compact=False)
+        manager = CompactionManager(dynamic, compact_ratio=0.0, min_delta_edges=2)
+        manager.start()
+        manager.stop()
+        assert dynamic._write_listener is None
+        try:
+            manager.start()
+            assert dynamic._write_listener is not None
+            assert dynamic.auto_compact is False
+            dynamic.add_edges([(0, i) for i in range(2, 12)])
+            assert _wait_until(lambda: dynamic.delta_edges == 0)
+        finally:
+            manager.stop()
+
+    def test_compact_now_reports_false_when_clean(self):
+        dynamic = DynamicGraph(_chain_graph(), auto_compact=False)
+        manager = CompactionManager(dynamic)
+        try:
+            assert manager.compact_now() is False
+            assert manager.stats()["compactions"] == 0
+            dynamic.add_edges([(0, 5)])
+            assert manager.compact_now() is True
+            assert manager.stats()["compactions"] == 1
+        finally:
+            manager.stop()
+
+    def test_pinned_snapshot_keeps_old_base(self):
+        dynamic = DynamicGraph(_chain_graph(), auto_compact=False)
+        dynamic.add_edges([(0, 5), (0, 7)])
+        snap = dynamic.snapshot()
+        old_base = snap.base
+        count_before = snap.num_edges
+        manager = CompactionManager(dynamic, compact_ratio=0.0, min_delta_edges=0)
+        try:
+            assert manager.compact_now()
+            assert dynamic.base is not old_base
+            # The pinned snapshot still reads its old (base, delta) pair.
+            assert snap.base is old_base
+            assert snap.num_edges == count_before == dynamic.num_edges
+        finally:
+            manager.stop()
+
+
+class TestCasInstall:
+    def test_racing_write_fails_install_then_retry_succeeds(self, monkeypatch):
+        dynamic = DynamicGraph(_chain_graph(), auto_compact=False)
+        dynamic.add_edges([(0, 9)])
+        original = GraphSnapshot.materialize
+        raced = []
+
+        def racing(self, name=None):
+            result = original(self, name=name)
+            if not raced:
+                raced.append(True)
+                dynamic.add_edges([(1, 8)])  # lands between materialize and install
+            return result
+
+        monkeypatch.setattr(GraphSnapshot, "materialize", racing)
+        assert dynamic.try_compact() is False  # lost the race, nothing installed
+        assert dynamic.has_edge(1, 8)  # the racing write survived
+        assert dynamic.try_compact() is True  # retry sees the newer state
+        assert dynamic.delta_edges == 0
+        assert dynamic.has_edge(0, 9) and dynamic.has_edge(1, 8)
+
+    def test_fallback_locked_compaction_after_retries(self, monkeypatch):
+        dynamic = DynamicGraph(_chain_graph(), auto_compact=False)
+        dynamic.add_edges([(0, 4)])
+        manager = CompactionManager(dynamic, max_install_retries=2)
+        try:
+            monkeypatch.setattr(DynamicGraph, "try_compact", lambda self: False)
+            assert manager.compact_now()
+            stats = manager.stats()
+            assert stats["install_retries"] == 2
+            assert stats["fallback_compactions"] == 1
+            assert dynamic.delta_edges == 0
+        finally:
+            manager.stop()
+
+
+class TestWiring:
+    def test_graphflow_db_enable_disable(self):
+        db = GraphflowDB(_chain_graph())
+        manager = db.enable_background_compaction(compact_ratio=0.0, min_delta_edges=3)
+        assert manager.running
+        assert db.enable_background_compaction() is manager  # idempotent
+        result = db.apply_updates(inserts=[(0, i) for i in range(2, 16)])
+        assert result.num_applied == 14
+        assert result.compacted is False, "writes must return before compaction"
+        dynamic = db.graph
+        assert _wait_until(lambda: dynamic.delta_edges == 0)
+        assert db.execute(cq.triangle(), vectorized=True).num_matches >= 0
+        db.disable_background_compaction()
+        assert db.compaction_manager is None
+        assert not manager.running
+
+    def test_query_service_owns_manager(self):
+        db = GraphflowDB(_chain_graph())
+        service = QueryService(
+            db,
+            background_compaction=True,
+            compaction_ratio=0.0,
+            compaction_min_delta_edges=2,
+        )
+        try:
+            assert db.compaction_manager is not None and db.compaction_manager.running
+            service.apply_updates(inserts=[(0, i) for i in range(2, 12)])
+            assert _wait_until(lambda: db.graph.delta_edges == 0)
+            stats = service.stats()
+            assert stats["compaction"]["compactions"] >= 1
+            rows = {row["metric"] for row in service.stats_rows()}
+            assert "background compactions" in rows
+        finally:
+            service.close()
+        assert db.compaction_manager is None
+
+    def test_enable_applies_thresholds_to_existing_manager(self):
+        db = GraphflowDB(_chain_graph())
+        manager = db.enable_background_compaction(compact_ratio=0.5, min_delta_edges=500)
+        try:
+            again = db.enable_background_compaction(compact_ratio=0.0, min_delta_edges=7)
+            assert again is manager
+            assert manager.compact_ratio == 0.0
+            assert manager.min_delta_edges == 7
+        finally:
+            db.disable_background_compaction()
+
+    def test_service_does_not_stop_external_manager(self):
+        db = GraphflowDB(_chain_graph())
+        manager = db.enable_background_compaction(compact_ratio=0.0, min_delta_edges=3)
+        service = QueryService(db, background_compaction=True)
+        service.close()
+        assert db.compaction_manager is manager and manager.running
+        db.disable_background_compaction()

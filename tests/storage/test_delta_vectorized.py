@@ -1,0 +1,199 @@
+"""Delta-aware vectorized execution: dirty snapshots without compaction.
+
+The batch engine must run directly on a dirty ``GraphSnapshot`` — lazily
+merged per-partition CSR views, no ``snapshot(materialize=True)`` — and
+produce exactly the results it produces after compaction, across the full
+equivalence query set.  A background compaction landing mid-query must never
+change results in either executor mode.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import GraphflowDB
+from repro.graph.builder import graph_from_edges
+from repro.graph.graph import ANY_LABEL, Direction
+from repro.query import catalog_queries as cq
+from repro.storage import CompactionManager, DynamicGraph, GraphSnapshot
+
+from tests.storage.conftest import EQUIVALENCE_QUERIES, build_mutated_pair
+
+
+@pytest.fixture(scope="module")
+def mutated():
+    return build_mutated_pair()
+
+
+@pytest.fixture(scope="module")
+def dynamic_db(mutated):
+    dynamic, _ = mutated
+    db = GraphflowDB(dynamic)
+    db.build_catalogue(z=100)
+    return db
+
+
+@pytest.fixture(scope="module")
+def compacted_db(mutated):
+    dynamic, _ = mutated
+    db = GraphflowDB(dynamic.snapshot().materialize())
+    db.build_catalogue(z=100)
+    return db
+
+
+class TestDirtySnapshotEquivalence:
+    @pytest.mark.parametrize(
+        "name,query", EQUIVALENCE_QUERIES, ids=[n for n, _ in EQUIVALENCE_QUERIES]
+    )
+    def test_vectorized_dirty_matches_compacted(
+        self, mutated, dynamic_db, compacted_db, name, query, monkeypatch
+    ):
+        dynamic, _ = mutated
+        expected = compacted_db.execute(query, vectorized=True).num_matches
+
+        # Executing on the dirty graph must not compact — synchronously or
+        # otherwise — anywhere on the query path.
+        def forbidden(self, *args, **kwargs):
+            raise AssertionError("query path triggered a synchronous compaction")
+
+        monkeypatch.setattr(DynamicGraph, "compact", forbidden)
+        monkeypatch.setattr(DynamicGraph, "try_compact", forbidden)
+        compactions_before = dynamic.compactions
+        assert dynamic_db.execute(query, vectorized=True).num_matches == expected
+        assert dynamic.compactions == compactions_before
+        assert dynamic.delta_edges > 0, "the overlay must still be dirty afterwards"
+
+    def test_vectorized_modes_compose_on_dirty_snapshots(self, mutated, dynamic_db, compacted_db):
+        query = cq.diamond_x()
+        expected = compacted_db.execute(query).num_matches
+        assert (
+            dynamic_db.execute(query, vectorized=True, adaptive=True).num_matches == expected
+        )
+        assert (
+            dynamic_db.execute(query, vectorized=True, num_workers=4).num_matches == expected
+        )
+
+    def test_collected_matches_identical_vectorized(self, dynamic_db, compacted_db):
+        got = dynamic_db.execute(cq.triangle(), vectorized=True, collect=True).matches
+        expected = compacted_db.execute(cq.triangle(), vectorized=True, collect=True).matches
+        key = lambda m: tuple(sorted(m.items()))
+        assert sorted(got, key=key) == sorted(expected, key=key)
+
+
+class TestPartitionLaziness:
+    def test_clean_partition_served_from_base_arrays(self):
+        """A partition the delta never touches must come back as the base's
+        own CSR/key arrays — no merge, no copy."""
+        graph = graph_from_edges(
+            [(0, 1, 0), (1, 2, 0), (2, 3, 1), (3, 0, 1)],
+            vertex_labels={v: 0 for v in range(4)},
+        )
+        dynamic = DynamicGraph(graph, auto_compact=False)
+        dynamic.add_edges([(0, 2, 1)])  # dirties only the label-1 partition
+        snap = dynamic.snapshot()
+        assert snap.delta.touches_partition(Direction.FORWARD, 1, 0)
+        assert not snap.delta.touches_partition(Direction.FORWARD, 0, 0)
+        base_csr = graph.csr(Direction.FORWARD, 0, 0)
+        assert snap.csr(Direction.FORWARD, 0, 0) is base_csr
+        assert snap.adjacency_key_array(Direction.FORWARD, 0, 0) is graph.adjacency_key_array(
+            Direction.FORWARD, 0, 0
+        )
+        # The dirty partition is merged (and includes the inserted edge).
+        merged = snap.csr(Direction.FORWARD, 1, 0)
+        assert merged is not graph.csr(Direction.FORWARD, 1, 0)
+        assert 2 in merged.neighbors(0).tolist()
+
+    def test_delta_ratio_accounting(self, mutated):
+        dynamic, _ = mutated
+        snap = dynamic.snapshot()
+        assert snap.delta_ratio > 0
+        ratio = snap.partition_delta_ratio(Direction.FORWARD, 0, 0)
+        assert ratio > 0
+        # Whole-graph wildcard partition sees the same overlay.
+        assert snap.partition_delta_ratio(Direction.FORWARD) == pytest.approx(ratio)
+        # A clean snapshot prices at zero.
+        clean = DynamicGraph(dynamic.snapshot().materialize()).snapshot()
+        assert clean.delta_ratio == 0.0
+        assert clean.partition_delta_ratio(Direction.FORWARD, 0, 0) == 0.0
+
+    def test_count_edges_label_filter_avoids_materialization(self, mutated, monkeypatch):
+        dynamic, fresh = mutated
+        snap = dynamic.snapshot()
+        expected_any = fresh.num_edges
+        expected_label = fresh.count_edges(edge_label=0)
+
+        def forbidden(self):
+            raise AssertionError("count_edges materialised the merged edge arrays")
+
+        monkeypatch.setattr(GraphSnapshot, "_materialized_edges", forbidden)
+        assert snap.count_edges() == expected_any
+        assert snap.count_edges(edge_label=0) == expected_label
+        assert snap.count_edges(edge_label=99) == 0
+
+    def test_clean_snapshot_edges_delegates_to_base(self, monkeypatch):
+        graph = graph_from_edges([(0, 1), (1, 2)])
+        snap = DynamicGraph(graph).snapshot()
+
+        def forbidden(self):
+            raise AssertionError("edges() materialised on a clean snapshot")
+
+        monkeypatch.setattr(GraphSnapshot, "_materialized_edges", forbidden)
+        src, dst = snap.edges()
+        assert src is graph.edge_src and dst is graph.edge_dst
+
+
+class TestCompactionMidQuery:
+    @pytest.mark.parametrize("vectorized", [False, True], ids=["iterator", "vectorized"])
+    def test_background_compaction_never_changes_results(self, vectorized):
+        """Writes into a triangle-free appendix + constant background
+        compaction: every served triangle count must equal the stable
+        expected value, in both executor modes."""
+        rng = np.random.default_rng(17)
+        edges = set()
+        while len(edges) < 300:
+            s, d = (int(x) for x in rng.integers(0, 60, 2))
+            if s != d:
+                edges.add((s, d, 0))
+        base = graph_from_edges(sorted(edges), vertex_labels={v: 0 for v in range(60)})
+        dynamic = DynamicGraph(base, auto_compact=False)
+        db = GraphflowDB(dynamic)
+        db.build_catalogue(z=100)
+        expected = db.execute(cq.triangle(), vectorized=vectorized).num_matches
+
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            # A growing chain over fresh vertices: bumps versions and dirties
+            # the overlay without ever creating (or destroying) a triangle.
+            next_vertex = dynamic.num_vertices
+            while not stop.is_set():
+                db.apply_updates(inserts=[(next_vertex, next_vertex + 1, 0)])
+                next_vertex += 1
+
+        with CompactionManager(dynamic, compact_ratio=0.0, min_delta_edges=2) as manager:
+            thread = threading.Thread(target=writer)
+            thread.start()
+            try:
+                queries_run = 0
+                import time
+
+                deadline = time.monotonic() + 20.0
+                while (
+                    queries_run < 25 or manager.stats()["compactions"] == 0
+                ) and time.monotonic() < deadline:
+                    got = db.execute(cq.triangle(), vectorized=vectorized).num_matches
+                    queries_run += 1
+                    if got != expected:
+                        failures.append((got, expected))
+                        break
+            finally:
+                stop.set()
+                thread.join()
+            assert not failures, f"compaction mid-query changed results: {failures}"
+            assert manager.stats()["compactions"] > 0, (
+                "the test never exercised a background compaction"
+            )

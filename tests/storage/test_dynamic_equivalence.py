@@ -9,50 +9,25 @@ stop constructing full ``Graph`` objects per update batch.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.api import GraphflowDB
 from repro.continuous import ContinuousQueryEngine
 from repro.graph.builder import graph_from_edges
-from repro.graph.generators import clustered_social
 from repro.graph.graph import Graph
 from repro.query import catalog_queries as cq
 from repro.storage import DynamicGraph
 
-QUERIES = [
-    ("triangle", cq.triangle()),
-    ("directed-3-cycle", cq.directed_3cycle()),
-    ("tailed-triangle", cq.tailed_triangle()),
-    ("diamond-x", cq.diamond_x()),
-    ("4-cycle", cq.q2()),
-    ("4-clique", cq.q5()),
-    ("two-triangles", cq.q8()),
-]
+from tests.storage.conftest import EQUIVALENCE_QUERIES, build_mutated_pair
+
+QUERIES = EQUIVALENCE_QUERIES
 
 
 @pytest.fixture(scope="module")
 def mutated():
     """A DynamicGraph mutated through inserts and deletes, plus the
-    equivalent freshly built Graph."""
-    base = clustered_social(num_vertices=160, avg_degree=6, seed=11)
-    dynamic = DynamicGraph(base, auto_compact=False)
-    rng = np.random.default_rng(5)
-    live = set(zip(base.edge_src.tolist(), base.edge_dst.tolist(), base.edge_labels.tolist()))
-    for _ in range(6):
-        inserts = []
-        while len(inserts) < 40:
-            s, d = (int(x) for x in rng.integers(0, dynamic.num_vertices, 2))
-            if s != d and (s, d, 0) not in live:
-                inserts.append((s, d, 0))
-        deletes = [e for e in sorted(live) if rng.random() < 0.03]
-        live |= set(dynamic.add_edges(inserts))
-        live -= set(dynamic.delete_edges(deletes))
-    assert dynamic.delta_edges > 0, "the overlay must be dirty for this test"
-    fresh = graph_from_edges(
-        sorted(live), vertex_labels={v: 0 for v in range(dynamic.num_vertices)}
-    )
-    return dynamic, fresh
+    equivalent freshly built Graph (shared harness)."""
+    return build_mutated_pair()
 
 
 @pytest.mark.parametrize("vectorized", [False, True], ids=["iterator", "vectorized"])

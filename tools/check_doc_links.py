@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in README.md and docs/*.md.
+
+Checks every markdown link/image target in the repo's documentation:
+
+- relative paths must exist (anchors are split off; a pure ``#anchor`` link
+  is checked against the headings of its own file);
+- ``path#anchor`` links into another markdown file are checked against that
+  file's headings;
+- absolute URLs (``http://``, ``https://``, ``mailto:``) are skipped — CI
+  must not depend on the network.
+
+Exit code 0 when every link resolves, 1 otherwise (listing each broken
+link).  Run from anywhere:
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Files whose links are checked: the README plus the whole docs/ tree.
+DOC_FILES = ["README.md"]
+DOC_GLOBS = ["docs/*.md"]
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _heading_anchors(markdown: str) -> set:
+    """GitHub-style anchors for every heading in a markdown document."""
+    anchors = set()
+    in_fence = False
+    for line in markdown.splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).strip().replace(" ", "-")
+        anchors.add(slug)
+    return anchors
+
+
+def _iter_links(markdown: str) -> List[str]:
+    links = []
+    in_fence = False
+    for line in markdown.splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        links.extend(LINK_RE.findall(line))
+    return links
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:  # link escaping the repo root is still just broken
+        return str(path)
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Return (link, reason) pairs for every broken link in ``path``."""
+    markdown = path.read_text(encoding="utf-8")
+    broken: List[Tuple[str, str]] = []
+    for link in _iter_links(markdown):
+        if link.startswith(EXTERNAL_PREFIXES):
+            continue
+        target, _, anchor = link.partition("#")
+        if not target:  # same-file anchor
+            if anchor and anchor not in _heading_anchors(markdown):
+                broken.append((link, f"no heading for anchor #{anchor}"))
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            broken.append((link, f"target does not exist: {_display_path(resolved)}"))
+            continue
+        if anchor and resolved.suffix.lower() in {".md", ".markdown"}:
+            if anchor not in _heading_anchors(resolved.read_text(encoding="utf-8")):
+                broken.append((link, f"no heading for anchor #{anchor} in {target}"))
+    return broken
+
+
+def main() -> int:
+    files = [REPO_ROOT / name for name in DOC_FILES]
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    files = [f for f in files if f.exists()]
+    if not files:
+        print("check_doc_links: no documentation files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for link, reason in check_file(path):
+            failures += 1
+            print(f"{path.relative_to(REPO_ROOT)}: broken link ({link}): {reason}")
+    checked = ", ".join(str(f.relative_to(REPO_ROOT)) for f in files)
+    if failures:
+        print(f"check_doc_links: {failures} broken link(s) across {checked}")
+        return 1
+    print(f"check_doc_links: all intra-repo links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
