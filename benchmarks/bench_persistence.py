@@ -1,0 +1,172 @@
+"""Persistence benchmark: WAL overhead on the write path, warm-restart speed.
+
+Two gates, both measured on the largest synthetic graph and recorded in
+``BENCH_persistence.json`` at the repo root:
+
+- **WAL overhead** — identical update-batch streams are applied through
+  ``GraphflowDB.apply_updates`` against an in-memory database and against a
+  durable one (write-ahead logging with the default fsync batching).  The
+  durable path must stay within ``MAX_WAL_SLOWDOWN`` (2x) of in-memory.
+- **Warm restart** — reopening the store from its binary snapshot
+  (``GraphflowDB.open``: header + checksum validation, array reads, CSR
+  partition build, zero WAL replay) must be at least
+  ``MIN_RESTART_SPEEDUP`` (5x) faster than the cold path of re-ingesting the
+  same graph from a text edge list (``load_edge_list``), which is what a
+  restart cost before this subsystem existed.
+
+All files live in a temporary directory; nothing is written outside it
+except the JSON record.  Run directly (also the CI smoke test):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_persistence.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro import GraphflowDB, datasets
+from repro.graph.io import load_edge_list, save_edge_list
+
+# Ordered smallest to largest; the acceptance bars apply to the last one.
+GRAPHS = [
+    ("amazon", 0.5),
+    ("epinions", 1.0),
+    ("livejournal", 1.0),
+]
+
+NUM_BATCHES = 40
+BATCH_SIZE = 25
+MAX_WAL_SLOWDOWN = 2.0
+MIN_RESTART_SPEEDUP = 5.0
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_persistence.json"
+
+
+def _make_batches(graph, seed: int = 0) -> List[List[Tuple[int, int, int]]]:
+    rng = np.random.default_rng(seed)
+    used = set()
+    batches = []
+    n = graph.num_vertices
+    for _ in range(NUM_BATCHES):
+        batch = []
+        while len(batch) < BATCH_SIZE:
+            src, dst = (int(x) for x in rng.integers(0, n, 2))
+            if src != dst and (src, dst) not in used and not graph.has_edge(src, dst, 0):
+                used.add((src, dst))
+                batch.append((src, dst, 0))
+        batches.append(batch)
+    return batches
+
+
+def _apply_stream(db: GraphflowDB, batches) -> float:
+    start = time.perf_counter()
+    for batch in batches:
+        db.apply_updates(inserts=batch)
+    return time.perf_counter() - start
+
+
+def _measure_graph(name: str, scale: float, workdir: Path) -> Dict:
+    graph = datasets.load(name, scale=scale)
+    batches = _make_batches(graph)
+
+    # --- WAL overhead -------------------------------------------------- #
+    memory_db = GraphflowDB(graph)
+    sec_memory = _apply_stream(memory_db, batches)
+
+    data_dir = workdir / f"{name}-store"
+    durable_db = GraphflowDB.open(str(data_dir), graph=graph)
+    sec_durable = _apply_stream(durable_db, batches)
+    wal_stats = durable_db.durable_store.stats()
+    durable_db.close()  # graceful: final checkpoint -> warm restart replays 0
+
+    # Both paths must agree on the resulting graph.
+    check_db = GraphflowDB.open(str(data_dir))
+    assert memory_db.graph.num_edges == check_db.graph.num_edges
+    check_db.close(checkpoint=False)
+
+    # --- warm restart vs text re-ingest -------------------------------- #
+    edge_list = workdir / f"{name}.edges"
+    save_edge_list(memory_db.graph.snapshot(materialize=True), str(edge_list))
+
+    start = time.perf_counter()
+    reingested = load_edge_list(str(edge_list))
+    sec_ingest = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_db = GraphflowDB.open(str(data_dir))
+    sec_restart = time.perf_counter() - start
+    assert warm_db.durable_store.recovery.replayed_records == 0
+    assert warm_db.graph.num_edges == reingested.num_edges
+    warm_db.close(checkpoint=False)
+
+    num_edges_applied = NUM_BATCHES * BATCH_SIZE
+    return {
+        "graph": name,
+        "scale": scale,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "batches": NUM_BATCHES,
+        "batch_size": BATCH_SIZE,
+        "memory_update_seconds": round(sec_memory, 4),
+        "durable_update_seconds": round(sec_durable, 4),
+        "memory_updates_per_second": round(num_edges_applied / sec_memory, 1),
+        "durable_updates_per_second": round(num_edges_applied / sec_durable, 1),
+        "wal_slowdown": round(sec_durable / sec_memory, 3),
+        "wal_bytes": wal_stats["wal_bytes"],
+        "csv_ingest_seconds": round(sec_ingest, 4),
+        "warm_restart_seconds": round(sec_restart, 4),
+        "restart_speedup": round(sec_ingest / sec_restart, 2),
+    }
+
+
+def run_benchmark() -> Dict:
+    rows: List[Dict] = []
+    with tempfile.TemporaryDirectory(prefix="bench-persistence-") as tmp:
+        workdir = Path(tmp)
+        for name, scale in GRAPHS:
+            row = _measure_graph(name, scale, workdir)
+            rows.append(row)
+            print(
+                f"{name}(x{scale}): updates memory {row['memory_update_seconds']:.3f}s "
+                f"vs durable {row['durable_update_seconds']:.3f}s "
+                f"({row['wal_slowdown']:.2f}x overhead); restart "
+                f"{row['warm_restart_seconds']:.3f}s vs ingest "
+                f"{row['csv_ingest_seconds']:.3f}s ({row['restart_speedup']:.1f}x faster)"
+            )
+    largest = GRAPHS[-1][0]
+    largest_row = next(r for r in rows if r["graph"] == largest)
+    return {
+        "benchmark": "persistence",
+        "largest_graph": largest,
+        "largest_graph_wal_slowdown": largest_row["wal_slowdown"],
+        "largest_graph_restart_speedup": largest_row["restart_speedup"],
+        "max_allowed_wal_slowdown": MAX_WAL_SLOWDOWN,
+        "min_required_restart_speedup": MIN_RESTART_SPEEDUP,
+        "results": rows,
+    }
+
+
+def test_bench_persistence():
+    report = run_benchmark()
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {RESULT_PATH.name}")
+    slowdown = report["largest_graph_wal_slowdown"]
+    speedup = report["largest_graph_restart_speedup"]
+    assert slowdown <= MAX_WAL_SLOWDOWN, (
+        f"WAL-on updates should stay within {MAX_WAL_SLOWDOWN}x of in-memory "
+        f"on the largest graph, got {slowdown:.2f}x"
+    )
+    assert speedup >= MIN_RESTART_SPEEDUP, (
+        f"warm restart from snapshot should be >= {MIN_RESTART_SPEEDUP}x faster "
+        f"than text-edge-list re-ingest on the largest graph, got {speedup:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    test_bench_persistence()

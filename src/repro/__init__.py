@@ -23,6 +23,7 @@ from repro.api import GraphflowDB, QueryResult, UpdateResult
 from repro.graph.graph import Graph, Direction
 from repro.graph.builder import GraphBuilder
 from repro.query.query_graph import QueryGraph, QueryEdge
+from repro.persistence import DurableGraphStore
 from repro.query import catalog_queries as queries
 from repro.server import PlanCache, PreparedQuery, QueryService, ServiceResult
 from repro.storage import CompactionManager, DynamicGraph, GraphSnapshot
@@ -38,6 +39,7 @@ __all__ = [
     "GraphBuilder",
     "Direction",
     "CompactionManager",
+    "DurableGraphStore",
     "DynamicGraph",
     "GraphSnapshot",
     "QueryGraph",

@@ -17,6 +17,7 @@ True
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -25,7 +26,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 from repro.catalogue.catalogue import SubgraphCatalogue
 from repro.catalogue.construction import build_catalogue
 from repro.catalogue.estimation import estimate_cardinality
-from repro.errors import OptimizerError
+from repro.errors import OptimizerError, PersistenceError
 from repro.executor.adaptive import execute_adaptive
 from repro.executor.operators import ExecutionConfig
 from repro.executor.parallel import ParallelResult, execute_parallel
@@ -40,9 +41,10 @@ from repro.query.cypher import looks_like_cypher, parse_cypher
 from repro.query.isomorphism import isomorphism_mapping
 from repro.query.parser import parse_query
 from repro.query.query_graph import QueryGraph
+from repro.persistence.store import DurableGraphStore
 from repro.server.plan_cache import PlanCache
 from repro.storage.compaction import CompactionManager
-from repro.storage.dynamic import DynamicGraph
+from repro.storage.dynamic import DynamicGraph, normalize_edges
 
 
 @dataclass
@@ -55,6 +57,13 @@ class UpdateResult:
     version: int = 0
     elapsed_seconds: float = 0.0
     compacted: bool = False
+    # Durability: the WAL sequence number of the logged batch (None when the
+    # database has no durable store attached).
+    wal_seq: Optional[int] = None
+
+    @property
+    def durable(self) -> bool:
+        return self.wal_seq is not None
 
     @property
     def num_applied(self) -> int:
@@ -123,6 +132,108 @@ class GraphflowDB:
         self.graph_version = graph.version if isinstance(graph, DynamicGraph) else 0
         # Optional background compaction (enable_background_compaction).
         self.compaction_manager: Optional[CompactionManager] = None
+        # Optional durability (GraphflowDB.open / enable_durability): when
+        # attached, every apply_updates batch is WAL-logged before its
+        # in-memory delta commit, and compactions checkpoint the WAL away.
+        self.durable_store: Optional[DurableGraphStore] = None
+
+    # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls,
+        data_dir: str,
+        graph: Optional[Union[Graph, DynamicGraph]] = None,
+        sync_every: int = 8,
+        mmap: bool = False,
+        keep_snapshots: int = 2,
+        **db_kwargs,
+    ) -> "GraphflowDB":
+        """Open a durable database rooted at ``data_dir``.
+
+        An existing store is recovered (newest valid snapshot + WAL-tail
+        replay; ``graph`` is then ignored); an empty directory is
+        bootstrapped from ``graph`` with an initial snapshot.  The returned
+        database logs every :meth:`apply_updates` batch to the write-ahead
+        log before committing it in memory; call :meth:`close` for a
+        graceful shutdown (final checkpoint), or don't — recovery replays
+        whatever the log durably holds.
+        """
+        store = DurableGraphStore.open(
+            data_dir,
+            graph=graph,
+            sync_every=sync_every,
+            mmap=mmap,
+            keep_snapshots=keep_snapshots,
+        )
+        db = cls(store.dynamic, **db_kwargs)
+        db.durable_store = store
+        return db
+
+    def enable_durability(
+        self,
+        data_dir: str,
+        sync_every: int = 8,
+        mmap: bool = False,
+        keep_snapshots: int = 2,
+    ) -> DurableGraphStore:
+        """Attach durable storage to a running in-memory database.
+
+        With no existing store under ``data_dir`` the current graph is
+        bootstrapped (initial snapshot; catalogue and cached plans stay
+        valid).  With an existing store the durable state *wins*: the served
+        graph is replaced by the recovered one and derived planning state is
+        dropped.  Idempotent once attached.  Must be called before
+        :meth:`enable_background_compaction` — the durable store owns the
+        dynamic graph the compaction manager needs to watch.
+        """
+        with self._write_lock:
+            if self.durable_store is not None and not self.durable_store.closed:
+                if os.path.abspath(data_dir) != self.durable_store.data_dir:
+                    raise PersistenceError(
+                        f"database is already durable at {self.durable_store.data_dir!r}; "
+                        f"cannot re-attach to {data_dir!r}"
+                    )
+                return self.durable_store
+            if self.compaction_manager is not None:
+                raise PersistenceError(
+                    "enable durability before background compaction: the "
+                    "compaction manager is watching the pre-durability graph"
+                )
+            store = DurableGraphStore.open(
+                data_dir,
+                graph=self.graph,
+                sync_every=sync_every,
+                mmap=mmap,
+                keep_snapshots=keep_snapshots,
+            )
+            if store.recovery.bootstrapped:
+                # Same logical content as the graph we were serving; keep
+                # catalogue / plan cache, just swap in the durable wrapper.
+                self.graph = store.dynamic
+                self.graph_version = store.dynamic.version
+            else:
+                self.set_graph(store.dynamic)
+            self.durable_store = store
+            return store
+
+    def checkpoint(self, force: bool = False):
+        """Write a snapshot covering all applied updates and truncate the
+        WAL (requires durability; see :meth:`enable_durability`)."""
+        if self.durable_store is None:
+            raise PersistenceError("no durable store attached; call enable_durability()")
+        return self.durable_store.checkpoint(force=force)
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Graceful shutdown: stop background compaction and, when durable,
+        write a final checkpoint and close the store.  Idempotent; an
+        in-memory database just stops its compaction thread."""
+        self.disable_background_compaction()
+        with self._write_lock:
+            store = self.durable_store
+        if store is not None and not store.closed:
+            store.close(checkpoint=checkpoint)
 
     # ------------------------------------------------------------------ #
     # catalogue / cost model management
@@ -149,6 +260,15 @@ class GraphflowDB:
     def set_graph(self, graph: Union[Graph, DynamicGraph]) -> None:
         """Replace the data graph, dropping the catalogue, cost model, and
         every cached plan (all were derived from the old graph)."""
+        if (
+            self.durable_store is not None
+            and not self.durable_store.closed
+            and graph is not self.durable_store.dynamic
+        ):
+            raise PersistenceError(
+                "cannot replace the graph of a durable database: the durable "
+                "store owns the served graph (close() it first)"
+            )
         self.graph = graph
         self.catalogue = None
         self._cost_models = {}
@@ -197,18 +317,45 @@ class GraphflowDB:
         the catalogue's edge/label statistics are maintained incrementally —
         no full catalogue rebuild.  In-flight queries keep reading the
         snapshot they pinned at execution start.
+
+        With a durable store attached (:meth:`open` / :meth:`enable_durability`)
+        the batch is first normalised and appended to the write-ahead log —
+        *then* committed in memory, under the store's commit lock — so a
+        crash at any point loses at most the not-yet-fsynced group-commit
+        tail, never an acknowledged-durable batch.  The result carries the
+        batch's WAL sequence number in ``wal_seq``.
         """
         start = time.perf_counter()
         dynamic = self.to_dynamic()
+        # Normalise up front: the WAL must only ever record batches the
+        # in-memory write path would accept, so validation errors (self-loops,
+        # negative ids, malformed tuples) surface before anything is logged.
+        insert_batch = normalize_edges(inserts) if inserts else []
+        delete_batch = normalize_edges(deletes) if deletes else []
+        vertex_labels = list(new_vertex_labels) if new_vertex_labels else None
         with self._write_lock:
             compactions_before = dynamic.compactions
-            new_ids = (
-                dynamic.add_vertices(labels=new_vertex_labels) if new_vertex_labels else []
-            )
-            inserted = dynamic.add_edges(inserts) if inserts else []
-            deleted = dynamic.delete_edges(deletes) if deletes else []
-            if inserted or deleted or new_ids:
-                self._note_writes_locked(inserted, deleted)
+
+            def _commit():
+                new_ids = dynamic.add_vertices(labels=vertex_labels) if vertex_labels else []
+                inserted = (
+                    dynamic.add_edges(insert_batch, _normalized=True) if insert_batch else []
+                )
+                deleted = (
+                    dynamic.delete_edges(delete_batch, _normalized=True) if delete_batch else []
+                )
+                if inserted or deleted or new_ids:
+                    self._note_writes_locked(inserted, deleted)
+                return new_ids, inserted, deleted
+
+            wal_seq: Optional[int] = None
+            has_payload = bool(insert_batch or delete_batch or vertex_labels)
+            if has_payload and self.durable_store is not None and not self.durable_store.closed:
+                wal_seq, (new_ids, inserted, deleted) = self.durable_store.log_and_apply(
+                    insert_batch, delete_batch, vertex_labels, _commit
+                )
+            else:
+                new_ids, inserted, deleted = _commit()
             return UpdateResult(
                 inserted=inserted,
                 deleted=deleted,
@@ -216,6 +363,7 @@ class GraphflowDB:
                 version=dynamic.version,
                 elapsed_seconds=time.perf_counter() - start,
                 compacted=dynamic.compactions > compactions_before,
+                wal_seq=wal_seq,
             )
 
     def enable_background_compaction(
@@ -223,6 +371,7 @@ class GraphflowDB:
         compact_ratio: Optional[float] = None,
         min_delta_edges: Optional[int] = None,
         poll_interval_seconds: float = 0.05,
+        min_interval_seconds: Optional[float] = None,
     ) -> CompactionManager:
         """Move delta-CSR compaction off the write path.
 
@@ -235,7 +384,15 @@ class GraphflowDB:
         Idempotent; returns the (running) manager.  When a manager already
         exists, any thresholds passed here are applied to it, so later
         callers (e.g. a :class:`QueryService` constructed with tuning knobs)
-        are never silently ignored.
+        are never silently ignored.  ``min_interval_seconds`` paces the
+        manager: threshold-triggered compactions are skipped until that much
+        time has passed since the previous install, so sustained write load
+        cannot thrash the CSR rebuild.
+
+        With a durable store attached, every installed compaction also
+        triggers a checkpoint: the freshly rebuilt base is written as a
+        snapshot file and the write-ahead log is truncated behind it, all on
+        the compaction thread.
         """
         dynamic = self.to_dynamic()
         with self._write_lock:
@@ -246,6 +403,7 @@ class GraphflowDB:
                     compact_ratio=compact_ratio,
                     min_delta_edges=min_delta_edges,
                     poll_interval_seconds=poll_interval_seconds,
+                    min_interval_seconds=min_interval_seconds or 0.0,
                 )
                 self.compaction_manager = manager
             else:
@@ -253,6 +411,11 @@ class GraphflowDB:
                     manager.compact_ratio = compact_ratio
                 if min_delta_edges is not None:
                     manager.min_delta_edges = min_delta_edges
+                if min_interval_seconds is not None:
+                    manager.min_interval_seconds = min_interval_seconds
+            if self.durable_store is not None and not self.durable_store.closed:
+                store = self.durable_store
+                manager.set_compaction_listener(lambda: store.maybe_checkpoint())
             return manager.start()
 
     def disable_background_compaction(self, wait: bool = True) -> None:
@@ -294,6 +457,13 @@ class GraphflowDB:
         self.graph_version = (
             graph.version if isinstance(graph, DynamicGraph) else self.graph_version + 1
         )
+
+    @property
+    def catalogue_stale_fraction(self) -> float:
+        """Drift of the catalogue's sampled ``mu`` / ``|A|`` entries since
+        construction (0.0 when fresh or when no catalogue is built yet); see
+        :attr:`SubgraphCatalogue.stale_fraction`."""
+        return self.catalogue.stale_fraction if self.catalogue is not None else 0.0
 
     @property
     def cost_model(self) -> CostModel:

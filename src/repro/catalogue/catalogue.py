@@ -95,6 +95,13 @@ class SubgraphCatalogue:
     num_graph_vertices: int = 0
     num_graph_edges: int = 0
     construction_seconds: float = 0.0
+    # Drift accounting for the *sampled* entries: apply_edge_delta keeps the
+    # exact edge/label counts fresh, but the mu / |A| measurements were
+    # sampled against the graph as it stood at construction.  drift_edges
+    # counts every edge mutation since then; stale_fraction normalises it so
+    # operators can decide when a rebuild is due.
+    drift_edges: int = 0
+    edges_at_build: int = 0
 
     # ------------------------------------------------------------------ #
     def put(
@@ -190,6 +197,23 @@ class SubgraphCatalogue:
         self.edge_counts = counts
         self.num_graph_edges += len(inserted) - len(deleted)
         self.num_graph_vertices = int(len(vertex_labels))
+        self.drift_edges += len(inserted) + len(deleted)
+
+    @property
+    def stale_fraction(self) -> float:
+        """How far the sampled ``mu`` / ``|A|`` entries have drifted from the
+        graph they were measured on: mutated edges since construction over
+        the construction-time edge count (0.0 = fresh; can exceed 1.0 when
+        the graph has churned more than its own size).
+
+        The exact per-label edge counts are *not* stale — they are maintained
+        incrementally — so this measures only the decay of the sampled
+        extension-rate estimates the cost model uses.
+        """
+        baseline = self.edges_at_build or self.num_graph_edges
+        if baseline <= 0:
+            return 0.0 if self.drift_edges == 0 else 1.0
+        return self.drift_edges / float(baseline)
 
     # ------------------------------------------------------------------ #
     @property

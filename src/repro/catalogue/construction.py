@@ -195,6 +195,7 @@ def build_catalogue(
     catalogue = SubgraphCatalogue(h=h, z=z)
     catalogue.num_graph_vertices = graph.num_vertices
     catalogue.num_graph_edges = graph.num_edges
+    catalogue.edges_at_build = graph.num_edges
     catalogue.edge_counts = _edge_count_statistics(graph)
     rng = np.random.default_rng(seed)
     if queries:

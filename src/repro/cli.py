@@ -12,6 +12,10 @@ A small CLI so that the reproduction can be exercised without writing Python:
     python -m repro.cli plan --dataset amazon --query Q8 --format dot --output plan.dot
     python -m repro.cli serve --dataset amazon --queries Q1,Q3 --clients 4 --requests 80
     python -m repro.cli update --dataset amazon --queries Q1 --batches 10 --batch-size 100
+    python -m repro.cli serve --dataset amazon --queries Q1 --data-dir ./amazon-store
+    python -m repro.cli update --dataset amazon --data-dir ./amazon-store --batches 5
+    python -m repro.cli checkpoint --data-dir ./amazon-store
+    python -m repro.cli recover --data-dir ./amazon-store
 """
 
 from __future__ import annotations
@@ -30,8 +34,23 @@ from repro.query.parser import parse_query
 
 
 def _load_db(args: argparse.Namespace) -> GraphflowDB:
-    graph = datasets.load(args.dataset, scale=args.scale, edge_labels=args.edge_labels)
-    db = GraphflowDB(graph)
+    data_dir = getattr(args, "data_dir", None)
+    if data_dir:
+        from repro.persistence.store import store_exists
+
+        if store_exists(data_dir):
+            # Recover; lock conflicts and corruption diagnostics propagate
+            # verbatim instead of being masked by a bootstrap attempt.
+            db = GraphflowDB.open(data_dir)
+            print(f"durable store: {db.durable_store.recovery.describe()}")
+        else:
+            # Genuinely empty: bootstrap from the requested dataset.
+            graph = datasets.load(args.dataset, scale=args.scale, edge_labels=args.edge_labels)
+            db = GraphflowDB.open(data_dir, graph=graph)
+            print(f"durable store: bootstrapped {data_dir} from {graph.name}")
+    else:
+        graph = datasets.load(args.dataset, scale=args.scale, edge_labels=args.edge_labels)
+        db = GraphflowDB(graph)
     db.build_catalogue(h=args.h, z=args.z)
     return db
 
@@ -197,6 +216,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"statuses: {by_status}")
         print(format_table(service.stats_rows(), title="serving metrics"))
+    if db.durable_store is not None:
+        db.close()  # graceful shutdown: final checkpoint + WAL truncate
+        print(
+            f"checkpointed durable store at {db.durable_store.data_dir} "
+            f"(snapshot seq {db.durable_store.snapshot_seq})"
+        )
     return 0
 
 
@@ -216,6 +241,7 @@ def cmd_update(args: argparse.Namespace) -> int:
         return 2
     db = _load_db(args)
     dynamic = db.to_dynamic()
+    start_seq = db.durable_store.last_seq if db.durable_store is not None else 0
     if args.background_compaction:
         db.enable_background_compaction()
     engine = ContinuousQueryEngine(dynamic)
@@ -236,7 +262,15 @@ def cmd_update(args: argparse.Namespace) -> int:
             if src != dst and (src, dst) not in used and not dynamic.has_edge(src, dst, 0):
                 used.add((src, dst))
                 batch.append((src, dst, 0))
-        results = engine.insert_edges(batch)
+        if db.durable_store is not None:
+            # WAL-append before the in-memory commit, under the store's
+            # commit lock — the engine's write goes through log_and_apply so
+            # a checkpoint can never capture a seq the graph hasn't seen.
+            _, results = db.durable_store.log_and_apply(
+                batch, (), None, lambda: engine.insert_edges(batch)
+            )
+        else:
+            results = engine.insert_edges(batch)
         # The engine wrote straight to the shared DynamicGraph; refresh the
         # database's catalogue stats / plan cache for the applied triples.
         db.note_external_writes(inserted=batch)
@@ -262,6 +296,59 @@ def cmd_update(args: argparse.Namespace) -> int:
         f"{verify.num_matches} matches (continuous total "
         f"{engine.current_count(names[0])})"
     )
+    if db.durable_store is not None:
+        logged = db.durable_store.last_seq - start_seq
+        db.close()
+        print(
+            f"durable: {logged} WAL record(s) logged this run, "
+            f"checkpointed to snapshot seq {db.durable_store.snapshot_seq} on close"
+        )
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Force a checkpoint of an existing durable store: compact state is
+    written as a fresh snapshot file and the write-ahead log is truncated
+    behind it."""
+    db = GraphflowDB.open(args.data_dir)
+    store = db.durable_store
+    print(f"opened: {store.recovery.describe()}")
+    before = store.stats()
+    info = store.checkpoint(force=args.force)
+    if info is None:
+        print(
+            f"nothing to checkpoint: snapshot seq {store.snapshot_seq} already "
+            "covers every logged record (use --force to rewrite it)"
+        )
+    else:
+        print(
+            f"checkpointed {before['wal_records_since_checkpoint']} WAL record(s) "
+            f"into {info.path} (seq {info.last_seq}, "
+            f"{store.last_checkpoint_seconds:.3f}s)"
+        )
+    db.close(checkpoint=False)
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Open a durable store, report what recovery did (snapshot loaded, WAL
+    records replayed, torn bytes truncated), and verify the result."""
+    from repro.persistence import DurableGraphStore
+
+    store = DurableGraphStore.open(args.data_dir)
+    report = store.recovery
+    print(report.describe())
+    for path in report.skipped_snapshots:
+        print(f"  skipped corrupt snapshot: {path}")
+    dynamic = store.dynamic
+    print(
+        f"recovered graph: {dynamic.num_vertices} vertices, {dynamic.num_edges} edges "
+        f"(snapshot seq {store.snapshot_seq}, last applied seq {store.last_seq})"
+    )
+    if args.checkpoint and store.dirty:
+        info = store.checkpoint()
+        print(f"folded WAL tail into new snapshot {info.path} (seq {info.last_seq})")
+    store.close(checkpoint=False)
     return 0
 
 
@@ -358,6 +445,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve queries with the batch-at-a-time (columnar) engine",
     )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        dest="data_dir",
+        help="serve durably from this store directory (recover it if it "
+        "exists, else bootstrap it from --dataset); checkpoints on exit",
+    )
     serve.set_defaults(func=cmd_serve)
 
     update = sub.add_parser(
@@ -380,7 +474,38 @@ def build_parser() -> argparse.ArgumentParser:
         dest="background_compaction",
         help="run delta-CSR compaction on a background thread instead of on writes",
     )
+    update.add_argument(
+        "--data-dir",
+        default=None,
+        dest="data_dir",
+        help="write-ahead log every update batch into this store directory "
+        "(recover it if it exists, else bootstrap from --dataset)",
+    )
     update.set_defaults(func=cmd_update)
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="snapshot a durable store and truncate its write-ahead log"
+    )
+    checkpoint.add_argument("--data-dir", required=True, dest="data_dir")
+    checkpoint.add_argument(
+        "--force",
+        action="store_true",
+        help="rewrite the snapshot even when the WAL holds no new records",
+    )
+    checkpoint.set_defaults(func=cmd_checkpoint)
+
+    recover = sub.add_parser(
+        "recover",
+        help="open a durable store, report the recovery (replayed records, "
+        "truncated torn bytes), and verify checksums",
+    )
+    recover.add_argument("--data-dir", required=True, dest="data_dir")
+    recover.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="fold the replayed WAL tail into a fresh snapshot before exiting",
+    )
+    recover.set_defaults(func=cmd_recover)
     return parser
 
 

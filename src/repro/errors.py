@@ -38,3 +38,18 @@ class AdmissionError(ReproError):
     """Raised by the query service when a submission is rejected because the
     service is at capacity (running + queued queries exceed the configured
     bounds)."""
+
+
+class PersistenceError(ReproError):
+    """Raised by the durable graph store for unusable data directories or
+    operations against a closed store."""
+
+
+class SnapshotFormatError(PersistenceError):
+    """Raised when a binary snapshot file is malformed, truncated, or fails
+    its checksums."""
+
+
+class WALCorruptionError(PersistenceError):
+    """Raised for an unusable write-ahead-log segment; torn *tails* are
+    truncated silently during recovery and do not raise."""

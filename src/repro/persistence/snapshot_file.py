@@ -1,0 +1,290 @@
+"""Versioned binary snapshot files for immutable CSR graph bases.
+
+A snapshot file stores the four defining arrays of a
+:class:`~repro.graph.graph.Graph` (``vertex_labels``, ``edge_src``,
+``edge_dst``, ``edge_labels``) plus the write-ahead-log sequence number the
+snapshot covers.  The layout is::
+
+    magic (8 bytes)  "GFSNAP1\\0"
+    header length (uint32, little endian)
+    header CRC32 (uint32, over the raw header bytes)
+    header (JSON, utf-8): format_version, graph name, num_vertices,
+        num_edges, last_seq, and one manifest entry per array with
+        name / dtype / shape / offset / nbytes / crc32
+    zero padding to a 64-byte boundary
+    raw array blocks, each starting on a 64-byte boundary
+
+Array offsets in the manifest are absolute file offsets, so a reader can
+either read the blocks into memory or map them zero-copy with
+:func:`numpy.memmap` — the adjacency partitions the :class:`Graph`
+constructor builds are derived structures, but the four base arrays stay
+memory-mapped (useful for many processes sharing one immutable base).
+
+Writes are atomic: the file is written and fsynced under a temporary name in
+the destination directory and then renamed over the final path (the directory
+is fsynced too), so a crash mid-checkpoint can never leave a half-written
+snapshot under a valid name.  Readers validate the magic, the header CRC and
+(unless explicitly skipped, e.g. for zero-copy opens) every array CRC, so a
+torn or bit-flipped file is rejected rather than served.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SnapshotFormatError
+from repro.graph.graph import Graph
+
+MAGIC = b"GFSNAP1\0"
+FORMAT_VERSION = 1
+_ALIGN = 64
+_LEN_STRUCT = struct.Struct("<II")  # header length, header crc32
+
+#: The arrays that define a Graph, in on-disk order.
+ARRAY_NAMES = ("vertex_labels", "edge_src", "edge_dst", "edge_labels")
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Metadata of one snapshot file (the parsed header)."""
+
+    path: str
+    format_version: int
+    name: str
+    num_vertices: int
+    num_edges: int
+    last_seq: int
+    arrays: Tuple[dict, ...]
+
+    @property
+    def file_bytes(self) -> int:
+        last = max(self.arrays, key=lambda a: a["offset"])
+        return int(last["offset"] + last["nbytes"])
+
+
+def _pad_to(handle, align: int) -> None:
+    pos = handle.tell()
+    remainder = pos % align
+    if remainder:
+        handle.write(b"\0" * (align - remainder))
+
+
+def _fsync_directory(directory: str) -> None:
+    """Durably record a rename/creation in ``directory`` (POSIX); best-effort
+    on platforms whose directories cannot be opened."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX fallback
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(graph: Graph, path: str, last_seq: int = 0) -> SnapshotInfo:
+    """Write ``graph`` to ``path`` atomically and return the header metadata.
+
+    ``last_seq`` records the WAL sequence number whose effects are contained
+    in this snapshot; recovery replays only records with greater sequence
+    numbers.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    arrays: Dict[str, np.ndarray] = {
+        "vertex_labels": np.ascontiguousarray(graph.vertex_labels, dtype=np.int64),
+        "edge_src": np.ascontiguousarray(graph.edge_src, dtype=np.int64),
+        "edge_dst": np.ascontiguousarray(graph.edge_dst, dtype=np.int64),
+        "edge_labels": np.ascontiguousarray(graph.edge_labels, dtype=np.int64),
+    }
+
+    # Compute the manifest with offsets laid out after the (not yet known
+    # precisely) header.  The header length depends on the offsets, so lay
+    # out with a fixed-point iteration: offsets are multiples of _ALIGN, and
+    # growing the header by a few digits cannot shrink it, so two passes
+    # always converge.
+    manifest: List[dict] = []
+    header_bytes = b""
+    data_start = 0
+    for _ in range(4):
+        offset = data_start
+        manifest = []
+        for name in ARRAY_NAMES:
+            arr = arrays[name]
+            offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+            manifest.append(
+                {
+                    "name": name,
+                    "dtype": str(arr.dtype),
+                    "shape": list(arr.shape),
+                    "offset": offset,
+                    "nbytes": int(arr.nbytes),
+                    # crc32 accepts the buffer protocol: no bytes copy.
+                    "crc32": zlib.crc32(arr) & 0xFFFFFFFF,
+                }
+            )
+            offset += arr.nbytes
+        header = {
+            "format_version": FORMAT_VERSION,
+            "name": graph.name,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "last_seq": int(last_seq),
+            "arrays": manifest,
+        }
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        new_start = len(MAGIC) + _LEN_STRUCT.size + len(header_bytes)
+        new_start = (new_start + _ALIGN - 1) // _ALIGN * _ALIGN
+        if new_start == data_start:
+            break
+        data_start = new_start
+    else:  # pragma: no cover - the layout converges in two passes
+        raise SnapshotFormatError("snapshot header layout did not converge")
+
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp.", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(
+                _LEN_STRUCT.pack(len(header_bytes), zlib.crc32(header_bytes) & 0xFFFFFFFF)
+            )
+            handle.write(header_bytes)
+            for entry in manifest:
+                _pad_to(handle, _ALIGN)
+                assert handle.tell() == entry["offset"]
+                # write() takes the array's buffer directly: no bytes copy.
+                handle.write(arrays[entry["name"]])
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.rename(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+    return SnapshotInfo(
+        path=path,
+        format_version=FORMAT_VERSION,
+        name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        last_seq=int(last_seq),
+        arrays=tuple(manifest),
+    )
+
+
+def read_snapshot_info(path: str) -> SnapshotInfo:
+    """Parse and validate the header of a snapshot file (cheap: no array
+    data is read)."""
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise SnapshotFormatError(f"{path}: bad magic {magic!r}")
+        prefix = handle.read(_LEN_STRUCT.size)
+        if len(prefix) < _LEN_STRUCT.size:
+            raise SnapshotFormatError(f"{path}: truncated header length")
+        header_len, header_crc = _LEN_STRUCT.unpack(prefix)
+        header_bytes = handle.read(header_len)
+    if len(header_bytes) < header_len:
+        raise SnapshotFormatError(f"{path}: truncated header")
+    if zlib.crc32(header_bytes) & 0xFFFFFFFF != header_crc:
+        raise SnapshotFormatError(f"{path}: header checksum mismatch")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except ValueError as exc:
+        raise SnapshotFormatError(f"{path}: unparsable header: {exc}") from exc
+    if header.get("format_version") != FORMAT_VERSION:
+        raise SnapshotFormatError(
+            f"{path}: unsupported format version {header.get('format_version')!r}"
+        )
+    expected = set(ARRAY_NAMES)
+    present = {entry["name"] for entry in header.get("arrays", ())}
+    if present != expected:
+        raise SnapshotFormatError(f"{path}: manifest arrays {present} != {expected}")
+    return SnapshotInfo(
+        path=path,
+        format_version=int(header["format_version"]),
+        name=str(header["name"]),
+        num_vertices=int(header["num_vertices"]),
+        num_edges=int(header["num_edges"]),
+        last_seq=int(header["last_seq"]),
+        arrays=tuple(header["arrays"]),
+    )
+
+
+def _load_array(path: str, entry: dict, mmap: bool, verify: bool) -> np.ndarray:
+    dtype = np.dtype(entry["dtype"])
+    shape = tuple(entry["shape"])
+    count = int(np.prod(shape)) if shape else 1
+    if int(entry["nbytes"]) != count * dtype.itemsize:
+        raise SnapshotFormatError(f"{path}: manifest nbytes mismatch for {entry['name']}")
+    if mmap:
+        if count:
+            arr = np.memmap(path, dtype=dtype, mode="r", offset=int(entry["offset"]), shape=shape)
+        else:
+            arr = np.array([], dtype=dtype)
+    else:
+        with open(path, "rb") as handle:
+            handle.seek(int(entry["offset"]))
+            raw = handle.read(int(entry["nbytes"]))
+        if len(raw) != int(entry["nbytes"]):
+            raise SnapshotFormatError(f"{path}: truncated array block {entry['name']}")
+        arr = np.frombuffer(raw, dtype=dtype).reshape(shape)
+    if verify and (zlib.crc32(arr) & 0xFFFFFFFF) != int(entry["crc32"]):
+        raise SnapshotFormatError(f"{path}: checksum mismatch in array {entry['name']}")
+    return arr
+
+
+def read_snapshot(
+    path: str, mmap: bool = False, verify: Optional[bool] = None
+) -> Tuple[Graph, SnapshotInfo]:
+    """Load a snapshot file into a :class:`Graph`.
+
+    With ``mmap=True`` the base arrays are read-only ``np.memmap`` views —
+    zero-copy for the stored columns (derived adjacency partitions are still
+    built in memory).  ``verify`` controls the per-array CRC check; it
+    defaults to True for full reads and False for memory-mapped opens (where
+    eagerly touching every page would defeat the point — pass ``verify=True``
+    to force it, e.g. from ``repro.cli recover --verify``).
+    """
+    info = read_snapshot_info(path)
+    if verify is None:
+        verify = not mmap
+    columns = {
+        entry["name"]: _load_array(path, entry, mmap=mmap, verify=verify)
+        for entry in info.arrays
+    }
+    lengths = {len(columns["edge_src"]), len(columns["edge_dst"]), len(columns["edge_labels"])}
+    if lengths != {info.num_edges} or len(columns["vertex_labels"]) != info.num_vertices:
+        raise SnapshotFormatError(f"{path}: array lengths disagree with header counts")
+    graph = Graph(
+        vertex_labels=columns["vertex_labels"],
+        edge_src=columns["edge_src"],
+        edge_dst=columns["edge_dst"],
+        edge_labels=columns["edge_labels"],
+        name=info.name,
+    )
+    return graph, info
+
+
+__all__ = [
+    "ARRAY_NAMES",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "SnapshotInfo",
+    "read_snapshot",
+    "read_snapshot_info",
+    "write_snapshot",
+]

@@ -1,0 +1,514 @@
+"""The durability front end: snapshots + WAL behind one recoverable store.
+
+A :class:`DurableGraphStore` owns a data directory::
+
+    <data_dir>/
+        snapshots/snapshot-<seq>.gfs   versioned binary CSR snapshots
+        wal/wal-<base_seq>.log         CRC-framed update log segments
+
+and a live :class:`~repro.storage.dynamic.DynamicGraph`.  The contract is
+write-ahead logging in the textbook sense: every update batch is appended
+(and flushed) to the WAL *before* the in-memory delta commit, both under one
+commit lock, so the durable log is always a superset of the applied state and
+the sequence number captured by a checkpoint always describes exactly the
+graph state it snapshots.
+
+Recovery (:meth:`open` on an existing directory) is
+
+1. load the newest snapshot whose checksums validate (falling back to older
+   ones, so a torn checkpoint degrades to a longer replay, never to data
+   loss),
+2. open the WAL, truncating any torn tail, and
+3. replay the records with ``seq > snapshot.last_seq`` through a fresh
+   ``DynamicGraph`` — replay reuses the exact write path of live updates, so
+   a recovered store is byte-for-byte logically identical to one that never
+   restarted.
+
+Checkpoints (:meth:`checkpoint`) capture a consistent ``(state, seq)`` pair
+under the commit lock (pinning an O(1) MVCC snapshot and sealing the active
+WAL segment), then do the heavy work — materializing the CSR and writing the
+snapshot file — without blocking writers, and finally prune WAL segments and
+old snapshot files that the new snapshot covers.  The natural trigger is a
+:class:`~repro.storage.compaction.CompactionManager` install (the base was
+just rebuilt anyway, so the snapshot write is pure I/O); wiring that up is
+:meth:`repro.api.GraphflowDB.enable_background_compaction`'s job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import PersistenceError, SnapshotFormatError
+from repro.graph.graph import Graph
+from repro.persistence.snapshot_file import (
+    SnapshotInfo,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.persistence.wal import UpdateRecord, WriteAheadLog
+from repro.storage.dynamic import DynamicGraph
+
+T = TypeVar("T")
+
+SNAPSHOT_DIR = "snapshots"
+WAL_DIR = "wal"
+LOCK_FILE = "LOCK"
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{16})\.gfs$")
+
+
+def _acquire_lock(data_dir: str) -> str:
+    """Take the store's single-writer pid lock (``<data_dir>/LOCK``).
+
+    Two live processes opening the same store would truncate each other's
+    WAL tails and race the snapshot directory, so open() refuses when the
+    lock is held by another *running* process.  A lock left by a dead
+    process (crash) or by this same process (in-process crash simulation /
+    abandoned handle) is reclaimed.
+    """
+    path = os.path.join(data_dir, LOCK_FILE)
+    for _ in range(2):
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                with open(path) as handle:
+                    holder = int(handle.read().strip() or "0")
+            except (OSError, ValueError):
+                holder = 0
+            if holder and holder != os.getpid():
+                try:
+                    os.kill(holder, 0)  # signal 0: existence check only
+                except ProcessLookupError:
+                    pass  # holder is dead: stale lock, reclaim below
+                except OSError:
+                    # EPERM and friends: the process exists but is not ours
+                    # to signal — very much alive, do not reclaim.
+                    raise PersistenceError(
+                        f"{data_dir}: store is locked by running process {holder}; "
+                        "two processes must not open the same data directory"
+                    )
+                else:
+                    raise PersistenceError(
+                        f"{data_dir}: store is locked by running process {holder}; "
+                        "two processes must not open the same data directory"
+                    )
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - lost a reclaim race
+                pass
+            continue
+        with os.fdopen(fd, "w") as handle:
+            handle.write(str(os.getpid()))
+        return path
+    raise PersistenceError(f"{data_dir}: could not acquire store lock")  # pragma: no cover
+
+
+def _release_lock(path: Optional[str]) -> None:
+    if path:
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+def snapshot_filename(seq: int) -> str:
+    return f"snapshot-{seq:016d}.gfs"
+
+
+def store_exists(data_dir: str) -> bool:
+    """True when ``data_dir`` holds store state (any snapshot or WAL
+    segment, readable or not) — the test callers should use to decide
+    between recovering and bootstrapping, instead of catching open errors."""
+    snap_dir = os.path.join(data_dir, SNAPSHOT_DIR)
+    wal_dir = os.path.join(data_dir, WAL_DIR)
+    if os.path.isdir(snap_dir) and any(
+        _SNAPSHOT_RE.match(name) for name in os.listdir(snap_dir)
+    ):
+        return True
+    return os.path.isdir(wal_dir) and any(
+        name.startswith("wal-") for name in os.listdir(wal_dir)
+    )
+
+
+def _list_snapshots(directory: str) -> List[Tuple[int, str]]:
+    """``(seq, path)`` pairs sorted newest-first."""
+    found = []
+    for entry in os.listdir(directory):
+        match = _SNAPSHOT_RE.match(entry)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, entry)))
+    found.sort(reverse=True)
+    return found
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`DurableGraphStore.open` did to bring the store up."""
+
+    bootstrapped: bool
+    snapshot_path: Optional[str]
+    snapshot_seq: int
+    replayed_records: int
+    replayed_edges: int
+    truncated_bytes: int
+    dropped_segments: int
+    skipped_snapshots: List[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def describe(self) -> str:
+        if self.bootstrapped:
+            return f"bootstrapped new store (initial snapshot seq {self.snapshot_seq})"
+        source = os.path.basename(self.snapshot_path) if self.snapshot_path else "<none>"
+        parts = [
+            f"recovered from {source} (seq {self.snapshot_seq})",
+            f"replayed {self.replayed_records} WAL record(s) / {self.replayed_edges} edge(s)",
+        ]
+        if self.truncated_bytes:
+            parts.append(f"truncated {self.truncated_bytes} torn byte(s)")
+        if self.dropped_segments:
+            parts.append(f"dropped {self.dropped_segments} unusable segment(s)")
+        if self.skipped_snapshots:
+            parts.append(f"skipped {len(self.skipped_snapshots)} corrupt snapshot(s)")
+        return ", ".join(parts) + f" in {self.seconds:.3f}s"
+
+
+class DurableGraphStore:
+    """Crash-safe storage for one dynamic graph (snapshot + WAL + recovery).
+
+    Construct through :meth:`open`; the plain constructor wires already-built
+    parts together and is what :meth:`open` itself uses.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        dynamic: DynamicGraph,
+        wal: WriteAheadLog,
+        snapshot_seq: int,
+        recovery: RecoveryReport,
+        keep_snapshots: int = 2,
+    ) -> None:
+        if keep_snapshots < 1:
+            raise ValueError("keep_snapshots must be at least 1")
+        self.data_dir = os.path.abspath(data_dir)
+        self.dynamic = dynamic
+        self.wal = wal
+        self.snapshot_seq = snapshot_seq
+        self.recovery = recovery
+        self.keep_snapshots = keep_snapshots
+        self.checkpoints = 0
+        self.last_checkpoint_seconds = 0.0
+        self.total_checkpoint_seconds = 0.0
+        self._last_applied_seq = wal.last_seq
+        # Serialises (WAL append, in-memory commit) pairs and checkpoint
+        # captures; the heavy checkpoint I/O runs outside it.
+        self._commit_lock = threading.RLock()
+        # One checkpoint at a time (capture is cheap, the file write is not).
+        self._checkpoint_lock = threading.Lock()
+        self._closed = False
+        # Single-writer pid lock (set by open(); None for hand-wired stores).
+        self._lock_path: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # opening / recovery
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls,
+        data_dir: str,
+        graph: Optional[Graph] = None,
+        sync_every: int = 8,
+        mmap: bool = False,
+        keep_snapshots: int = 2,
+    ) -> "DurableGraphStore":
+        """Open (recovering) or bootstrap (initial snapshot) a store.
+
+        An existing store in ``data_dir`` is always recovered — a ``graph``
+        argument is then ignored in favour of the durable state.  An empty or
+        missing directory requires ``graph`` to bootstrap from.  With
+        ``mmap=True`` the recovered base arrays are zero-copy
+        ``np.memmap`` views of the snapshot file.
+        """
+        start = time.perf_counter()
+        data_dir = os.path.abspath(data_dir)
+        snap_dir = os.path.join(data_dir, SNAPSHOT_DIR)
+        wal_dir = os.path.join(data_dir, WAL_DIR)
+        os.makedirs(snap_dir, exist_ok=True)
+        os.makedirs(wal_dir, exist_ok=True)
+        lock_path = _acquire_lock(data_dir)
+        try:
+            return cls._open_locked(
+                data_dir, graph, sync_every, mmap, keep_snapshots, lock_path, start
+            )
+        except BaseException:
+            _release_lock(lock_path)
+            raise
+
+    @classmethod
+    def _open_locked(
+        cls,
+        data_dir: str,
+        graph: Optional[Graph],
+        sync_every: int,
+        mmap: bool,
+        keep_snapshots: int,
+        lock_path: str,
+        start: float,
+    ) -> "DurableGraphStore":
+        snap_dir = os.path.join(data_dir, SNAPSHOT_DIR)
+        wal_dir = os.path.join(data_dir, WAL_DIR)
+        skipped: List[str] = []
+        base: Optional[Graph] = None
+        snapshot_seq = 0
+        snapshot_path: Optional[str] = None
+        for seq, path in _list_snapshots(snap_dir):
+            try:
+                base, info = read_snapshot(path, mmap=mmap)
+            except (SnapshotFormatError, OSError):
+                skipped.append(path)
+                continue
+            snapshot_seq = info.last_seq
+            snapshot_path = path
+            break
+
+        bootstrapped = False
+        if base is None:
+            existing_wal = any(
+                name.startswith("wal-") for name in os.listdir(wal_dir)
+            )
+            if graph is None:
+                if existing_wal or skipped:
+                    raise PersistenceError(
+                        f"{data_dir}: no readable snapshot "
+                        f"({len(skipped)} corrupt, WAL present: {existing_wal}); "
+                        "cannot recover without a valid snapshot"
+                    )
+                raise PersistenceError(
+                    f"{data_dir}: empty store and no bootstrap graph given"
+                )
+            if existing_wal or skipped:
+                raise PersistenceError(
+                    f"{data_dir}: store remnants exist but no readable snapshot "
+                    f"({len(skipped)} corrupt snapshot(s), WAL present: "
+                    f"{existing_wal}); refusing to bootstrap over a partially "
+                    "lost store"
+                )
+            if isinstance(graph, DynamicGraph):
+                graph = graph.snapshot(materialize=True)
+            write_snapshot(graph, os.path.join(snap_dir, snapshot_filename(0)), last_seq=0)
+            base = graph
+            bootstrapped = True
+            snapshot_path = os.path.join(snap_dir, snapshot_filename(0))
+
+        wal = WriteAheadLog(wal_dir, sync_every=sync_every)
+        records = wal.open(min_seq=snapshot_seq)
+        if wal.last_seq < snapshot_seq:
+            # The WAL tail covering the snapshot was lost (e.g. a crash ate
+            # the sealed segment after the checkpoint landed); restart the
+            # log at the snapshot's sequence so new appends stay monotonic.
+            wal.force_base(snapshot_seq)
+
+        dynamic = DynamicGraph(base)
+        replayed_edges = 0
+        for record in records:
+            replayed_edges += _replay_record(dynamic, record)
+
+        report = RecoveryReport(
+            bootstrapped=bootstrapped,
+            snapshot_path=snapshot_path,
+            snapshot_seq=snapshot_seq,
+            replayed_records=len(records),
+            replayed_edges=replayed_edges,
+            truncated_bytes=wal.truncated_bytes,
+            dropped_segments=wal.dropped_segments,
+            skipped_snapshots=skipped,
+            seconds=time.perf_counter() - start,
+        )
+        store = cls(
+            data_dir=data_dir,
+            dynamic=dynamic,
+            wal=wal,
+            snapshot_seq=snapshot_seq,
+            recovery=report,
+            keep_snapshots=keep_snapshots,
+        )
+        store._lock_path = lock_path
+        return store
+
+    # ------------------------------------------------------------------ #
+    # the write path
+    # ------------------------------------------------------------------ #
+    def log_and_apply(
+        self,
+        inserts: Sequence[Tuple[int, int, int]],
+        deletes: Sequence[Tuple[int, int, int]],
+        new_vertex_labels: Optional[Sequence[int]],
+        apply_fn: Callable[[], T],
+    ) -> Tuple[int, T]:
+        """Durably log one update batch, then run its in-memory commit.
+
+        The WAL append and ``apply_fn`` execute under the commit lock, so a
+        concurrent checkpoint can never capture a sequence number whose
+        record is not yet reflected in the graph.  If the append fails the
+        in-memory state is untouched; if ``apply_fn`` fails the record stays
+        in the log and will be applied by the next recovery (``apply_fn``
+        must therefore be idempotent with respect to replay — the
+        ``DynamicGraph`` write API is).
+        """
+        with self._commit_lock:
+            # Checked under the lock: close() flips the flag and closes the
+            # WAL while holding it, so an in-flight updater can never append
+            # to a closing log.
+            if self._closed:
+                raise PersistenceError("durable store is closed")
+            seq = self.wal.append(
+                inserts=inserts,
+                deletes=deletes,
+                new_vertex_labels=new_vertex_labels or (),
+            )
+            result = apply_fn()
+            self._last_applied_seq = seq
+            return seq, result
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest durably-logged-and-applied batch."""
+        return self._last_applied_seq
+
+    @property
+    def dirty(self) -> bool:
+        """True when the WAL holds records the newest snapshot does not."""
+        return self._last_applied_seq > self.snapshot_seq
+
+    def sync(self) -> None:
+        """Force the group-commit fsync barrier (e.g. before reporting an
+        update as durable to an external client)."""
+        with self._commit_lock:
+            self.wal.sync()
+
+    # ------------------------------------------------------------------ #
+    # checkpoints
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, force: bool = False) -> Optional[SnapshotInfo]:
+        """Write a snapshot covering every applied record and truncate the
+        WAL behind it.  Returns the new snapshot's metadata, or ``None``
+        when the store was already clean (unless ``force``).
+        """
+        if self._closed:
+            raise PersistenceError("durable store is closed")
+        with self._checkpoint_lock:
+            if not self.dirty and not force:
+                return None
+            start = time.perf_counter()
+            with self._commit_lock:
+                pinned = self.dynamic.snapshot()
+                seq = self._last_applied_seq
+                self.wal.rotate()
+            # Heavy phase, concurrent with writers: materialize + write.
+            # Right after a compaction install the pinned snapshot is clean
+            # and the base Graph *is* the state — the common (listener) case
+            # pays only the file write.
+            graph = pinned.base if pinned.is_clean else pinned.materialize()
+            path = os.path.join(self.data_dir, SNAPSHOT_DIR, snapshot_filename(seq))
+            info = write_snapshot(graph, path, last_seq=seq)
+            self.snapshot_seq = seq
+            self._prune_snapshots()
+            # Keep the WAL replayable from the *oldest retained* snapshot,
+            # not just the newest: if the newest file is later found corrupt,
+            # recovery falls back one snapshot and replays forward.
+            retained = _list_snapshots(os.path.join(self.data_dir, SNAPSHOT_DIR))
+            oldest_retained = min((s for s, _ in retained), default=seq)
+            self.wal.prune(upto_seq=oldest_retained)
+            elapsed = time.perf_counter() - start
+            self.checkpoints += 1
+            self.last_checkpoint_seconds = elapsed
+            self.total_checkpoint_seconds += elapsed
+            return info
+
+    def maybe_checkpoint(self) -> Optional[SnapshotInfo]:
+        """Checkpoint only if there is anything to cover (the compaction
+        listener's entry point; never raises into the compaction thread for
+        an already-clean store)."""
+        if not self.dirty or self._closed:
+            return None
+        return self.checkpoint()
+
+    def _prune_snapshots(self) -> None:
+        snap_dir = os.path.join(self.data_dir, SNAPSHOT_DIR)
+        for _, path in _list_snapshots(snap_dir)[self.keep_snapshots:]:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / observability
+    # ------------------------------------------------------------------ #
+    def close(self, checkpoint: bool = True) -> None:
+        """Flush and close; with ``checkpoint`` (the default) the shutdown is
+        graceful — restart will load the final snapshot and replay nothing."""
+        if self._closed:
+            return
+        if checkpoint and self.dirty:
+            self.checkpoint()
+        with self._commit_lock:
+            self._closed = True
+            self.wal.close()
+        _release_lock(self._lock_path)
+        self._lock_path = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict:
+        return {
+            "data_dir": self.data_dir,
+            "last_seq": self._last_applied_seq,
+            "snapshot_seq": self.snapshot_seq,
+            "wal_records_since_checkpoint": self._last_applied_seq - self.snapshot_seq,
+            "wal_bytes": self.wal.size_bytes(),
+            "checkpoints": self.checkpoints,
+            "last_checkpoint_seconds": self.last_checkpoint_seconds,
+            "total_checkpoint_seconds": self.total_checkpoint_seconds,
+            "recovered_records": self.recovery.replayed_records,
+            "recovery_seconds": self.recovery.seconds,
+        }
+
+    def __enter__(self) -> "DurableGraphStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableGraphStore(dir={self.data_dir!r}, last_seq={self._last_applied_seq}, "
+            f"snapshot_seq={self.snapshot_seq}, checkpoints={self.checkpoints})"
+        )
+
+
+def _replay_record(dynamic: DynamicGraph, record: UpdateRecord) -> int:
+    """Apply one WAL record through the live write path; returns the number
+    of edge mutations that took effect."""
+    applied = 0
+    if record.new_vertex_labels:
+        dynamic.add_vertices(labels=record.new_vertex_labels)
+    if record.inserts:
+        applied += len(dynamic.add_edges(record.inserts))
+    if record.deletes:
+        applied += len(dynamic.delete_edges(record.deletes))
+    return applied
+
+
+__all__ = [
+    "DurableGraphStore",
+    "RecoveryReport",
+    "snapshot_filename",
+    "store_exists",
+]

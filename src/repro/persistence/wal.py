@@ -1,0 +1,484 @@
+"""Append-only, CRC-framed write-ahead log for graph update batches.
+
+The log is a directory of segment files named ``wal-<base_seq>.log`` where
+``base_seq`` is the sequence number of the last record *preceding* the
+segment (the first record in segment ``wal-000...042.log`` has sequence 43).
+Each segment starts with a fixed header::
+
+    magic (8 bytes)  "GFWAL01\\0"
+    base_seq (uint64, little endian)
+
+followed by records framed as::
+
+    crc32 (uint32)   over the rest of the frame (length, seq, payload)
+    length (uint32)  payload byte count
+    seq (uint64)     strictly increasing across segments
+    payload          an encoded update batch (see UpdateRecord)
+
+Durability is fsync-batched (group commit): every append flushes Python's
+buffer to the OS — so an in-process crash loses nothing — but ``fsync``
+(power-loss durability) is issued only every ``sync_every`` records, on
+:meth:`sync`, on rotation and on close.  ``sync_every=1`` gives
+record-at-a-time durability at the cost of one fsync per batch.
+
+On open the log replays its frames and **truncates the torn tail**: the first
+frame whose header is incomplete, whose length runs past the end of the
+file, whose CRC does not match, or whose sequence number breaks monotonicity
+marks the end of the durable prefix — the file is truncated at that record
+boundary and any later segments are discarded.  Recovery therefore always
+yields exactly the longest prefix of records that were fully written.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import IO, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WALCorruptionError
+from repro.persistence.snapshot_file import _fsync_directory
+
+SEGMENT_MAGIC = b"GFWAL01\0"
+_SEGMENT_HEADER = struct.Struct("<Q")  # base_seq
+_FRAME = struct.Struct("<IIQ")  # crc32, payload length, seq
+_RECORD_COUNTS = struct.Struct("<III")  # n_inserts, n_deletes, n_vertex_labels
+#: Upper bound on one payload (64 MiB) — a length field beyond this is treated
+#: as tail corruption rather than attempting a giant allocation.
+MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".log"
+
+
+def segment_name(base_seq: int) -> str:
+    return f"{SEGMENT_PREFIX}{base_seq:016d}{SEGMENT_SUFFIX}"
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One logged update batch: the WAL's only record type.
+
+    ``inserts`` / ``deletes`` are ``(src, dst, label)`` triples;
+    ``new_vertex_labels`` appends one vertex per entry.  Replaying a record
+    through :class:`~repro.storage.dynamic.DynamicGraph` is idempotent for
+    edges already present / absent, so logging the *requested* batch before
+    the in-memory commit is safe.
+    """
+
+    seq: int
+    inserts: Tuple[Tuple[int, int, int], ...] = ()
+    deletes: Tuple[Tuple[int, int, int], ...] = ()
+    new_vertex_labels: Tuple[int, ...] = ()
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+    def encode(self) -> bytes:
+        return encode_batch(self.inserts, self.deletes, self.new_vertex_labels)
+
+    @classmethod
+    def decode(cls, seq: int, payload: bytes) -> "UpdateRecord":
+        if len(payload) < _RECORD_COUNTS.size:
+            raise WALCorruptionError("update record payload too short")
+        n_ins, n_del, n_lab = _RECORD_COUNTS.unpack_from(payload)
+        expected = _RECORD_COUNTS.size + 8 * (3 * n_ins + 3 * n_del + n_lab)
+        if len(payload) != expected:
+            raise WALCorruptionError(
+                f"update record payload length {len(payload)} != expected {expected}"
+            )
+        offset = _RECORD_COUNTS.size
+        ins = np.frombuffer(payload, dtype=np.int64, count=3 * n_ins, offset=offset)
+        offset += 8 * 3 * n_ins
+        dels = np.frombuffer(payload, dtype=np.int64, count=3 * n_del, offset=offset)
+        offset += 8 * 3 * n_del
+        labels = np.frombuffer(payload, dtype=np.int64, count=n_lab, offset=offset)
+        return cls(
+            seq=seq,
+            inserts=tuple(map(tuple, ins.reshape(-1, 3).tolist())),
+            deletes=tuple(map(tuple, dels.reshape(-1, 3).tolist())),
+            new_vertex_labels=tuple(labels.tolist()),
+        )
+
+
+def encode_batch(
+    inserts: Sequence[Tuple[int, int, int]],
+    deletes: Sequence[Tuple[int, int, int]],
+    new_vertex_labels: Sequence[int],
+) -> bytes:
+    """Encode one update batch as a record payload.
+
+    Goes straight through ``np.asarray`` (which validates the ``(n, 3)``
+    shape and integer dtype), so the hot append path never runs a per-edge
+    Python loop.
+    """
+    ins = np.asarray(inserts, dtype=np.int64).reshape(-1, 3)
+    dels = np.asarray(deletes, dtype=np.int64).reshape(-1, 3)
+    labels = np.asarray(new_vertex_labels, dtype=np.int64)
+    return b"".join(
+        (
+            _RECORD_COUNTS.pack(len(ins), len(dels), len(labels)),
+            ins.tobytes(),
+            dels.tobytes(),
+            labels.tobytes(),
+        )
+    )
+
+
+def _list_segments(directory: str) -> List[Tuple[int, str]]:
+    """``(base_seq, path)`` pairs of the segment files in ``directory``,
+    sorted by base sequence."""
+    segments = []
+    for entry in os.listdir(directory):
+        if not (entry.startswith(SEGMENT_PREFIX) and entry.endswith(SEGMENT_SUFFIX)):
+            continue
+        stem = entry[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+        try:
+            base_seq = int(stem)
+        except ValueError:
+            continue
+        segments.append((base_seq, os.path.join(directory, entry)))
+    segments.sort()
+    return segments
+
+
+def _scan_segment(path: str, expected_base: Optional[int]) -> Tuple[int, List[UpdateRecord], int]:
+    """Validate one segment; returns ``(base_seq, records, durable_size)``.
+
+    ``durable_size`` is the byte offset of the end of the last valid frame —
+    the truncation point when the tail is torn.  Raises
+    :class:`WALCorruptionError` only for an unusable segment *header* (which
+    recovery treats as end-of-log).
+    """
+    size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        header = handle.read(len(SEGMENT_MAGIC) + _SEGMENT_HEADER.size)
+        if len(header) < len(SEGMENT_MAGIC) + _SEGMENT_HEADER.size:
+            raise WALCorruptionError(f"{path}: truncated segment header")
+        if header[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+            raise WALCorruptionError(f"{path}: bad segment magic")
+        (base_seq,) = _SEGMENT_HEADER.unpack_from(header, len(SEGMENT_MAGIC))
+        if expected_base is not None and base_seq != expected_base:
+            raise WALCorruptionError(
+                f"{path}: segment base {base_seq} does not match file name {expected_base}"
+            )
+        records: List[UpdateRecord] = []
+        durable = handle.tell()
+        prev_seq = base_seq
+        while True:
+            frame_start = handle.tell()
+            head = handle.read(_FRAME.size)
+            if len(head) < _FRAME.size:
+                break  # clean EOF or torn frame header
+            crc, length, seq = _FRAME.unpack(head)
+            if length > MAX_PAYLOAD_BYTES or frame_start + _FRAME.size + length > size:
+                break  # absurd length or payload runs past EOF: torn tail
+            payload = handle.read(length)
+            if len(payload) < length:
+                break
+            body = head[4:] + payload  # everything the CRC covers
+            if zlib.crc32(body) & 0xFFFFFFFF != crc:
+                break
+            if seq != prev_seq + 1:
+                break  # sequence discontinuity: treat as corruption tail
+            try:
+                records.append(UpdateRecord.decode(seq, payload))
+            except WALCorruptionError:
+                break
+            prev_seq = seq
+            durable = handle.tell()
+    return base_seq, records, durable
+
+
+class WriteAheadLog:
+    """The append/replay/rotate front end over a directory of segments.
+
+    Parameters
+    ----------
+    directory:
+        Where the segment files live (created if missing).
+    sync_every:
+        Group-commit width: fsync after every N appended records.  1 gives
+        per-record durability; larger values trade a bounded number of
+        recent records (never more than ``sync_every - 1``) against fsync
+        cost under sustained write load.
+    """
+
+    def __init__(self, directory: str, sync_every: int = 8) -> None:
+        if sync_every < 1:
+            raise ValueError("sync_every must be at least 1")
+        self.directory = os.path.abspath(directory)
+        self.sync_every = sync_every
+        os.makedirs(self.directory, exist_ok=True)
+        self._handle: Optional[IO[bytes]] = None
+        self._active_path: Optional[str] = None
+        self._last_seq = 0
+        self._unsynced = 0
+        self.appended_records = 0
+        self.truncated_bytes = 0
+        self.dropped_segments = 0
+
+    # ------------------------------------------------------------------ #
+    # opening / recovery
+    # ------------------------------------------------------------------ #
+    def open(self, min_seq: int = 0) -> List[UpdateRecord]:
+        """Scan the directory, truncate any torn tail, and return the durable
+        records with ``seq > min_seq`` in order.
+
+        After this call the log is positioned for appending: the last valid
+        segment becomes the active one (a fresh segment is created when the
+        directory is empty).  Records at or below ``min_seq`` (already
+        covered by a snapshot) are skipped but not deleted.
+        """
+        self.close()
+        records: List[UpdateRecord] = []
+        segments = _list_segments(self.directory)
+        valid: List[Tuple[int, str, int]] = []  # (base_seq, path, durable_size)
+        prev_seq: Optional[int] = None
+        end_of_log = False
+        for base_seq, path in segments:
+            if end_of_log:
+                # Everything after a corruption point is not part of the
+                # durable prefix; drop it so a later rotation cannot
+                # resurrect stale records.
+                os.unlink(path)
+                self.dropped_segments += 1
+                continue
+            try:
+                seg_base, seg_records, durable = _scan_segment(path, expected_base=base_seq)
+            except WALCorruptionError:
+                os.unlink(path)
+                self.dropped_segments += 1
+                end_of_log = True
+                continue
+            if prev_seq is None and seg_base > min_seq:
+                # The log starts *after* the snapshot's coverage: records in
+                # (min_seq, seg_base] are simply missing, so nothing from
+                # this point on can be replayed safely.
+                os.unlink(path)
+                self.dropped_segments += 1
+                end_of_log = True
+                continue
+            if prev_seq is not None and seg_base != prev_seq:
+                # A gap or overlap between segments.  A *forward* gap whose
+                # skipped records are all covered by the snapshot
+                # (``seg_base <= min_seq``) is legitimate — it is what
+                # ``force_base`` leaves behind when a sealed tail was lost
+                # after a checkpoint already made it redundant.  Anything
+                # else means the durable prefix ends here.
+                if seg_base < prev_seq or seg_base > min_seq:
+                    os.unlink(path)
+                    self.dropped_segments += 1
+                    end_of_log = True
+                    continue
+            size = os.path.getsize(path)
+            if durable < size:
+                with open(path, "r+b") as handle:
+                    handle.truncate(durable)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self.truncated_bytes += size - durable
+                end_of_log = True
+            valid.append((seg_base, path, durable))
+            records.extend(seg_records)
+            prev_seq = seg_records[-1].seq if seg_records else seg_base
+        if valid:
+            base_seq, path, _ = valid[-1]
+            self._active_path = path
+            self._handle = open(path, "ab")
+            self._last_seq = prev_seq if prev_seq is not None else base_seq
+        else:
+            self._last_seq = min_seq
+            self._start_segment(min_seq)
+        return [r for r in records if r.seq > min_seq]
+
+    def _start_segment(self, base_seq: int) -> None:
+        path = os.path.join(self.directory, segment_name(base_seq))
+        handle = open(path, "wb")
+        handle.write(SEGMENT_MAGIC)
+        handle.write(_SEGMENT_HEADER.pack(base_seq))
+        handle.flush()
+        os.fsync(handle.fileno())
+        _fsync_directory(self.directory)
+        self._handle = handle
+        self._active_path = path
+
+    # ------------------------------------------------------------------ #
+    # appending
+    # ------------------------------------------------------------------ #
+    @property
+    def last_seq(self) -> int:
+        return self._last_seq
+
+    @property
+    def active_segment(self) -> Optional[str]:
+        return self._active_path
+
+    def size_bytes(self) -> int:
+        """Total bytes across all segment files currently on disk."""
+        return sum(os.path.getsize(path) for _, path in _list_segments(self.directory))
+
+    def append(
+        self,
+        inserts: Sequence[Tuple[int, int, int]] = (),
+        deletes: Sequence[Tuple[int, int, int]] = (),
+        new_vertex_labels: Sequence[int] = (),
+    ) -> int:
+        """Frame and append one update batch; returns its sequence number.
+
+        The record is flushed to the OS before returning (fsync per the
+        group-commit policy), and the append raises — leaving the in-memory
+        state untouched — if the log is closed or the write fails.
+        """
+        if self._handle is None:
+            raise WALCorruptionError("write-ahead log is not open")
+        seq = self._last_seq + 1
+        payload = encode_batch(inserts, deletes, new_vertex_labels)
+        body = _FRAME.pack(0, len(payload), seq)[4:] + payload
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        durable_end = self._handle.tell()
+        try:
+            self._handle.write(struct.pack("<I", crc) + body)
+            self._handle.flush()
+        except OSError:
+            # A partial frame (e.g. ENOSPC mid-write) must not stay in the
+            # file: a later successful append would land *after* the torn
+            # bytes and be silently discarded by recovery's torn-tail
+            # truncation even though it was acknowledged.  Rewind to the
+            # last durable record boundary before re-raising.
+            try:
+                self._handle.truncate(durable_end)
+                self._handle.seek(durable_end)
+            except OSError:  # pragma: no cover - rewind itself failed
+                # The file state is unknown; refuse all further appends.
+                self._handle.close()
+                self._handle = None
+                self._active_path = None
+            raise
+        self._last_seq = seq
+        self.appended_records += 1
+        self._unsynced += 1
+        if self._unsynced >= self.sync_every:
+            self.sync()
+        return seq
+
+    def sync(self) -> None:
+        """Force fsync of the active segment (group-commit barrier)."""
+        if self._handle is not None and self._unsynced:
+            os.fsync(self._handle.fileno())
+            self._unsynced = 0
+
+    def force_base(self, base_seq: int) -> None:
+        """Restart the log in a fresh segment based at ``base_seq``.
+
+        Used by recovery when the log's durable tail ends *before* the
+        newest snapshot's sequence (the lost records are covered by the
+        snapshot): new appends must continue from ``base_seq``, not from the
+        stale tail.  Only ever moves the sequence forward.
+        """
+        if base_seq < self._last_seq:
+            raise ValueError(
+                f"force_base({base_seq}) would move the log backwards "
+                f"(last_seq={self._last_seq})"
+            )
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._unsynced = 0
+        self._start_segment(base_seq)
+        self._last_seq = base_seq
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def rotate(self) -> int:
+        """Seal the active segment and start a new one at the current
+        sequence; returns the sealed-through sequence number.
+
+        Called with the store's commit lock held, so no append can interleave
+        between sealing and the new segment's creation.
+        """
+        sealed_seq = self._last_seq
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._unsynced = 0
+        self._start_segment(sealed_seq)
+        return sealed_seq
+
+    def prune(self, upto_seq: int) -> int:
+        """Delete sealed segments whose records are all ``<= upto_seq``;
+        returns the number of files removed.
+
+        A segment is removable when the *next* segment's base sequence (the
+        last record of this one) is at most ``upto_seq``.  The active segment
+        is never removed.
+        """
+        removed = 0
+        segments = _list_segments(self.directory)
+        for (base_seq, path), (next_base, _) in zip(segments, segments[1:]):
+            if path != self._active_path and next_base <= upto_seq:
+                os.unlink(path)
+                removed += 1
+        if removed:
+            _fsync_directory(self.directory)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+            self._active_path = None
+            self._unsynced = 0
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog(dir={self.directory!r}, last_seq={self._last_seq}, "
+            f"sync_every={self.sync_every})"
+        )
+
+
+def iter_records(directory: str) -> Iterator[UpdateRecord]:
+    """Read-only scan of the durable records in a WAL directory (no
+    truncation side effects; stops at the first invalid frame)."""
+    prev_seq: Optional[int] = None
+    for base_seq, path in _list_segments(directory):
+        try:
+            seg_base, records, durable = _scan_segment(path, expected_base=base_seq)
+        except WALCorruptionError:
+            return
+        if prev_seq is not None and seg_base != prev_seq:
+            return
+        for record in records:
+            yield record
+        prev_seq = records[-1].seq if records else seg_base
+        if durable < os.path.getsize(path):
+            return
+
+
+__all__ = [
+    "MAX_PAYLOAD_BYTES",
+    "SEGMENT_MAGIC",
+    "UpdateRecord",
+    "WriteAheadLog",
+    "encode_batch",
+    "iter_records",
+    "segment_name",
+]

@@ -116,9 +116,22 @@ class QueryService:
         with an atomic base swap (pinned snapshots keep serving the old
         base).  The manager is stopped by :meth:`close` if this service
         enabled it.
-    compaction_ratio / compaction_min_delta_edges:
-        Overlay thresholds forwarded to the compaction manager (``None``
-        inherits the dynamic graph's own settings).
+    compaction_ratio / compaction_min_delta_edges / compaction_min_interval_seconds:
+        Overlay thresholds and pacing floor forwarded to the compaction
+        manager (``None`` inherits the dynamic graph's / manager's own
+        settings).
+    data_dir:
+        When set, serve durably: an existing store under ``data_dir`` is
+        recovered into the database (snapshot + WAL-tail replay), an empty
+        directory is bootstrapped from the database's current graph, and
+        every update thereafter is write-ahead logged before its in-memory
+        commit.  :meth:`close` then checkpoints the final state
+        (``checkpoint_on_close``) so the next start replays nothing.
+        Combine with ``background_compaction`` to turn compactions into
+        checkpoints during operation.
+    checkpoint_on_close / wal_sync_every:
+        Graceful-shutdown checkpointing toggle and the WAL's group-commit
+        width, both forwarded to the durable store.
     metrics_window_seconds:
         Width of the rolling metrics window reported by :meth:`stats`.
     """
@@ -136,6 +149,10 @@ class QueryService:
         background_compaction: bool = False,
         compaction_ratio: Optional[float] = None,
         compaction_min_delta_edges: Optional[int] = None,
+        compaction_min_interval_seconds: Optional[float] = None,
+        data_dir: Optional[str] = None,
+        checkpoint_on_close: bool = True,
+        wal_sync_every: int = 8,
         metrics_window_seconds: float = 60.0,
     ) -> None:
         if max_concurrent < 1:
@@ -143,11 +160,23 @@ class QueryService:
         if max_queue < 0:
             raise ValueError("max_queue cannot be negative")
         self.db = db
+        # Durability first: the durable store owns the dynamic graph a
+        # compaction manager would watch, so attach it before compaction.
+        # Mirror enable_durability's attach condition exactly: a closed
+        # leftover store means *this* service's call opens a fresh one, which
+        # this service must then checkpoint and close.
+        self._owns_durability = data_dir is not None and (
+            db.durable_store is None or db.durable_store.closed
+        )
+        self._checkpoint_on_close = checkpoint_on_close
+        if data_dir is not None:
+            db.enable_durability(data_dir, sync_every=wal_sync_every)
         self._owns_compaction = background_compaction and db.compaction_manager is None
         if background_compaction:
             db.enable_background_compaction(
                 compact_ratio=compaction_ratio,
                 min_delta_edges=compaction_min_delta_edges,
+                min_interval_seconds=compaction_min_interval_seconds,
             )
         self.max_concurrent = max_concurrent
         self.max_queue = max_queue
@@ -434,11 +463,14 @@ class QueryService:
             "counters": counters,
             "planner_invocations": self.db.planner_invocations,
             "graph_version": self.db.graph_version,
+            "catalogue_stale_fraction": self.db.catalogue_stale_fraction,
         }
         if self.db.plan_cache is not None:
             out["plan_cache"] = self.db.plan_cache.stats.as_dict()
         if self.db.compaction_manager is not None:
             out["compaction"] = self.db.compaction_manager.stats()
+        if self.db.durable_store is not None:
+            out["persistence"] = self.db.durable_store.stats()
         return out
 
     def stats_rows(self) -> List[dict]:
@@ -468,11 +500,30 @@ class QueryService:
             rows.append(
                 {"metric": "delta overlay edges", "value": str(compaction["delta_edges"])}
             )
+        if stats["catalogue_stale_fraction"]:
+            rows.append(
+                {
+                    "metric": "catalogue stale fraction",
+                    "value": f"{stats['catalogue_stale_fraction']:.1%}",
+                }
+            )
+        persistence = stats.get("persistence")
+        if persistence:
+            rows.append({"metric": "wal last seq", "value": str(persistence["last_seq"])})
+            rows.append(
+                {
+                    "metric": "wal records since checkpoint",
+                    "value": str(persistence["wal_records_since_checkpoint"]),
+                }
+            )
+            rows.append({"metric": "checkpoints", "value": str(persistence["checkpoints"])})
         return rows
 
     def close(self, wait: bool = True) -> None:
         """Stop accepting queries and (optionally) wait for in-flight ones;
-        stops the background compaction manager if this service enabled it."""
+        stops the background compaction manager if this service enabled it
+        and, when this service attached durability, checkpoints and closes
+        the durable store (graceful shutdown: restart replays nothing)."""
         with self._slots_free:
             self._closed = True
             self._slots_free.notify_all()
@@ -480,6 +531,11 @@ class QueryService:
         if self._owns_compaction:
             self.db.disable_background_compaction(wait=wait)
             self._owns_compaction = False
+        if self._owns_durability:
+            store = self.db.durable_store
+            if store is not None and not store.closed:
+                store.close(checkpoint=self._checkpoint_on_close)
+            self._owns_durability = False
 
     def __enter__(self) -> "QueryService":
         return self

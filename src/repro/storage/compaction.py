@@ -60,6 +60,13 @@ class CompactionManager:
     max_install_retries:
         Consecutive CAS-install failures tolerated per trigger before
         falling back to a locked compaction.
+    min_interval_seconds:
+        Pacing floor: after an installed compaction, threshold triggers are
+        ignored until this much time has passed (``0`` disables pacing).
+        Under sustained write load this bounds CSR-rebuild churn — and, when
+        a checkpoint listener is attached, snapshot-file churn — at the cost
+        of a temporarily larger overlay.  Explicit :meth:`compact_now` calls
+        bypass pacing.
     """
 
     def __init__(
@@ -69,6 +76,7 @@ class CompactionManager:
         min_delta_edges: Optional[int] = None,
         poll_interval_seconds: float = 0.05,
         max_install_retries: int = 3,
+        min_interval_seconds: float = 0.0,
     ) -> None:
         self.graph = graph
         self.compact_ratio = compact_ratio if compact_ratio is not None else graph.compact_ratio
@@ -77,6 +85,15 @@ class CompactionManager:
         )
         self.poll_interval_seconds = poll_interval_seconds
         self.max_install_retries = max_install_retries
+        self.min_interval_seconds = min_interval_seconds
+        # Monotonic timestamp of the last *installed* compaction (pacing
+        # clock); None until the first install so a fresh manager never
+        # delays its first compaction.
+        self._last_install_monotonic: Optional[float] = None
+        # Called (on the compaction thread, no locks held) after every
+        # installed compaction; the durable store registers its
+        # checkpoint here so a fresh base becomes a snapshot + WAL truncate.
+        self._compaction_listener: Optional[callable] = None
         self._wake = threading.Event()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -84,6 +101,9 @@ class CompactionManager:
         self.compactions = 0
         self.install_retries = 0
         self.fallback_compactions = 0
+        self.paced_skips = 0
+        self.checkpoints_triggered = 0
+        self.listener_failures = 0
         self.total_compaction_seconds = 0.0
         self.last_compaction_seconds = 0.0
         self._attached = False
@@ -152,6 +172,18 @@ class CompactionManager:
     def should_compact(self) -> bool:
         return self.graph.delta_edges > self._threshold()
 
+    def _paced_out(self) -> bool:
+        """True while the pacing window since the last install is open."""
+        if self.min_interval_seconds <= 0 or self._last_install_monotonic is None:
+            return False
+        return time.monotonic() - self._last_install_monotonic < self.min_interval_seconds
+
+    def set_compaction_listener(self, listener) -> None:
+        """Register (or clear, with ``None``) a callback invoked after every
+        installed compaction, on the compaction thread with no locks held —
+        the durable store's checkpoint hook."""
+        self._compaction_listener = listener
+
     def _run(self) -> None:
         while not self._stop.is_set():
             self._wake.wait(timeout=self.poll_interval_seconds)
@@ -159,6 +191,10 @@ class CompactionManager:
             if self._stop.is_set():
                 return
             if self.should_compact():
+                if self._paced_out():
+                    with self._stats_lock:
+                        self.paced_skips += 1
+                    continue
                 self.compact_now()
 
     def compact_now(self) -> bool:
@@ -185,10 +221,26 @@ class CompactionManager:
         installed = self.graph.compactions > graph_compactions_before
         if installed:
             elapsed = time.perf_counter() - start
+            self._last_install_monotonic = time.monotonic()
             with self._stats_lock:
                 self.compactions += 1
                 self.last_compaction_seconds = elapsed
                 self.total_compaction_seconds += elapsed
+            listener = self._compaction_listener
+            if listener is not None:
+                # A listener failure (e.g. the durable store's checkpoint
+                # hitting a transient disk error) must not kill the
+                # compaction thread — the overlay and WAL would then grow
+                # unbounded with no visible signal.  Count it and carry on;
+                # the next install retries the checkpoint.
+                try:
+                    listener()
+                except Exception:
+                    with self._stats_lock:
+                        self.listener_failures += 1
+                else:
+                    with self._stats_lock:
+                        self.checkpoints_triggered += 1
         return installed
 
     # ------------------------------------------------------------------ #
@@ -201,6 +253,9 @@ class CompactionManager:
                 "compactions": self.compactions,
                 "install_retries": self.install_retries,
                 "fallback_compactions": self.fallback_compactions,
+                "paced_skips": self.paced_skips,
+                "checkpoints_triggered": self.checkpoints_triggered,
+                "listener_failures": self.listener_failures,
                 "delta_edges": self.graph.delta_edges,
                 "threshold": self._threshold(),
                 "last_compaction_seconds": self.last_compaction_seconds,

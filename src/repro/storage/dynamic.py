@@ -75,6 +75,12 @@ class _State(NamedTuple):
     vertex_labels: np.ndarray
     version: int
 
+    @property
+    def is_clean(self) -> bool:
+        """Nothing beyond the base: no delta edges, no appended vertices
+        (compaction would be a no-op)."""
+        return self.delta.is_empty and len(self.vertex_labels) == self.base.num_vertices
+
 
 class DynamicGraph:
     """A mutable, versioned graph with MVCC snapshot reads.
@@ -157,14 +163,18 @@ class DynamicGraph:
     # ------------------------------------------------------------------ #
     # writes
     # ------------------------------------------------------------------ #
-    def add_edges(self, edges: Iterable[Tuple[int, ...]]) -> List[Edge]:
+    def add_edges(
+        self, edges: Iterable[Tuple[int, ...]], _normalized: bool = False
+    ) -> List[Edge]:
         """Insert a batch of ``(src, dst[, label])`` edges.
 
         Edges already present are ignored; vertices referenced beyond the
         current id range are created with label 0.  Returns the triples
-        actually inserted.
+        actually inserted.  ``_normalized`` lets callers that already ran
+        :func:`normalize_edges` (the durable write path does, before WAL
+        logging) skip the second validation pass.
         """
-        batch = normalize_edges(edges)
+        batch = list(edges) if _normalized else normalize_edges(edges)
         if not batch:
             return []
         with self._lock:
@@ -188,10 +198,12 @@ class DynamicGraph:
             self._maybe_compact()
             return applied
 
-    def delete_edges(self, edges: Iterable[Tuple[int, ...]]) -> List[Edge]:
+    def delete_edges(
+        self, edges: Iterable[Tuple[int, ...]], _normalized: bool = False
+    ) -> List[Edge]:
         """Delete a batch of edges; missing edges are ignored.  Returns the
         triples actually removed."""
-        batch = normalize_edges(edges)
+        batch = list(edges) if _normalized else normalize_edges(edges)
         if not batch:
             return []
         with self._lock:
@@ -296,7 +308,7 @@ class DynamicGraph:
         """
         with self._lock:
             state = self._state
-            if state.delta.is_empty and len(state.vertex_labels) == state.base.num_vertices:
+            if state.is_clean:
                 return state.base
             snap = GraphSnapshot(
                 base=state.base,
@@ -327,7 +339,7 @@ class DynamicGraph:
         (nothing is installed; the caller may retry against the newer state).
         """
         state = self._state
-        if state.delta.is_empty and len(state.vertex_labels) == state.base.num_vertices:
+        if state.is_clean:
             return True
         snap = GraphSnapshot(
             base=state.base,

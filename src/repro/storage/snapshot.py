@@ -93,6 +93,13 @@ class GraphSnapshot:
         return self.base.num_edges - self.delta.num_deleted + self.delta.num_inserted
 
     @property
+    def is_clean(self) -> bool:
+        """True when this view adds nothing over its base: no delta edges
+        and no appended vertices — the base Graph *is* the state (the
+        predicate compaction and checkpointing use to skip materializing)."""
+        return self.delta.is_empty and len(self.vertex_labels) == self.base.num_vertices
+
+    @property
     def edge_label_values(self) -> np.ndarray:
         if self.delta.is_empty:
             return self.base.edge_label_values

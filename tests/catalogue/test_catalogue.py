@@ -209,3 +209,52 @@ class TestQError:
         assert dist["<=10"] == 3
         assert dist[">20"] == 1
         assert dist["total"] == 4
+
+
+class TestStaleness:
+    """Drift accounting for the sampled mu / |A| entries (the exact per-label
+    edge counts are maintained incrementally and are never stale)."""
+
+    def test_fresh_catalogue_reports_zero(self, social_graph):
+        catalogue = build_catalogue(social_graph, h=2, z=50)
+        assert catalogue.stale_fraction == 0.0
+        assert catalogue.edges_at_build == social_graph.num_edges
+
+    def test_drift_counts_inserts_and_deletes(self, social_graph):
+        catalogue = build_catalogue(social_graph, h=2, z=50)
+        labels = social_graph.vertex_labels
+        catalogue.apply_edge_delta([(0, 1, 0), (1, 2, 0)], [], labels)
+        catalogue.apply_edge_delta([], [(0, 1, 0)], labels)
+        assert catalogue.drift_edges == 3
+        assert catalogue.stale_fraction == pytest.approx(3 / social_graph.num_edges)
+
+    def test_stale_fraction_can_exceed_one(self):
+        catalogue = SubgraphCatalogue()
+        catalogue.edges_at_build = 2
+        catalogue.num_graph_edges = 2
+        labels = np.zeros(10, dtype=np.int64)
+        catalogue.apply_edge_delta([(0, 1, 0), (1, 2, 0), (2, 3, 0)], [], labels)
+        assert catalogue.stale_fraction > 1.0
+
+    def test_rebuild_resets_staleness(self, social_graph):
+        catalogue = build_catalogue(social_graph, h=2, z=50)
+        catalogue.apply_edge_delta([(0, 1, 0)], [], social_graph.vertex_labels)
+        assert catalogue.stale_fraction > 0
+        rebuilt = build_catalogue(social_graph, h=2, z=50)
+        assert rebuilt.stale_fraction == 0.0
+
+    def test_db_exposes_stale_fraction(self, social_graph):
+        from repro.api import GraphflowDB
+
+        db = GraphflowDB(social_graph)
+        assert db.catalogue_stale_fraction == 0.0  # no catalogue yet
+        db.build_catalogue(z=50)
+        assert db.catalogue_stale_fraction == 0.0
+        n = social_graph.num_vertices
+        result = db.apply_updates(inserts=[(0, n - 1, 0), (1, n - 2, 0)])
+        assert db.catalogue_stale_fraction == pytest.approx(
+            result.num_applied / social_graph.num_edges
+        )
+        # Rebuilding the catalogue clears the drift.
+        db.build_catalogue(z=50)
+        assert db.catalogue_stale_fraction == 0.0

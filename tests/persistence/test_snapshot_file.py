@@ -1,0 +1,157 @@
+"""Binary snapshot file format: round trips, atomicity, corruption rejection."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import SnapshotFormatError
+from repro.graph.builder import graph_from_edges
+from repro.graph.generators import clustered_social
+from repro.persistence.snapshot_file import (
+    read_snapshot,
+    read_snapshot_info,
+    write_snapshot,
+)
+
+
+@pytest.fixture()
+def graph():
+    return clustered_social(num_vertices=150, avg_degree=6, seed=7, name="snap-test")
+
+
+def _assert_same_graph(a, b) -> None:
+    assert a.num_vertices == b.num_vertices
+    assert a.num_edges == b.num_edges
+    assert np.array_equal(a.vertex_labels, b.vertex_labels)
+    assert np.array_equal(a.edge_src, b.edge_src)
+    assert np.array_equal(a.edge_dst, b.edge_dst)
+    assert np.array_equal(a.edge_labels, b.edge_labels)
+
+
+class TestRoundTrip:
+    def test_full_read_round_trip(self, graph, tmp_path):
+        path = str(tmp_path / "g.gfs")
+        info = write_snapshot(graph, path, last_seq=42)
+        assert info.last_seq == 42
+        assert info.num_edges == graph.num_edges
+        loaded, loaded_info = read_snapshot(path)
+        _assert_same_graph(graph, loaded)
+        assert loaded.name == graph.name
+        assert loaded_info.last_seq == 42
+
+    def test_mmap_read_is_zero_copy_and_equal(self, graph, tmp_path):
+        path = str(tmp_path / "g.gfs")
+        write_snapshot(graph, path)
+        loaded, _ = read_snapshot(path, mmap=True)
+        _assert_same_graph(graph, loaded)
+        # The stored columns must be backed by the file mapping, not copies.
+        backing = loaded.edge_src.base if loaded.edge_src.base is not None else loaded.edge_src
+        assert isinstance(backing, np.memmap)
+        # Queries still work on a memory-mapped base.
+        assert loaded.has_edge(int(graph.edge_src[0]), int(graph.edge_dst[0]))
+
+    def test_empty_edge_set(self, tmp_path):
+        empty = graph_from_edges([], vertex_labels={0: 0, 1: 1, 2: 0})
+        path = str(tmp_path / "empty.gfs")
+        write_snapshot(empty, path)
+        for mmap in (False, True):
+            loaded, _ = read_snapshot(path, mmap=mmap)
+            assert loaded.num_vertices == 3
+            assert loaded.num_edges == 0
+            assert np.array_equal(loaded.vertex_labels, empty.vertex_labels)
+
+    def test_info_parse_is_cheap_and_consistent(self, graph, tmp_path):
+        path = str(tmp_path / "g.gfs")
+        written = write_snapshot(graph, path, last_seq=5)
+        info = read_snapshot_info(path)
+        assert info.last_seq == 5
+        assert info.num_vertices == graph.num_vertices
+        assert {a["name"] for a in info.arrays} == {
+            "vertex_labels",
+            "edge_src",
+            "edge_dst",
+            "edge_labels",
+        }
+        assert info.file_bytes <= os.path.getsize(path)
+        assert written.arrays == info.arrays
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, graph, tmp_path):
+        path = str(tmp_path / "g.gfs")
+        write_snapshot(graph, path)
+        write_snapshot(graph, path, last_seq=1)  # overwrite in place
+        assert sorted(os.listdir(tmp_path)) == ["g.gfs"]
+        _, info = read_snapshot(path)
+        assert info.last_seq == 1
+
+    def test_failed_write_leaves_no_partial_file(self, graph, tmp_path, monkeypatch):
+        path = str(tmp_path / "g.gfs")
+        monkeypatch.setattr(os, "rename", _boom)
+        with pytest.raises(RuntimeError):
+            write_snapshot(graph, path)
+        assert os.listdir(tmp_path) == []
+
+
+def _boom(*args, **kwargs):
+    raise RuntimeError("injected rename failure")
+
+
+class TestCorruptionRejection:
+    def test_bad_magic(self, graph, tmp_path):
+        path = str(tmp_path / "g.gfs")
+        write_snapshot(graph, path)
+        with open(path, "r+b") as handle:
+            handle.write(b"XXXXXXXX")
+        with pytest.raises(SnapshotFormatError, match="magic"):
+            read_snapshot(path)
+
+    def test_header_bitflip(self, graph, tmp_path):
+        path = str(tmp_path / "g.gfs")
+        write_snapshot(graph, path)
+        with open(path, "r+b") as handle:
+            handle.seek(20)  # inside the JSON header
+            byte = handle.read(1)
+            handle.seek(20)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(SnapshotFormatError):
+            read_snapshot(path)
+
+    def test_array_block_bitflip(self, graph, tmp_path):
+        path = str(tmp_path / "g.gfs")
+        info = write_snapshot(graph, path)
+        offset = info.arrays[1]["offset"] + 3  # inside edge_src
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0x01]))
+        with pytest.raises(SnapshotFormatError, match="checksum"):
+            read_snapshot(path)
+
+    def test_truncated_file(self, graph, tmp_path):
+        path = str(tmp_path / "g.gfs")
+        write_snapshot(graph, path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 16)
+        with pytest.raises(SnapshotFormatError):
+            read_snapshot(path)
+
+    def test_mmap_verify_flag_detects_corruption(self, graph, tmp_path):
+        path = str(tmp_path / "g.gfs")
+        info = write_snapshot(graph, path)
+        offset = info.arrays[2]["offset"]
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0x10]))
+        # Default mmap open skips the full scan...
+        read_snapshot(path, mmap=True)
+        # ...but an explicit verify catches the flip.
+        with pytest.raises(SnapshotFormatError, match="checksum"):
+            read_snapshot(path, mmap=True, verify=True)

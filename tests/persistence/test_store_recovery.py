@@ -1,0 +1,265 @@
+"""DurableGraphStore: recovery equivalence, checkpoints, damage tolerance."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persistence.store import DurableGraphStore, snapshot_filename
+from repro.storage.dynamic import DynamicGraph
+
+from tests.persistence.conftest import (
+    apply_batch,
+    assert_graphs_equal,
+    random_workload,
+)
+
+
+def _store_apply(store: DurableGraphStore, batch) -> int:
+    inserts, deletes, labels = batch
+    seq, _ = store.log_and_apply(
+        inserts, deletes, labels, lambda: apply_batch(store.dynamic, batch)
+    )
+    return seq
+
+
+class TestRecoveryEquivalence:
+    """Crash (no close, no checkpoint), reopen, compare the full read API
+    against an in-memory reference that never restarted."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_replay_matches_in_memory(self, base_graph, tmp_path, seed):
+        rng = np.random.default_rng(seed)
+        batches = random_workload(base_graph, rng)
+        store = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        reference = DynamicGraph(base_graph, auto_compact=False)
+        for batch in batches:
+            _store_apply(store, batch)
+            apply_batch(reference, batch)
+        store.wal.sync()
+        del store  # crash: no close, no checkpoint
+
+        recovered = DurableGraphStore.open(str(tmp_path / "store"))
+        assert recovered.recovery.replayed_records == len(batches)
+        assert_graphs_equal(recovered.dynamic.snapshot(), reference.snapshot())
+        recovered.close(checkpoint=False)
+
+    def test_mid_stream_checkpoint_then_crash(self, base_graph, tmp_path):
+        rng = np.random.default_rng(77)
+        batches = random_workload(base_graph, rng, rounds=10)
+        store = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        reference = DynamicGraph(base_graph, auto_compact=False)
+        for i, batch in enumerate(batches):
+            _store_apply(store, batch)
+            apply_batch(reference, batch)
+            if i == 5:
+                assert store.checkpoint() is not None
+        store.wal.sync()
+        checkpoint_seq = store.snapshot_seq
+        del store
+
+        recovered = DurableGraphStore.open(str(tmp_path / "store"))
+        # Only the post-checkpoint tail is replayed.
+        assert recovered.snapshot_seq == checkpoint_seq
+        assert recovered.recovery.replayed_records == len(batches) - 6
+        assert_graphs_equal(recovered.dynamic.snapshot(), reference.snapshot())
+        recovered.close(checkpoint=False)
+
+    def test_graceful_close_replays_nothing(self, base_graph, tmp_path):
+        rng = np.random.default_rng(3)
+        batches = random_workload(base_graph, rng, rounds=4)
+        store = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        reference = DynamicGraph(base_graph, auto_compact=False)
+        for batch in batches:
+            _store_apply(store, batch)
+            apply_batch(reference, batch)
+        store.close()  # graceful: final checkpoint
+
+        recovered = DurableGraphStore.open(str(tmp_path / "store"))
+        assert recovered.recovery.replayed_records == 0
+        assert_graphs_equal(recovered.dynamic.snapshot(), reference.snapshot())
+        recovered.close(checkpoint=False)
+
+    def test_mmap_recovery_equivalence(self, base_graph, tmp_path):
+        rng = np.random.default_rng(11)
+        batches = random_workload(base_graph, rng, rounds=3)
+        store = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        reference = DynamicGraph(base_graph, auto_compact=False)
+        for batch in batches:
+            _store_apply(store, batch)
+            apply_batch(reference, batch)
+        store.close()
+
+        recovered = DurableGraphStore.open(str(tmp_path / "store"), mmap=True)
+        backing = recovered.dynamic.base.edge_src
+        backing = backing.base if backing.base is not None else backing
+        assert isinstance(backing, np.memmap)
+        assert_graphs_equal(recovered.dynamic.snapshot(), reference.snapshot())
+        recovered.close(checkpoint=False)
+
+
+class TestTornWALTail:
+    """Damage the WAL tail at random byte offsets: recovery must yield the
+    state after exactly the longest durable prefix of batches."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_tail_damage(self, base_graph, tmp_path, seed):
+        rng = np.random.default_rng(100 + seed)
+        batches = random_workload(base_graph, rng, rounds=8)
+        store = DurableGraphStore.open(
+            str(tmp_path / "store"), graph=base_graph, sync_every=1
+        )
+        boundaries = []
+        for batch in batches:
+            _store_apply(store, batch)
+            boundaries.append(os.path.getsize(store.wal.active_segment))
+        segment = store.wal.active_segment
+        del store  # crash
+
+        header_end = 16  # segment magic + base_seq
+        damage_at = int(rng.integers(header_end, boundaries[-1]))
+        mode = rng.random()
+        if mode < 0.5:
+            with open(segment, "r+b") as handle:
+                handle.truncate(damage_at)
+        else:
+            with open(segment, "r+b") as handle:
+                handle.seek(damage_at)
+                byte = handle.read(1)
+                handle.seek(damage_at)
+                handle.write(bytes([byte[0] ^ 0x40]))
+        surviving = sum(1 for b in boundaries if b <= damage_at)
+
+        recovered = DurableGraphStore.open(str(tmp_path / "store"))
+        assert recovered.recovery.replayed_records == surviving
+        expected = DynamicGraph(base_graph, auto_compact=False)
+        for batch in batches[:surviving]:
+            apply_batch(expected, batch)
+        assert_graphs_equal(recovered.dynamic.snapshot(), expected.snapshot())
+        # The recovered store accepts new durable writes immediately.
+        seq = _store_apply(recovered, ([(0, 1, 0)], [], None))
+        assert seq == surviving + 1
+        recovered.close(checkpoint=False)
+
+
+class TestSnapshotFallback:
+    def test_corrupt_newest_snapshot_falls_back_and_replays(self, base_graph, tmp_path):
+        rng = np.random.default_rng(55)
+        batches = random_workload(base_graph, rng, rounds=6)
+        store = DurableGraphStore.open(
+            str(tmp_path / "store"), graph=base_graph, keep_snapshots=2
+        )
+        reference = DynamicGraph(base_graph, auto_compact=False)
+        for i, batch in enumerate(batches):
+            _store_apply(store, batch)
+            apply_batch(reference, batch)
+            if i == 2:
+                store.checkpoint()
+        store.close()  # second checkpoint at the final seq
+        newest = os.path.join(
+            str(tmp_path / "store"), "snapshots", snapshot_filename(store.last_seq)
+        )
+        assert os.path.exists(newest)
+        with open(newest, "r+b") as handle:
+            handle.seek(200)
+            byte = handle.read(1)
+            handle.seek(200)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+        recovered = DurableGraphStore.open(str(tmp_path / "store"))
+        assert recovered.recovery.skipped_snapshots == [newest]
+        assert recovered.recovery.replayed_records == len(batches) - 3
+        assert_graphs_equal(recovered.dynamic.snapshot(), reference.snapshot())
+        recovered.close(checkpoint=False)
+
+    def test_checkpoint_prunes_old_snapshots(self, base_graph, tmp_path):
+        store = DurableGraphStore.open(
+            str(tmp_path / "store"), graph=base_graph, keep_snapshots=2
+        )
+        for i in range(4):
+            _store_apply(store, ([(0, 100 + i, 0)], [], None))
+            store.checkpoint()
+        snapshots = os.listdir(tmp_path / "store" / "snapshots")
+        assert len(snapshots) == 2
+        store.close(checkpoint=False)
+
+
+class TestOpenGuards:
+    def test_empty_dir_without_graph(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no bootstrap graph"):
+            DurableGraphStore.open(str(tmp_path / "missing"))
+
+    def test_wal_without_snapshot_refuses_bootstrap(self, base_graph, tmp_path):
+        store = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        _store_apply(store, ([(0, 1, 0)], [], None))
+        store.close(checkpoint=False)
+        for name in os.listdir(tmp_path / "store" / "snapshots"):
+            os.unlink(tmp_path / "store" / "snapshots" / name)
+        with pytest.raises(PersistenceError, match="without a valid snapshot"):
+            DurableGraphStore.open(str(tmp_path / "store"))
+        with pytest.raises(PersistenceError, match="refusing to bootstrap"):
+            DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+
+    def test_closed_store_rejects_writes_and_checkpoints(self, base_graph, tmp_path):
+        store = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        store.close()
+        with pytest.raises(PersistenceError):
+            _store_apply(store, ([(0, 1, 0)], [], None))
+        with pytest.raises(PersistenceError):
+            store.checkpoint()
+
+
+class TestBootstrapOverCorruptStore:
+    def test_all_snapshots_corrupt_refuses_bootstrap(self, base_graph, tmp_path):
+        """Corrupt snapshots with an empty WAL must not be silently
+        re-initialized — bootstrap would mask the data loss."""
+        store = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        store.close()  # clean: WAL pruned down to the active empty segment
+        snap_dir = tmp_path / "store" / "snapshots"
+        for name in os.listdir(snap_dir):
+            with open(snap_dir / name, "r+b") as handle:
+                handle.write(b"XXXXXXXX")
+        # Remove WAL segments too: only unreadable snapshots remain.
+        wal_dir = tmp_path / "store" / "wal"
+        for name in os.listdir(wal_dir):
+            os.unlink(wal_dir / name)
+        with pytest.raises(PersistenceError, match="refusing to bootstrap"):
+            DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+
+
+class TestStoreLock:
+    def test_foreign_live_process_lock_refused(self, base_graph, tmp_path):
+        store_dir = tmp_path / "store"
+        store = DurableGraphStore.open(str(store_dir), graph=base_graph)
+        store.close()
+        # Simulate another *running* process holding the store (pid 1 is
+        # always alive).
+        (store_dir / "LOCK").write_text("1")
+        with pytest.raises(PersistenceError, match="locked by running process 1"):
+            DurableGraphStore.open(str(store_dir))
+
+    def test_stale_lock_from_dead_process_is_reclaimed(self, base_graph, tmp_path):
+        store_dir = tmp_path / "store"
+        store = DurableGraphStore.open(str(store_dir), graph=base_graph)
+        store.close()
+        (store_dir / "LOCK").write_text("999999999")  # no such pid
+        reopened = DurableGraphStore.open(str(store_dir))
+        assert reopened.recovery.replayed_records == 0
+        reopened.close()
+        assert not (store_dir / "LOCK").exists()
+
+    def test_same_process_crash_sim_reclaims_lock(self, base_graph, tmp_path):
+        store_dir = tmp_path / "store"
+        store = DurableGraphStore.open(str(store_dir), graph=base_graph)
+        del store  # in-process crash: lock file left behind with our pid
+        reopened = DurableGraphStore.open(str(store_dir))
+        reopened.close()
+
+    def test_failed_open_releases_lock(self, tmp_path):
+        store_dir = tmp_path / "store"
+        with pytest.raises(PersistenceError, match="no bootstrap graph"):
+            DurableGraphStore.open(str(store_dir))
+        assert not (store_dir / "LOCK").exists()

@@ -197,3 +197,104 @@ class TestWiring:
         service.close()
         assert db.compaction_manager is manager and manager.running
         db.disable_background_compaction()
+
+
+class TestCompactionPacing:
+    def test_min_interval_skips_threshold_triggers(self):
+        """With a long pacing floor, a second threshold crossing right after
+        an installed compaction is skipped instead of thrashing."""
+        dynamic = DynamicGraph(_chain_graph(), compact_ratio=0.0, compact_min_edges=1)
+        manager = CompactionManager(
+            dynamic,
+            compact_ratio=0.0,
+            min_delta_edges=1,
+            poll_interval_seconds=0.005,
+            min_interval_seconds=60.0,
+        )
+        with manager:
+            dynamic.add_edges([(0, i) for i in range(2, 10)])
+            assert _wait_until(lambda: manager.compactions == 1)
+            # Cross the threshold again: the pacing window is open for 60s,
+            # so the manager must skip rather than compact.
+            dynamic.add_edges([(1, i) for i in range(3, 12)])
+            assert _wait_until(lambda: manager.stats()["paced_skips"] >= 1)
+            assert manager.compactions == 1
+            assert dynamic.delta_edges > 0  # overlay intentionally left dirty
+        # stats() reports the pacing counter.
+        assert manager.stats()["paced_skips"] >= 1
+
+    def test_zero_interval_disables_pacing(self):
+        dynamic = DynamicGraph(_chain_graph(), compact_ratio=0.0, compact_min_edges=1)
+        manager = CompactionManager(
+            dynamic,
+            compact_ratio=0.0,
+            min_delta_edges=1,
+            poll_interval_seconds=0.005,
+            min_interval_seconds=0.0,
+        )
+        with manager:
+            dynamic.add_edges([(0, i) for i in range(2, 10)])
+            assert _wait_until(lambda: manager.compactions >= 1)
+            dynamic.add_edges([(1, i) for i in range(3, 12)])
+            assert _wait_until(lambda: manager.compactions >= 2)
+        assert manager.stats()["paced_skips"] == 0
+
+    def test_explicit_compact_now_bypasses_pacing(self):
+        dynamic = DynamicGraph(_chain_graph(), compact_ratio=0.0, compact_min_edges=1)
+        manager = CompactionManager(
+            dynamic, compact_ratio=0.0, min_delta_edges=1, min_interval_seconds=60.0
+        )
+        try:
+            dynamic.add_edges([(0, i) for i in range(2, 10)])
+            assert manager.compact_now()
+            dynamic.add_edges([(1, i) for i in range(3, 12)])
+            assert manager.compact_now()  # pacing does not gate explicit calls
+            assert manager.compactions == 2
+        finally:
+            manager.stop()
+
+    def test_db_plumbs_min_interval(self):
+        db = GraphflowDB(_chain_graph())
+        manager = db.enable_background_compaction(min_interval_seconds=12.5)
+        assert manager.min_interval_seconds == 12.5
+        # Re-enabling updates the pacing floor on the existing manager.
+        assert db.enable_background_compaction(min_interval_seconds=0.5) is manager
+        assert manager.min_interval_seconds == 0.5
+        db.disable_background_compaction()
+
+    def test_service_plumbs_min_interval(self):
+        db = GraphflowDB(_chain_graph())
+        service = QueryService(
+            db,
+            background_compaction=True,
+            compaction_min_interval_seconds=7.0,
+        )
+        assert db.compaction_manager.min_interval_seconds == 7.0
+        service.close()
+
+
+class TestCompactionListener:
+    def test_listener_failure_does_not_kill_the_loop(self):
+        """A raising checkpoint listener is counted, not propagated — the
+        manager keeps compacting afterwards."""
+        dynamic = DynamicGraph(_chain_graph(), compact_ratio=0.0, compact_min_edges=1)
+        manager = CompactionManager(dynamic, compact_ratio=0.0, min_delta_edges=1)
+        calls = []
+
+        def bad_listener():
+            calls.append(True)
+            raise OSError("disk full")
+
+        manager.set_compaction_listener(bad_listener)
+        try:
+            dynamic.add_edges([(0, i) for i in range(2, 8)])
+            assert manager.compact_now()
+            assert calls and manager.stats()["listener_failures"] == 1
+            assert manager.stats()["checkpoints_triggered"] == 0
+            # Still operational: a healthy listener works on the next pass.
+            manager.set_compaction_listener(lambda: calls.append(True))
+            dynamic.add_edges([(1, i) for i in range(3, 9)])
+            assert manager.compact_now()
+            assert manager.stats()["checkpoints_triggered"] == 1
+        finally:
+            manager.stop()
