@@ -33,7 +33,9 @@ from repro.executor.parallel import ParallelResult, execute_parallel
 from repro.executor.pipeline import ExecutionResult, execute_plan
 from repro.graph.graph import Graph
 from repro.graph.schema import GraphSchema
-from repro.planner.cost_model import CostModel, constants_for
+from repro.obs import Observability
+from repro.obs.trace import QueryTrace, operator_stats_from_profile
+from repro.planner.cost_model import CostModel, annotate_operator_estimates, constants_for
 from repro.planner.dp_optimizer import DynamicProgrammingOptimizer
 from repro.planner.full_enumeration import FullEnumerationOptimizer
 from repro.planner.plan import Plan
@@ -89,6 +91,9 @@ class QueryResult:
     matches: Optional[List[dict]] = None
     truncated: bool = False
     deadline_exceeded: bool = False
+    # The per-query observability record (spans, per-operator actual-vs-
+    # estimated cardinalities); None when tracing is disabled.
+    trace: Optional[QueryTrace] = None
 
     def __repr__(self) -> str:
         return (
@@ -106,6 +111,7 @@ class GraphflowDB:
         catalogue: Optional[SubgraphCatalogue] = None,
         schema: Optional[GraphSchema] = None,
         plan_cache_capacity: int = 128,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.graph = graph
         self.catalogue = catalogue
@@ -136,6 +142,51 @@ class GraphflowDB:
         # attached, every apply_updates batch is WAL-logged before its
         # in-memory delta commit, and compactions checkpoint the WAL away.
         self.durable_store: Optional[DurableGraphStore] = None
+        # Unified observability (metrics registry, trace ring, cardinality
+        # feedback).  Collectors pull the ad-hoc stats surfaces lazily at
+        # scrape time, so attaching them here costs nothing per query.
+        self.obs = obs if obs is not None else Observability()
+        registry = self.obs.registry
+        registry.register_collector("plan_cache", self._plan_cache_stats)
+        registry.register_collector("compaction", self._compaction_stats)
+        registry.register_collector("persistence", self._persistence_stats)
+        registry.register_collector(
+            "db",
+            lambda: {
+                "graph_version": self.graph_version,
+                "planner_invocations": self.planner_invocations,
+                "catalogue_stale_fraction": self.catalogue_stale_fraction,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def _plan_cache_stats(self) -> dict:
+        return self.plan_cache.stats.as_dict() if self.plan_cache is not None else {}
+
+    def _compaction_stats(self) -> dict:
+        manager = self.compaction_manager
+        return manager.stats() if manager is not None else {}
+
+    def _persistence_stats(self) -> dict:
+        store = self.durable_store
+        return store.stats() if store is not None and not store.closed else {}
+
+    def stats(self) -> dict:
+        """One dict across every stats surface of the database: planner and
+        graph state, plan cache, compaction, persistence, trace ring, and
+        cardinality feedback.  (A :class:`~repro.server.service.QueryService`
+        layers request-level metrics on top of this.)"""
+        return {
+            "graph_version": self.graph_version,
+            "planner_invocations": self.planner_invocations,
+            "catalogue_stale_fraction": self.catalogue_stale_fraction,
+            "plan_cache": self._plan_cache_stats(),
+            "compaction": self._compaction_stats(),
+            "persistence": self._persistence_stats(),
+            "observability": self.obs.stats(),
+        }
 
     # ------------------------------------------------------------------ #
     # durability
@@ -350,13 +401,15 @@ class GraphflowDB:
 
             wal_seq: Optional[int] = None
             has_payload = bool(insert_batch or delete_batch or vertex_labels)
+            commit_start = time.perf_counter()
             if has_payload and self.durable_store is not None and not self.durable_store.closed:
                 wal_seq, (new_ids, inserted, deleted) = self.durable_store.log_and_apply(
                     insert_batch, delete_batch, vertex_labels, _commit
                 )
             else:
                 new_ids, inserted, deleted = _commit()
-            return UpdateResult(
+            commit_seconds = time.perf_counter() - commit_start
+            result = UpdateResult(
                 inserted=inserted,
                 deleted=deleted,
                 new_vertices=new_ids,
@@ -365,6 +418,26 @@ class GraphflowDB:
                 compacted=dynamic.compactions > compactions_before,
                 wal_seq=wal_seq,
             )
+            if self.obs.enabled:
+                trace = QueryTrace(
+                    query_name="apply_updates",
+                    kind="update",
+                    status="ok",
+                    mode="update",
+                    num_matches=result.num_applied,
+                    total_seconds=result.elapsed_seconds,
+                )
+                trace.add_span(
+                    "normalise", commit_start - start,
+                    inserts=len(insert_batch), deletes=len(delete_batch),
+                )
+                span_name = "wal_append" if wal_seq is not None else "commit"
+                trace.add_span(
+                    span_name, commit_seconds,
+                    wal_seq=wal_seq, version=result.version, compacted=result.compacted,
+                )
+                self.obs.record_update(trace)
+            return result
 
     def enable_background_compaction(
         self,
@@ -541,7 +614,10 @@ class GraphflowDB:
             optimizer = DynamicProgrammingOptimizer(
                 cost_model, enable_binary_joins=enable_binary_joins
             )
-        return optimizer.optimize(query)
+        plan = optimizer.optimize(query)
+        # Stamp per-operator cardinality estimates onto the plan so every
+        # later execution (including plan-cache hits) can report q-errors.
+        return annotate_operator_estimates(plan, cost_model)
 
     def explain(self, query: Union[QueryGraph, str]) -> str:
         """A human-readable description of the chosen plan with its costs."""
@@ -613,12 +689,27 @@ class GraphflowDB:
                 "adaptive ordering selection or match collection."
             )
         effective_vectorized = bool(config.vectorized) if config is not None else False
+        tracing = self.obs.enabled
         if isinstance(query, Plan):
             plan = query
             query_graph = plan.query
+            plan_seconds = 0.0
+            plan_cached: Optional[bool] = None
+            feedback_key: Optional[tuple] = ("plan", plan.signature()) if tracing else None
         else:
             query_graph = self._as_query(query)
+            # Cache-hit detection is best-effort: under concurrent planning
+            # another thread's optimizer run can shift the counter.
+            invocations_before = self.planner_invocations
+            plan_start = time.perf_counter()
             plan = self.plan(query_graph, vectorized=effective_vectorized)
+            plan_seconds = time.perf_counter() - plan_start
+            plan_cached = self.planner_invocations == invocations_before
+            feedback_key = (
+                (query_graph.canonical_key(), False, True, effective_vectorized)
+                if tracing
+                else None
+            )
 
         # Queries over a DynamicGraph read a pinned MVCC snapshot, so
         # concurrent writers cannot change the matches mid-execution.  The
@@ -631,6 +722,24 @@ class GraphflowDB:
             parallel: ParallelResult = execute_parallel(
                 plan, exec_graph, num_workers=num_workers, config=config
             )
+            trace = (
+                self._record_query_trace(
+                    query_graph,
+                    plan,
+                    mode="parallel",
+                    num_matches=parallel.num_matches,
+                    elapsed_seconds=parallel.elapsed_seconds,
+                    profile=parallel.profile,
+                    plan_seconds=plan_seconds,
+                    plan_cached=plan_cached,
+                    truncated=parallel.truncated,
+                    deadline_exceeded=parallel.deadline_exceeded,
+                    feedback_key=feedback_key,
+                    num_workers=num_workers,
+                )
+                if tracing
+                else None
+            )
             return QueryResult(
                 query=query_graph,
                 plan=plan,
@@ -640,6 +749,7 @@ class GraphflowDB:
                 intermediate_matches=parallel.profile.intermediate_matches,
                 truncated=parallel.truncated,
                 deadline_exceeded=parallel.deadline_exceeded,
+                trace=trace,
             )
         if adaptive:
             result: ExecutionResult = execute_adaptive(
@@ -651,6 +761,27 @@ class GraphflowDB:
         if collect:
             matches = result.matches_as_dicts()
             matches = self._translate_match_names(matches, plan.query, query_graph)
+        if tracing:
+            mode = (
+                "adaptive"
+                if adaptive
+                else ("vectorized" if effective_vectorized else "iterator")
+            )
+            trace = self._record_query_trace(
+                query_graph,
+                plan,
+                mode=mode,
+                num_matches=result.num_matches,
+                elapsed_seconds=result.elapsed_seconds,
+                profile=result.profile,
+                plan_seconds=plan_seconds,
+                plan_cached=plan_cached,
+                truncated=result.truncated,
+                deadline_exceeded=result.deadline_exceeded,
+                feedback_key=feedback_key,
+            )
+        else:
+            trace = None
         return QueryResult(
             query=query_graph,
             plan=plan,
@@ -661,7 +792,57 @@ class GraphflowDB:
             matches=matches,
             truncated=result.truncated,
             deadline_exceeded=result.deadline_exceeded,
+            trace=trace,
         )
+
+    def _record_query_trace(
+        self,
+        query_graph: QueryGraph,
+        plan: Plan,
+        *,
+        mode: str,
+        num_matches: int,
+        elapsed_seconds: float,
+        profile,
+        plan_seconds: float,
+        plan_cached: Optional[bool],
+        truncated: bool,
+        deadline_exceeded: bool,
+        feedback_key: Optional[tuple],
+        num_workers: int = 1,
+    ) -> QueryTrace:
+        """Assemble and record the trace of one executed query.
+
+        Operator rows join the executor's actual per-operator output counts
+        with the estimates annotated on the plan at optimization time; a
+        truncated iterator run may have produced no per-operator accounting
+        (generators only finalise their counters when fully drained), in
+        which case the trace simply carries no operator rows and the
+        execution contributes no cardinality feedback.
+        """
+        status = (
+            "deadline" if deadline_exceeded else ("truncated" if truncated else "ok")
+        )
+        trace = QueryTrace(
+            query_name=query_graph.name,
+            mode=mode,
+            status=status,
+            num_matches=num_matches,
+            total_seconds=plan_seconds + elapsed_seconds,
+            plan_type=plan.plan_type,
+            plan_cached=plan_cached,
+        )
+        trace.add_span("plan", plan_seconds, cached=plan_cached, plan_type=plan.plan_type)
+        exec_attrs = {"mode": mode}
+        if num_workers > 1:
+            exec_attrs["num_workers"] = num_workers
+        trace.add_span("execute", elapsed_seconds, **exec_attrs)
+        trace.operators = operator_stats_from_profile(
+            profile.per_operator, profile.operator_seconds, plan.operator_estimates
+        )
+        trace.profile = profile.as_dict()
+        self.obs.record_query(trace, feedback_key=feedback_key)
+        return trace
 
     @staticmethod
     def _translate_match_names(

@@ -79,14 +79,101 @@ def cmd_datasets(_: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    graph = datasets.load(args.dataset, scale=args.scale)
-    stats = compute_statistics(graph)
-    print(f"{graph}")
-    print(f"  out-degree: mean={stats.out_degrees.mean:.2f} max={stats.out_degrees.maximum}")
-    print(f"  in-degree:  mean={stats.in_degrees.mean:.2f} max={stats.in_degrees.maximum}")
-    print(f"  reciprocity: {stats.reciprocity:.3f}")
-    print(f"  average clustering: {stats.average_clustering:.3f}")
-    print(f"  triangle estimate: {stats.triangle_estimate:.0f}")
+    """Without ``--queries``: structural statistics of a dataset (original
+    behaviour).  With ``--queries``: run a short workload through a
+    :class:`QueryService` and print the unified service/database counters —
+    the same data :meth:`QueryService.stats` exposes from Python — as a
+    table or, with ``--json``, as one JSON document."""
+    import json
+
+    if not args.queries:
+        graph = datasets.load(args.dataset, scale=args.scale)
+        stats = compute_statistics(graph)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "graph": graph.name,
+                        "num_vertices": graph.num_vertices,
+                        "num_edges": graph.num_edges,
+                        "out_degree_mean": stats.out_degrees.mean,
+                        "out_degree_max": stats.out_degrees.maximum,
+                        "in_degree_mean": stats.in_degrees.mean,
+                        "in_degree_max": stats.in_degrees.maximum,
+                        "reciprocity": stats.reciprocity,
+                        "average_clustering": stats.average_clustering,
+                        "triangle_estimate": stats.triangle_estimate,
+                    },
+                    indent=2,
+                )
+            )
+            return 0
+        print(f"{graph}")
+        print(f"  out-degree: mean={stats.out_degrees.mean:.2f} max={stats.out_degrees.maximum}")
+        print(f"  in-degree:  mean={stats.in_degrees.mean:.2f} max={stats.in_degrees.maximum}")
+        print(f"  reciprocity: {stats.reciprocity:.3f}")
+        print(f"  average clustering: {stats.average_clustering:.3f}")
+        print(f"  triangle estimate: {stats.triangle_estimate:.0f}")
+        return 0
+
+    from repro.server.service import QueryService
+
+    db = _load_db(args)
+    names = [n.strip() for n in args.queries.split(",") if n.strip()]
+    workload = [_resolve_query(names[i % len(names)]) for i in range(args.requests)]
+    with QueryService(db, vectorized=args.vectorized) as service:
+        service.execute_batch(workload)
+        if args.json:
+            stats = service.stats()
+            stats["db"] = db.stats()
+            print(json.dumps(stats, indent=2, default=str))
+        else:
+            print(
+                format_table(
+                    service.stats_rows(),
+                    title=f"service stats after {len(workload)} queries ({','.join(names)})",
+                )
+            )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Execute one query and print its full trace: spans (plan/cache lookup,
+    execution) and per-operator actual-vs-estimated cardinalities with
+    q-errors."""
+    import json
+
+    db = _load_db(args)
+    query = _resolve_query(args.query)
+    result = db.execute(
+        query,
+        adaptive=args.adaptive,
+        num_workers=args.workers,
+        vectorized=True if args.vectorized else None,
+    )
+    trace = result.trace
+    if trace is None:  # pragma: no cover - tracing is on by default
+        print("error: tracing is disabled on this database", file=sys.stderr)
+        return 1
+    if args.repeat > 1:
+        for _ in range(args.repeat - 1):
+            result = db.execute(
+                query,
+                adaptive=args.adaptive,
+                num_workers=args.workers,
+                vectorized=True if args.vectorized else None,
+            )
+            trace = result.trace
+    if args.json:
+        print(json.dumps(trace.as_dict(), indent=2, default=str))
+    else:
+        print(trace.describe())
+        feedback = db.obs.feedback.stats()
+        if feedback["plans_tracked"]:
+            print(
+                f"cardinality feedback: {feedback['plans_tracked']} plan(s) tracked, "
+                f"max q-error {feedback['max_q_error']:.2f}"
+            )
     return 0
 
 
@@ -201,6 +288,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_seconds=args.deadline,
         default_row_limit=args.row_limit,
         vectorized=args.vectorized,
+        slow_query_seconds=args.slow_query_seconds,
     ) as service:
         start = time.perf_counter()
         results = service.execute_batch(workload)
@@ -216,6 +304,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"statuses: {by_status}")
         print(format_table(service.stats_rows(), title="serving metrics"))
+        if args.slow_query_seconds is not None:
+            slow = service.slow_queries()
+            print(f"slow queries (≥ {args.slow_query_seconds}s): {len(slow)}")
+        if args.metrics_dump:
+            exposition = service.metrics_prometheus()
+            if args.metrics_dump == "-":
+                print(exposition, end="")
+            else:
+                with open(args.metrics_dump, "w", encoding="utf-8") as handle:
+                    handle.write(exposition)
+                print(f"wrote Prometheus metrics to {args.metrics_dump}")
     if db.durable_store is not None:
         db.close()  # graceful shutdown: final checkpoint + WAL truncate
         print(
@@ -365,10 +464,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list dataset archetypes").set_defaults(func=cmd_datasets)
 
-    stats = sub.add_parser("stats", help="structural statistics of a dataset")
-    stats.add_argument("--dataset", default="amazon")
-    stats.add_argument("--scale", type=float, default=0.25)
+    stats = sub.add_parser(
+        "stats",
+        help="structural statistics of a dataset, or (with --queries) the "
+        "service/database counters after a short workload",
+    )
+    add_common(stats)
+    stats.add_argument(
+        "--queries",
+        default=None,
+        help="comma-separated query mix; when given, run them through a "
+        "QueryService and print serving stats instead of graph structure",
+    )
+    stats.add_argument(
+        "--requests", type=int, default=8, help="workload size for --queries mode"
+    )
+    stats.add_argument(
+        "--vectorized", action="store_true", help="serve the workload vectorized"
+    )
+    stats.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="execute one query and print its trace (spans + per-operator q-error)"
+    )
+    add_common(trace)
+    trace.add_argument("--query", required=True)
+    trace.add_argument("--adaptive", action="store_true")
+    trace.add_argument("--workers", type=int, default=1)
+    trace.add_argument(
+        "--vectorized",
+        action="store_true",
+        help="execute with the batch-at-a-time (columnar) engine",
+    )
+    trace.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="execute N times and show the last trace (N>1 exercises the plan cache)",
+    )
+    trace.add_argument("--json", action="store_true", help="emit the trace as JSON")
+    trace.set_defaults(func=cmd_trace)
 
     run = sub.add_parser("run", help="plan and execute a query")
     add_common(run)
@@ -451,6 +587,21 @@ def build_parser() -> argparse.ArgumentParser:
         dest="data_dir",
         help="serve durably from this store directory (recover it if it "
         "exists, else bootstrap it from --dataset); checkpoints on exit",
+    )
+    serve.add_argument(
+        "--metrics-dump",
+        default=None,
+        dest="metrics_dump",
+        metavar="PATH",
+        help="after the workload, dump the metrics registry in Prometheus "
+        "text format to PATH ('-' for stdout)",
+    )
+    serve.add_argument(
+        "--slow-query-seconds",
+        type=float,
+        default=None,
+        dest="slow_query_seconds",
+        help="log and retain queries at least this slow (the slow-query log)",
     )
     serve.set_defaults(func=cmd_serve)
 

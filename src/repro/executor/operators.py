@@ -236,7 +236,7 @@ class ScanOperator(Operator):
             emitted += 1
             yield (v, u) if self._reversed else (u, v)
         self._emit(emitted)
-        self.profile.record_operator(f"SCAN[{edge!r}]", out=emitted)
+        self.profile.record_operator(self.scan_node.display_name(), out=emitted)
 
 
 class ExtendIntersectOperator(Operator):
@@ -319,9 +319,7 @@ class ExtendIntersectOperator(Operator):
             for w in new_vertices:
                 yield t + (w,)
         self._emit(emitted)
-        self.profile.record_operator(
-            f"E/I[->{self.extend_node.to_vertex}]", out=emitted
-        )
+        self.profile.record_operator(self.extend_node.display_name(), out=emitted)
 
 
 class HashJoinOperator(Operator):
@@ -382,7 +380,7 @@ class HashJoinOperator(Operator):
                 yield out
         self._emit(emitted)
         self.profile.record_operator(
-            f"HASH-JOIN[{','.join(self.join_node.join_vertices)}]",
+            self.join_node.display_name(),
             out=emitted,
             entries=entries,
         )

@@ -142,6 +142,9 @@ def execute_parallel(
     elapsed = time.perf_counter() - start_time
     merged.elapsed_seconds = elapsed
     merged.output_matches = total
+    # The fold above merged one profile per *morsel*; the meaningful
+    # busy-vs-wall normalisation factor is the thread count.
+    merged.workers = num_workers
     return ParallelResult(
         plan=plan,
         num_matches=total,

@@ -26,11 +26,22 @@ class ExecutionProfile:
     hash_table_entries: int = 0
     hash_probes: int = 0
     batches: int = 0
+    # Wall-clock duration of the run.  Under `merge` this takes the max of
+    # the two sides: parallel morsels overlap in time, so their wall clocks
+    # must not be added.
     elapsed_seconds: float = 0.0
     per_operator: Dict[str, Dict[str, int]] = field(default_factory=dict)
-    # Wall-clock seconds spent inside each operator's own batch processing
-    # (vectorized mode only; the iterator pipeline interleaves operators).
+    # Busy seconds spent inside each operator's own frame processing
+    # (vectorized mode only; the iterator pipeline interleaves operators in
+    # one generator chain, so per-operator time is not separable there).
+    # Unlike `elapsed_seconds` this is a *work* quantity: `merge` sums it, so
+    # after a parallel run an operator's busy seconds can legitimately exceed
+    # `elapsed_seconds` — compare against `elapsed_seconds * workers`.
     operator_seconds: Dict[str, float] = field(default_factory=dict)
+    # Number of worker profiles folded into this one (1 for a serial run).
+    # The normalisation factor between the summed busy-second fields and the
+    # max-ed wall-clock field.
+    workers: int = 1
 
     # ------------------------------------------------------------------ #
     def record_intersection(self, accessed_list_sizes: int) -> None:
@@ -67,8 +78,25 @@ class ExecutionProfile:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def busy_seconds(self) -> float:
+        """Total operator busy time (summed across workers and operators)."""
+        return sum(self.operator_seconds.values())
+
     def merge(self, other: "ExecutionProfile") -> "ExecutionProfile":
-        """Combine two profiles (used by the parallel executor)."""
+        """Combine two profiles (used by the parallel executor).
+
+        Merge semantics are field-kind dependent and deliberate:
+
+        * **work** fields (counters, `per_operator`, `operator_seconds`) are
+          *summed* — two morsels each reading N list elements did 2N work;
+        * **wall-clock** (`elapsed_seconds`) takes the *max* — morsels run
+          concurrently, so their wall clocks overlap rather than add.
+
+        This means per-operator busy seconds are CPU-seconds across all
+        workers, not wall time: divide by `workers` for a per-worker mean, or
+        compare against `elapsed_seconds * workers` for utilisation.
+        """
         merged = ExecutionProfile(
             intersection_cost=self.intersection_cost + other.intersection_cost,
             intermediate_matches=self.intermediate_matches + other.intermediate_matches,
@@ -80,6 +108,7 @@ class ExecutionProfile:
             hash_probes=self.hash_probes + other.hash_probes,
             batches=self.batches + other.batches,
             elapsed_seconds=max(self.elapsed_seconds, other.elapsed_seconds),
+            workers=self.workers + other.workers,
         )
         for source in (self.per_operator, other.per_operator):
             for name, counters in source.items():
@@ -103,6 +132,8 @@ class ExecutionProfile:
             "hash_probes": self.hash_probes,
             "batches": self.batches,
             "elapsed_seconds": self.elapsed_seconds,
+            "busy_seconds": self.busy_seconds,
+            "workers": self.workers,
         }
 
     def __repr__(self) -> str:

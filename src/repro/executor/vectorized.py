@@ -207,7 +207,7 @@ class BatchScanOperator(BatchOperator):
             if not (e.src == edge.src and e.dst == edge.dst and e.label == edge.label)
         ]
         self._reversed = node.out_vertices[0] != edge.src
-        self._name = f"SCAN[{edge!r}]"
+        self._name = node.display_name()
 
     def frames(self) -> Iterator[np.ndarray]:
         src, dst = scan_edge_arrays(self.scan_node, self.graph, self.config)
@@ -259,7 +259,7 @@ class BatchExtendIntersectOperator(BatchOperator):
             and self._to_label is None
             and all(edge_label is None for _, _, edge_label in self._resolved)
         )
-        self._name = f"E/I[->{node.to_vertex}]"
+        self._name = node.display_name()
 
     # ------------------------------------------------------------------ #
     def _adj_keys(self, descriptor: int) -> np.ndarray:
@@ -441,7 +441,7 @@ class BatchHashJoinOperator(BatchOperator):
         self._build_key_idx = np.array(build_key_idx, dtype=np.int64)
         self._probe_key_idx = np.array(probe_key_idx, dtype=np.int64)
         self._build_payload_idx = np.array(build_payload_idx, dtype=np.int64)
-        self._name = f"HASH-JOIN[{','.join(node.join_vertices)}]"
+        self._name = node.display_name()
 
     # ------------------------------------------------------------------ #
     def _encode(self, key_cols: np.ndarray) -> np.ndarray:

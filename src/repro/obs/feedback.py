@@ -1,0 +1,155 @@
+"""Cardinality feedback: per-plan actual-vs-estimated accounting.
+
+The optimizer chooses plans from catalogue estimates; the executor measures
+what actually happened.  :class:`CardinalityFeedback` aggregates the two per
+*cached plan* (keyed by the query's canonical form), so a self-tuning loop
+can ask "which plans' estimates have drifted?" and re-optimize exactly those
+— the ROADMAP's "record actual-vs-estimated cardinalities per cached plan
+and re-optimize queries whose q-error drifts" open item consumes this
+directly.
+
+Per key we keep execution counts, running mean and max of the trace-level
+q-error (the *worst* per-operator q-error of each execution, which is the
+quantity that misleads join ordering), and the most recent per-operator
+rows.  The table is bounded: least-recently-updated keys are evicted past
+``capacity`` so a service with an adversarial query stream holds a fixed
+amount of feedback state.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.obs.trace import OperatorStats
+
+__all__ = ["PlanFeedback", "CardinalityFeedback"]
+
+
+@dataclass
+class PlanFeedback:
+    """Aggregated feedback for one cached plan (one canonical query form)."""
+
+    query_name: str
+    executions: int = 0
+    sum_q_error: float = 0.0
+    max_q_error: float = 0.0
+    last_q_error: float = 0.0
+    # Most recent per-operator rows (estimates vs actuals).
+    operators: List[OperatorStats] = field(default_factory=list)
+
+    @property
+    def mean_q_error(self) -> float:
+        return self.sum_q_error / self.executions if self.executions else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.query_name,
+            "executions": self.executions,
+            "mean_q_error": self.mean_q_error,
+            "max_q_error": self.max_q_error,
+            "last_q_error": self.last_q_error,
+            "operators": [op.as_dict() for op in self.operators],
+        }
+
+
+class CardinalityFeedback:
+    """Thread-safe bounded table of per-plan cardinality feedback."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("feedback capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._plans: "OrderedDict[Hashable, PlanFeedback]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        key: Hashable,
+        query_name: str,
+        operators: List[OperatorStats],
+    ) -> Optional[PlanFeedback]:
+        """Fold one execution's operator rows into the per-plan aggregate.
+
+        Executions whose operators carry no estimates (hand-built plans,
+        truncated runs that produced no per-operator accounting) are
+        skipped — feedback must never blame a plan for a partial run.
+        """
+        errors = [op.q_error for op in operators if op.has_estimate]
+        if not errors:
+            return None
+        worst = max(errors)
+        with self._lock:
+            entry = self._plans.get(key)
+            if entry is None:
+                entry = PlanFeedback(query_name=query_name)
+                self._plans[key] = entry
+            else:
+                self._plans.move_to_end(key)
+            entry.executions += 1
+            entry.sum_q_error += worst
+            entry.max_q_error = max(entry.max_q_error, worst)
+            entry.last_q_error = worst
+            entry.operators = list(operators)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+            return entry
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable) -> Optional[PlanFeedback]:
+        with self._lock:
+            return self._plans.get(key)
+
+    def drifting_plans(
+        self, threshold: float = 2.0
+    ) -> List[Tuple[Hashable, PlanFeedback]]:
+        """Plans whose latest worst-operator q-error meets ``threshold`` —
+        the re-optimization candidates for the self-tuning loop."""
+        with self._lock:
+            return [
+                (key, entry)
+                for key, entry in self._plans.items()
+                if entry.last_q_error >= threshold
+            ]
+
+    def worst(self, n: int = 10) -> List[Tuple[Hashable, PlanFeedback]]:
+        with self._lock:
+            items = list(self._plans.items())
+        return sorted(items, key=lambda kv: kv[1].max_q_error, reverse=True)[:n]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> dict:
+        """Summary counters (registry-collector friendly: numeric leaves)."""
+        with self._lock:
+            entries = list(self._plans.values())
+            evictions = self.evictions
+        executions = sum(e.executions for e in entries)
+        max_q = max((e.max_q_error for e in entries), default=0.0)
+        mean_last = (
+            sum(e.last_q_error for e in entries) / len(entries) if entries else 0.0
+        )
+        return {
+            "plans_tracked": len(entries),
+            "executions": executions,
+            "evictions": evictions,
+            "max_q_error": max_q if math.isfinite(max_q) else 0.0,
+            "mean_last_q_error": mean_last,
+            "drifting_over_2": sum(1 for e in entries if e.last_q_error >= 2.0),
+        }
+
+    def rows(self, n: int = 20) -> List[dict]:
+        """Per-plan rows for table rendering (worst q-error first)."""
+        return [entry.as_dict() for _, entry in self.worst(n)]

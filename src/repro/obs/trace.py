@@ -1,0 +1,303 @@
+"""Per-query traces: spans, operator cardinality feedback, and a ring buffer.
+
+Every executed query (and every applied update batch) produces a
+:class:`QueryTrace`: an ordered list of :class:`Span`s — admission wait,
+plan/cache lookup, execution, WAL append — plus one :class:`OperatorStats`
+row per plan operator carrying the operator's *actual* output cardinality
+next to the planner's *estimate* and the resulting q-error.  This is exactly
+the per-plan feedback signal the self-tuning optimizer loop needs (ROADMAP),
+and the per-operator counters mirror what the paper reports alongside
+runtimes in Tables 4-6 (i-cost, intermediate sizes, cache hits).
+
+Traces are kept in a bounded ring buffer (:class:`TraceRecorder`) so a
+long-running service holds a fixed amount of trace memory; traces slower
+than a configurable threshold are additionally retained in a separate
+slow-query ring and emitted through the ``repro.obs.slowlog`` logger.
+
+Timing semantics: span durations are **busy seconds** of that stage.  In
+vectorized mode the per-operator seconds come from
+:attr:`repro.executor.profile.ExecutionProfile.operator_seconds` (each
+operator's own frame processing); the iterator pipeline interleaves
+operators in one generator chain, so per-operator durations are not
+separable there and operator rows carry cardinalities only.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.catalogue.qerror import q_error
+
+__all__ = ["Span", "OperatorStats", "QueryTrace", "TraceRecorder"]
+
+logger = logging.getLogger("repro.obs.slowlog")
+
+_trace_ids = itertools.count(1)
+
+
+@dataclass
+class Span:
+    """One timed stage of a served request."""
+
+    name: str
+    seconds: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "seconds": self.seconds, "attributes": dict(self.attributes)}
+
+
+@dataclass
+class OperatorStats:
+    """Actual-vs-estimated cardinality for one plan operator.
+
+    ``estimated`` is the catalogue's cardinality estimate for the operator's
+    sub-query, annotated onto the plan at optimization time; ``actual`` is
+    the output count the executor measured.  ``q_error`` is
+    ``max(est/act, act/est)`` with both clamped to >= 1 (the convention of
+    the paper's Appendix B accuracy experiments); ``NaN`` when no estimate
+    exists (plans built outside the optimizer).
+    """
+
+    name: str
+    actual: int
+    estimated: float = float("nan")
+    q_error: float = float("nan")
+    seconds: float = 0.0
+    batches: int = 0
+
+    @property
+    def has_estimate(self) -> bool:
+        return self.estimated == self.estimated  # not NaN
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "actual": self.actual,
+            "estimated": self.estimated,
+            "q_error": self.q_error,
+            "seconds": self.seconds,
+            "batches": self.batches,
+        }
+
+
+@dataclass
+class QueryTrace:
+    """The full observability record of one served request."""
+
+    query_name: str
+    kind: str = "query"  # "query" | "update"
+    trace_id: int = 0
+    status: str = "ok"
+    mode: str = "iterator"
+    started_at: float = 0.0  # wall clock (time.time())
+    total_seconds: float = 0.0
+    num_matches: int = 0
+    plan_type: str = ""
+    plan_cached: Optional[bool] = None
+    spans: List[Span] = field(default_factory=list)
+    operators: List[OperatorStats] = field(default_factory=list)
+    profile: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.trace_id:
+            self.trace_id = next(_trace_ids)
+        if not self.started_at:
+            self.started_at = time.time()
+
+    # ------------------------------------------------------------------ #
+    def add_span(self, name: str, seconds: float, **attributes: object) -> Span:
+        span = Span(name=name, seconds=float(seconds), attributes=attributes)
+        self.spans.append(span)
+        return span
+
+    def prepend_span(self, name: str, seconds: float, **attributes: object) -> Span:
+        """Insert a span at the front (the service adds its admission-wait
+        span around a trace the database already built)."""
+        span = Span(name=name, seconds=float(seconds), attributes=attributes)
+        self.spans.insert(0, span)
+        return span
+
+    def span(self, name: str) -> Optional[Span]:
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    @property
+    def max_q_error(self) -> float:
+        """Worst per-operator q-error of the trace (NaN when no operator has
+        an estimate)."""
+        errors = [op.q_error for op in self.operators if op.has_estimate]
+        return max(errors) if errors else float("nan")
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "kind": self.kind,
+            "query": self.query_name,
+            "status": self.status,
+            "mode": self.mode,
+            "started_at": self.started_at,
+            "total_seconds": self.total_seconds,
+            "num_matches": self.num_matches,
+            "plan_type": self.plan_type,
+            "plan_cached": self.plan_cached,
+            "max_q_error": None if math.isnan(self.max_q_error) else self.max_q_error,
+            "spans": [s.as_dict() for s in self.spans],
+            "operators": [o.as_dict() for o in self.operators],
+            "profile": dict(self.profile),
+        }
+
+    def describe(self) -> str:
+        """A compact human-readable rendering (used by the CLI)."""
+        lines = [
+            f"trace #{self.trace_id} [{self.kind}] {self.query_name}: "
+            f"status={self.status} mode={self.mode} matches={self.num_matches} "
+            f"total={self.total_seconds * 1e3:.2f}ms"
+        ]
+        for span in self.spans:
+            attrs = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+            lines.append(f"  span {span.name:<12} {span.seconds * 1e3:>9.3f}ms  {attrs}".rstrip())
+        if self.operators:
+            lines.append("  operators (actual vs estimated cardinality):")
+            for op in self.operators:
+                est = f"{op.estimated:.1f}" if op.has_estimate else "-"
+                qe = f"{op.q_error:.2f}" if op.has_estimate else "-"
+                timing = f" {op.seconds * 1e3:.2f}ms" if op.seconds else ""
+                lines.append(
+                    f"    {op.name:<28} actual={op.actual:<10} est={est:<10} q-error={qe}{timing}"
+                )
+        return "\n".join(lines)
+
+
+def operator_stats_from_profile(
+    per_operator: Dict[str, Dict[str, int]],
+    operator_seconds: Dict[str, float],
+    estimates: Optional[Dict[str, float]],
+) -> List[OperatorStats]:
+    """Join the executor's per-operator counters with the plan's annotated
+    cardinality estimates into :class:`OperatorStats` rows."""
+    rows: List[OperatorStats] = []
+    estimates = estimates or {}
+    for name, counters in per_operator.items():
+        actual = int(counters.get("out", 0))
+        estimated = estimates.get(name, float("nan"))
+        error = q_error(estimated, actual) if estimated == estimated else float("nan")
+        rows.append(
+            OperatorStats(
+                name=name,
+                actual=actual,
+                estimated=float(estimated),
+                q_error=error,
+                seconds=float(operator_seconds.get(name, 0.0)),
+                batches=int(counters.get("batches", 0)),
+            )
+        )
+    return rows
+
+
+class TraceRecorder:
+    """Thread-safe bounded ring buffer of traces plus a slow-query ring.
+
+    Parameters
+    ----------
+    capacity:
+        Traces retained in the main ring (oldest evicted first).
+    slow_seconds:
+        Threshold for the slow-query log: traces at least this slow are
+        copied into a second ring of ``slow_capacity`` entries and logged at
+        WARNING level through the ``repro.obs.slowlog`` logger.  ``None``
+        disables the slow log.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        slow_seconds: Optional[float] = None,
+        slow_capacity: int = 64,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be at least 1")
+        self.capacity = capacity
+        self.slow_seconds = slow_seconds
+        self._lock = threading.Lock()
+        self._ring: Deque[QueryTrace] = deque(maxlen=capacity)
+        self._slow: Deque[QueryTrace] = deque(maxlen=max(1, slow_capacity))
+        self.recorded = 0
+        self.slow_queries = 0
+
+    # ------------------------------------------------------------------ #
+    def record(self, trace: QueryTrace) -> QueryTrace:
+        slow = self.slow_seconds is not None and trace.total_seconds >= self.slow_seconds
+        with self._lock:
+            self._ring.append(trace)
+            self.recorded += 1
+            if slow:
+                self._slow.append(trace)
+                self.slow_queries += 1
+        if slow:
+            logger.warning(
+                "slow query %s: %.3fs (threshold %.3fs) status=%s matches=%d",
+                trace.query_name,
+                trace.total_seconds,
+                self.slow_seconds,
+                trace.status,
+                trace.num_matches,
+            )
+        return trace
+
+    def recent(self, n: Optional[int] = None, kind: Optional[str] = None) -> List[QueryTrace]:
+        """The most recent traces, newest last."""
+        with self._lock:
+            traces = list(self._ring)
+        if kind is not None:
+            traces = [t for t in traces if t.kind == kind]
+        return traces if n is None else traces[-n:]
+
+    def last(self, kind: Optional[str] = None) -> Optional[QueryTrace]:
+        traces = self.recent(1, kind=kind)
+        return traces[-1] if traces else None
+
+    def slow(self, n: Optional[int] = None) -> List[QueryTrace]:
+        with self._lock:
+            traces = list(self._slow)
+        return traces if n is None else traces[-n:]
+
+    def get(self, trace_id: int) -> Optional[QueryTrace]:
+        with self._lock:
+            for trace in self._ring:
+                if trace.trace_id == trace_id:
+                    return trace
+        return None
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the main ring, keeping the newest traces (a service
+        configures the ring on an :class:`Observability` it did not create)."""
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be at least 1")
+        with self._lock:
+            self.capacity = capacity
+            self._ring = deque(self._ring, maxlen=capacity)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._slow.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "retained": len(self._ring),
+                "recorded": self.recorded,
+                "slow_queries": self.slow_queries,
+                "slow_threshold_seconds": self.slow_seconds or 0.0,
+            }

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import PersistenceError, SnapshotFormatError
+from repro.obs.registry import Histogram
 from repro.graph.graph import Graph
 from repro.persistence.snapshot_file import (
     SnapshotInfo,
@@ -204,6 +205,9 @@ class DurableGraphStore:
         self.checkpoints = 0
         self.last_checkpoint_seconds = 0.0
         self.total_checkpoint_seconds = 0.0
+        # Checkpoint-duration histogram (standalone; surfaced via stats()
+        # quantiles and the database registry's persistence collector).
+        self.checkpoint_seconds = Histogram()
         self._last_applied_seq = wal.last_seq
         # Serialises (WAL append, in-memory commit) pairs and checkpoint
         # captures; the heavy checkpoint I/O runs outside it.
@@ -428,6 +432,7 @@ class DurableGraphStore:
             self.checkpoints += 1
             self.last_checkpoint_seconds = elapsed
             self.total_checkpoint_seconds += elapsed
+            self.checkpoint_seconds.observe(elapsed)
             return info
 
     def maybe_checkpoint(self) -> Optional[SnapshotInfo]:
@@ -476,6 +481,13 @@ class DurableGraphStore:
             "checkpoints": self.checkpoints,
             "last_checkpoint_seconds": self.last_checkpoint_seconds,
             "total_checkpoint_seconds": self.total_checkpoint_seconds,
+            "checkpoint_p99_seconds": self.checkpoint_seconds.quantile(0.99),
+            "wal_appends": self.wal.appended_records,
+            "wal_append_p50_seconds": self.wal.append_seconds.quantile(0.5),
+            "wal_append_p99_seconds": self.wal.append_seconds.quantile(0.99),
+            "wal_fsyncs": self.wal.fsync_seconds.count,
+            "wal_fsync_p50_seconds": self.wal.fsync_seconds.quantile(0.5),
+            "wal_fsync_p99_seconds": self.wal.fsync_seconds.quantile(0.99),
             "recovered_records": self.recovery.replayed_records,
             "recovery_seconds": self.recovery.seconds,
         }

@@ -33,11 +33,14 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import IO, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.obs.registry import Histogram
 
 from repro.errors import WALCorruptionError
 from repro.persistence.snapshot_file import _fsync_directory
@@ -221,6 +224,10 @@ class WriteAheadLog:
         self.appended_records = 0
         self.truncated_bytes = 0
         self.dropped_segments = 0
+        # Private latency histograms (frame write+flush, group-commit fsync);
+        # the database's metrics registry surfaces them through a collector.
+        self.append_seconds = Histogram()
+        self.fsync_seconds = Histogram()
 
     # ------------------------------------------------------------------ #
     # opening / recovery
@@ -336,6 +343,7 @@ class WriteAheadLog:
         """
         if self._handle is None:
             raise WALCorruptionError("write-ahead log is not open")
+        append_start = time.perf_counter()
         seq = self._last_seq + 1
         payload = encode_batch(inserts, deletes, new_vertex_labels)
         body = _FRAME.pack(0, len(payload), seq)[4:] + payload
@@ -362,6 +370,7 @@ class WriteAheadLog:
         self._last_seq = seq
         self.appended_records += 1
         self._unsynced += 1
+        self.append_seconds.observe(time.perf_counter() - append_start)
         if self._unsynced >= self.sync_every:
             self.sync()
         return seq
@@ -369,8 +378,10 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Force fsync of the active segment (group-commit barrier)."""
         if self._handle is not None and self._unsynced:
+            sync_start = time.perf_counter()
             os.fsync(self._handle.fileno())
             self._unsynced = 0
+            self.fsync_seconds.observe(time.perf_counter() - sync_start)
 
     def force_base(self, base_seq: int) -> None:
         """Restart the log in a fresh segment based at ``base_seq``.

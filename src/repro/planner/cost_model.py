@@ -290,6 +290,31 @@ class CostModel:
         return CostBreakdown(total=float(sum(c for _, c in rows)), per_operator=rows)
 
 
+def annotate_operator_estimates(plan: Plan, cost_model: CostModel) -> Plan:
+    """Record each operator's estimated output cardinality on the plan.
+
+    The mapping is keyed by ``display_name()`` — the same string the
+    executors use as the per-operator profile key — so traces can join the
+    executor's *actual* output counts with these estimates into per-operator
+    q-errors.  Two operators can share a display name (e.g. duplicate SCANs
+    of the same query edge in a bushy plan); their estimates are summed,
+    matching how the executor sums their counters under one profile key.
+    Failures are swallowed: a plan without annotations simply yields traces
+    without q-errors, never a failed query.
+    """
+    estimates: Dict[str, float] = {}
+    try:
+        for node in plan.root.iter_nodes():
+            name = node.display_name()
+            estimates[name] = estimates.get(name, 0.0) + float(
+                cost_model.cardinality(node.sub_query)
+            )
+    except Exception:
+        return plan
+    plan.operator_estimates = estimates
+    return plan
+
+
 # --------------------------------------------------------------------------- #
 # hash-join weight calibration (Section 4.2)
 # --------------------------------------------------------------------------- #

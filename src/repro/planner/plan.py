@@ -58,6 +58,13 @@ class PlanNode:
     def _describe_line(self) -> str:  # pragma: no cover - overridden
         return f"{type(self).__name__}({self.out_vertices})"
 
+    def display_name(self) -> str:
+        """The operator name the executors use as the per-operator profile
+        key.  Plan annotation (:func:`repro.planner.cost_model.
+        annotate_operator_estimates`) and the executors must agree on this
+        string so trace rows can join actuals with estimates."""
+        raise NotImplementedError
+
     def signature(self) -> Tuple:
         """Hashable structural signature used to deduplicate plans."""
         raise NotImplementedError
@@ -81,6 +88,9 @@ class ScanNode(PlanNode):
 
     def _describe_line(self) -> str:
         return f"SCAN {self.edge!r} -> {self.out_vertices}"
+
+    def display_name(self) -> str:
+        return f"SCAN[{self.edge!r}]"
 
     def signature(self) -> Tuple:
         return ("scan", self.edge.src, self.edge.dst, self.edge.label, self.out_vertices)
@@ -116,6 +126,9 @@ class ExtendNode(PlanNode):
     def _describe_line(self) -> str:
         descs = ", ".join(repr(d) for d in self.descriptors)
         return f"EXTEND/INTERSECT -> {self.to_vertex} via [{descs}]"
+
+    def display_name(self) -> str:
+        return f"E/I[->{self.to_vertex}]"
 
     def signature(self) -> Tuple:
         return (
@@ -157,6 +170,9 @@ class HashJoinNode(PlanNode):
     def _describe_line(self) -> str:
         return f"HASH-JOIN on {self.join_vertices}"
 
+    def display_name(self) -> str:
+        return f"HASH-JOIN[{','.join(self.join_vertices)}]"
+
     def signature(self) -> Tuple:
         return ("hashjoin", tuple(sorted(self.join_vertices)), self.build.signature(), self.probe.signature())
 
@@ -174,6 +190,11 @@ class Plan:
     estimated_cardinality: float = float("nan")
     label: str = ""
     adaptive: bool = False
+    #: Estimated output cardinality per operator ``display_name()``, annotated
+    #: at optimization time so cached plans carry their estimates and every
+    #: execution can compute per-operator q-error without re-running the
+    #: catalogue.  None for hand-built plans.
+    operator_estimates: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if set(self.root.out_vertices) != set(self.query.vertices):

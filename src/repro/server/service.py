@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import AdmissionError
 from repro.executor.operators import ExecutionConfig
+from repro.obs.trace import QueryTrace
 from repro.query.query_graph import QueryGraph
 from repro.server.metrics import MetricsSnapshot, ServiceMetrics
 from repro.server.prepared import PreparedQuery
@@ -134,6 +135,20 @@ class QueryService:
         width, both forwarded to the durable store.
     metrics_window_seconds:
         Width of the rolling metrics window reported by :meth:`stats`.
+    trace:
+        Per-query tracing toggle (default on).  When True every served
+        request — queries *and* updates — leaves a
+        :class:`~repro.obs.trace.QueryTrace` in the database's bounded trace
+        ring: admission wait, plan/cache lookup, execution, and (for durable
+        updates) WAL-append spans, plus per-operator actual-vs-estimated
+        cardinalities.  When False the database records no traces, metrics,
+        or cardinality feedback for requests served here.
+    trace_capacity:
+        Traces retained in the ring (oldest evicted first).
+    slow_query_seconds:
+        When set, requests at least this slow are also kept in a separate
+        slow-query ring (:meth:`slow_queries`) and logged at WARNING level
+        via the ``repro.obs.slowlog`` logger.
     """
 
     def __init__(
@@ -154,6 +169,9 @@ class QueryService:
         checkpoint_on_close: bool = True,
         wal_sync_every: int = 8,
         metrics_window_seconds: float = 60.0,
+        trace: bool = True,
+        trace_capacity: Optional[int] = None,
+        slow_query_seconds: Optional[float] = None,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be at least 1")
@@ -186,6 +204,16 @@ class QueryService:
         self.vectorized = vectorized
         self.batch_size = batch_size
         self.metrics = ServiceMetrics(window_seconds=metrics_window_seconds)
+        # Observability: the database owns the registry/trace ring/feedback
+        # table; the service configures them and layers request-level data
+        # (rolling window, admission counters) on via a collector.
+        self.obs = db.obs
+        self.obs.enabled = trace
+        if slow_query_seconds is not None:
+            self.obs.traces.slow_seconds = slow_query_seconds
+        if trace_capacity is not None:
+            self.obs.traces.set_capacity(trace_capacity)
+        self.obs.registry.register_collector("service", self._collect_service_stats)
         self._pool = ThreadPoolExecutor(
             max_workers=max_concurrent, thread_name_prefix="query-service"
         )
@@ -434,6 +462,29 @@ class QueryService:
         self.metrics.record(total_seconds)
         with self._lock:
             self.counters[status] += 1
+        if self.obs.enabled:
+            trace = result.trace if result is not None else None
+            if trace is not None:
+                # The database built and recorded the trace (plan/execute
+                # spans); wrap it in the serving context: the admission-wait
+                # span up front, and the end-to-end total including it.
+                trace.prepend_span("admission_wait", queue_seconds)
+                trace.total_seconds = total_seconds
+                trace.status = status
+            else:
+                # Queue-expired deadline or a query-level error: the database
+                # never ran, but the request still leaves a trace.
+                trace = QueryTrace(
+                    query_name=query.name,
+                    status=status,
+                    mode="queued",
+                    total_seconds=total_seconds,
+                )
+                trace.add_span("admission_wait", queue_seconds)
+                if error is not None:
+                    trace.add_span("error", total_seconds - queue_seconds, message=error)
+                self.obs.record_query(trace)
+            self.obs.admission_wait_seconds.labels().observe(queue_seconds)
         return ServiceResult(
             query_name=query.name,
             status=status,
@@ -446,6 +497,40 @@ class QueryService:
     # ------------------------------------------------------------------ #
     # observability / lifecycle
     # ------------------------------------------------------------------ #
+    def recent_traces(self, n: Optional[int] = None, kind: Optional[str] = None):
+        """The most recent :class:`~repro.obs.trace.QueryTrace` records
+        (newest last); ``kind`` filters to ``"query"`` or ``"update"``."""
+        return self.obs.traces.recent(n, kind=kind)
+
+    def trace(self, trace_id: int):
+        """Look a trace up by id (None once evicted from the ring)."""
+        return self.obs.traces.get(trace_id)
+
+    def slow_queries(self, n: Optional[int] = None):
+        """Traces that crossed ``slow_query_seconds`` (newest last)."""
+        return self.obs.traces.slow(n)
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition of the database's registry
+        (includes this service's request-level collector)."""
+        return self.obs.registry.expose_prometheus()
+
+    def _collect_service_stats(self) -> dict:
+        """Request-level numbers for the metrics registry's collector (flat,
+        numeric leaves only — strings are skipped by the flattener)."""
+        snapshot: MetricsSnapshot = self.metrics.snapshot()
+        with self._lock:
+            counters = dict(self.counters)
+            in_flight = self._in_flight
+        return {
+            "qps": snapshot.qps,
+            "latency_p50_seconds": snapshot.p50_seconds,
+            "latency_p95_seconds": snapshot.p95_seconds,
+            "latency_p99_seconds": snapshot.p99_seconds,
+            "in_flight": in_flight,
+            "counters": counters,
+        }
+
     def stats(self) -> dict:
         """Rolling metrics, status counters, and plan-cache statistics."""
         snapshot: MetricsSnapshot = self.metrics.snapshot()
@@ -471,6 +556,8 @@ class QueryService:
             out["compaction"] = self.db.compaction_manager.stats()
         if self.db.durable_store is not None:
             out["persistence"] = self.db.durable_store.stats()
+        out["traces"] = self.obs.traces.stats()
+        out["cardinality_feedback"] = self.obs.feedback.stats()
         return out
 
     def stats_rows(self) -> List[dict]:
@@ -517,6 +604,18 @@ class QueryService:
                 }
             )
             rows.append({"metric": "checkpoints", "value": str(persistence["checkpoints"])})
+        traces = stats.get("traces")
+        if traces and traces.get("recorded"):
+            rows.append({"metric": "traces recorded", "value": str(traces["recorded"])})
+            if traces.get("slow_queries"):
+                rows.append({"metric": "slow queries", "value": str(traces["slow_queries"])})
+        feedback = stats.get("cardinality_feedback")
+        if feedback and feedback.get("plans_tracked"):
+            rows.append({"metric": "plans with feedback", "value": str(feedback["plans_tracked"])})
+            rows.append({"metric": "max q-error", "value": f"{feedback['max_q_error']:.2f}"})
+            rows.append(
+                {"metric": "plans drifting (q-error ≥ 2)", "value": str(feedback["drifting_over_2"])}
+            )
         return rows
 
     def close(self, wait: bool = True) -> None:

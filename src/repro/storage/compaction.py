@@ -34,6 +34,7 @@ import threading
 import time
 from typing import Dict, Optional
 
+from repro.obs.registry import Histogram
 from repro.storage.dynamic import DynamicGraph, compaction_threshold
 
 
@@ -106,6 +107,10 @@ class CompactionManager:
         self.listener_failures = 0
         self.total_compaction_seconds = 0.0
         self.last_compaction_seconds = 0.0
+        # Duration distribution of installed compactions (standalone
+        # histogram; surfaced through stats() quantiles and the database
+        # registry's compaction collector).
+        self.compaction_seconds = Histogram()
         self._attached = False
         self._attach()
 
@@ -226,6 +231,7 @@ class CompactionManager:
                 self.compactions += 1
                 self.last_compaction_seconds = elapsed
                 self.total_compaction_seconds += elapsed
+                self.compaction_seconds.observe(elapsed)
             listener = self._compaction_listener
             if listener is not None:
                 # A listener failure (e.g. the durable store's checkpoint
@@ -260,6 +266,7 @@ class CompactionManager:
                 "threshold": self._threshold(),
                 "last_compaction_seconds": self.last_compaction_seconds,
                 "total_compaction_seconds": self.total_compaction_seconds,
+                "compaction_p99_seconds": self.compaction_seconds.quantile(0.99),
             }
 
     def __repr__(self) -> str:
