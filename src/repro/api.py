@@ -26,8 +26,9 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 from repro.catalogue.catalogue import SubgraphCatalogue
 from repro.catalogue.construction import build_catalogue
 from repro.catalogue.estimation import estimate_cardinality
-from repro.errors import OptimizerError, PersistenceError
+from repro.errors import OptimizerError, PersistenceError, ProcessExecutionUnsupported
 from repro.executor.adaptive import execute_adaptive
+from repro.executor.multiprocess import MorselProcessPool
 from repro.executor.operators import ExecutionConfig
 from repro.executor.parallel import ParallelResult, execute_parallel
 from repro.executor.pipeline import ExecutionResult, execute_plan
@@ -47,6 +48,7 @@ from repro.persistence.store import DurableGraphStore
 from repro.server.plan_cache import PlanCache
 from repro.storage.compaction import CompactionManager
 from repro.storage.dynamic import DynamicGraph, normalize_edges
+from repro.storage.snapshot import GraphSnapshot
 
 
 @dataclass
@@ -142,6 +144,10 @@ class GraphflowDB:
         # attached, every apply_updates batch is WAL-logged before its
         # in-memory delta commit, and compactions checkpoint the WAL away.
         self.durable_store: Optional[DurableGraphStore] = None
+        # Optional multi-process morsel executor (enable_process_pool /
+        # execute(execution_mode="process")): worker processes mapping a
+        # shared snapshot file read-only, for wall-clock parallel speedups.
+        self._process_pool: Optional[MorselProcessPool] = None
         # Unified observability (metrics registry, trace ring, cardinality
         # feedback).  Collectors pull the ad-hoc stats surfaces lazily at
         # scrape time, so attaching them here costs nothing per query.
@@ -150,6 +156,7 @@ class GraphflowDB:
         registry.register_collector("plan_cache", self._plan_cache_stats)
         registry.register_collector("compaction", self._compaction_stats)
         registry.register_collector("persistence", self._persistence_stats)
+        registry.register_collector("process_pool", self._process_pool_stats)
         registry.register_collector(
             "db",
             lambda: {
@@ -173,6 +180,10 @@ class GraphflowDB:
         store = self.durable_store
         return store.stats() if store is not None and not store.closed else {}
 
+    def _process_pool_stats(self) -> dict:
+        pool = self._process_pool
+        return pool.stats() if pool is not None and not pool.closed else {}
+
     def stats(self) -> dict:
         """One dict across every stats surface of the database: planner and
         graph state, plan cache, compaction, persistence, trace ring, and
@@ -185,6 +196,7 @@ class GraphflowDB:
             "plan_cache": self._plan_cache_stats(),
             "compaction": self._compaction_stats(),
             "persistence": self._persistence_stats(),
+            "process_pool": self._process_pool_stats(),
             "observability": self.obs.stats(),
         }
 
@@ -199,6 +211,7 @@ class GraphflowDB:
         sync_every: int = 8,
         mmap: bool = False,
         keep_snapshots: int = 2,
+        read_only: bool = False,
         **db_kwargs,
     ) -> "GraphflowDB":
         """Open a durable database rooted at ``data_dir``.
@@ -210,6 +223,14 @@ class GraphflowDB:
         log before committing it in memory; call :meth:`close` for a
         graceful shutdown (final checkpoint), or don't — recovery replays
         whatever the log durably holds.
+
+        With ``read_only=True`` the database attaches as a *reader*: the pid
+        ``LOCK`` is neither checked nor taken, so a reader can open a
+        ``data_dir`` a live writer is serving (worker processes and read
+        replicas do exactly this); recovery is side-effect free and sees the
+        durable prefix as of open time; and every write entry point
+        (:meth:`apply_updates`, :meth:`checkpoint`) raises
+        :class:`~repro.errors.PersistenceError`.
         """
         store = DurableGraphStore.open(
             data_dir,
@@ -217,10 +238,17 @@ class GraphflowDB:
             sync_every=sync_every,
             mmap=mmap,
             keep_snapshots=keep_snapshots,
+            read_only=read_only,
         )
         db = cls(store.dynamic, **db_kwargs)
         db.durable_store = store
         return db
+
+    @property
+    def read_only(self) -> bool:
+        """True for a reader attached with ``open(..., read_only=True)``."""
+        store = self.durable_store
+        return store is not None and store.read_only
 
     def enable_durability(
         self,
@@ -277,14 +305,50 @@ class GraphflowDB:
         return self.durable_store.checkpoint(force=force)
 
     def close(self, checkpoint: bool = True) -> None:
-        """Graceful shutdown: stop background compaction and, when durable,
-        write a final checkpoint and close the store.  Idempotent; an
-        in-memory database just stops its compaction thread."""
+        """Graceful shutdown: stop background compaction, shut down the
+        process pool (if any) and, when durable, write a final checkpoint
+        and close the store.  Idempotent; an in-memory database just stops
+        its compaction thread."""
         self.disable_background_compaction()
+        self.close_process_pool()
         with self._write_lock:
             store = self.durable_store
         if store is not None and not store.closed:
             store.close(checkpoint=checkpoint)
+
+    # ------------------------------------------------------------------ #
+    # multi-process execution
+    # ------------------------------------------------------------------ #
+    def enable_process_pool(self, num_workers: int = 2, **pool_kwargs) -> MorselProcessPool:
+        """Attach (or resize) the multi-process morsel executor.
+
+        The pool is created lazily by ``execute(execution_mode="process")``
+        as well; calling this up front warms it explicitly (e.g. a serving
+        process at startup).  A live pool with the same ``num_workers`` is
+        reused; a different worker count (or fresh ``pool_kwargs``) shuts the
+        old pool down and builds a new one.
+        """
+        with self._write_lock:
+            pool = self._process_pool
+            if (
+                pool is not None
+                and not pool.closed
+                and pool.num_workers == num_workers
+                and not pool_kwargs
+            ):
+                return pool
+            if pool is not None and not pool.closed:
+                pool.close()
+            pool = MorselProcessPool(num_workers=num_workers, **pool_kwargs)
+            self._process_pool = pool
+            return pool
+
+    def close_process_pool(self) -> None:
+        """Shut the process pool down (workers drain and exit); idempotent."""
+        with self._write_lock:
+            pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            pool.close()
 
     # ------------------------------------------------------------------ #
     # catalogue / cost model management
@@ -377,6 +441,10 @@ class GraphflowDB:
         batch's WAL sequence number in ``wal_seq``.
         """
         start = time.perf_counter()
+        if self.read_only:
+            raise PersistenceError(
+                "database is open read-only; route writes to the writer process"
+            )
         dynamic = self.to_dynamic()
         # Normalise up front: the WAL must only ever record batches the
         # in-memory write path would accept, so validation errors (self-loops,
@@ -645,6 +713,7 @@ class GraphflowDB:
         config: Optional[ExecutionConfig] = None,
         vectorized: Optional[bool] = None,
         batch_size: Optional[int] = None,
+        execution_mode: Optional[str] = None,
     ) -> QueryResult:
         """Plan (if needed) and execute a query.
 
@@ -655,7 +724,10 @@ class GraphflowDB:
             (Section 6).  Not supported together with ``num_workers > 1``.
         collect:
             Materialise matches (as dictionaries keyed by query vertex name).
-            Not supported together with ``num_workers > 1``.
+            With ``num_workers > 1`` the per-morsel frames are merged in
+            range order under ``config.output_limit`` (the iterator engine
+            then reproduces the serial row order exactly; the vectorized
+            engine may group rows differently, as it already does serially).
         num_workers:
             When > 1, execute with the morsel-parallel executor.
         vectorized:
@@ -667,6 +739,16 @@ class GraphflowDB:
         batch_size:
             Rows per columnar frame in vectorized mode; overrides
             ``config.batch_size`` when given.
+        execution_mode:
+            ``"thread"`` (default) or ``"process"`` — how ``num_workers > 1``
+            distributes morsels.  Process mode runs them across the
+            :class:`~repro.executor.multiprocess.MorselProcessPool` (worker
+            processes mapping a shared snapshot file read-only, escaping the
+            GIL); an unshippable query — no scan leaf, triangle-index config,
+            or a dirty snapshot whose delta exceeds the pool's shipping
+            threshold — falls back to thread execution for that query.
+            Overrides ``config.execution_mode`` when given; ignored when
+            ``num_workers <= 1``.
         """
         if vectorized is not None or batch_size is not None:
             overrides = {}
@@ -675,18 +757,20 @@ class GraphflowDB:
             if batch_size is not None:
                 overrides["batch_size"] = batch_size
             config = replace(config or ExecutionConfig(), **overrides)
-        if num_workers > 1 and (adaptive or collect):
-            # Previously these flags were silently ignored in parallel mode;
-            # fail loudly instead of returning something the caller did not
-            # ask for.
-            unsupported = [
-                name for name, on in (("adaptive", adaptive), ("collect", collect)) if on
-            ]
+        if execution_mode is None:
+            execution_mode = config.execution_mode if config is not None else "thread"
+        if execution_mode not in ("thread", "process"):
             raise ValueError(
-                f"execute(num_workers={num_workers}) does not support "
-                f"{' or '.join(unsupported)}; the morsel-parallel executor only "
-                "counts matches with fixed plans. Run with num_workers=1 for "
-                "adaptive ordering selection or match collection."
+                f"unknown execution_mode {execution_mode!r}; "
+                "expected 'thread' or 'process'"
+            )
+        if num_workers > 1 and adaptive:
+            # Adaptive ordering re-plans per partial match; morsel workers
+            # share one fixed plan, so the combination stays rejected.
+            raise ValueError(
+                f"execute(num_workers={num_workers}) does not support adaptive; "
+                "the morsel-parallel executors run fixed plans. Run with "
+                "num_workers=1 for adaptive ordering selection."
             )
         effective_vectorized = bool(config.vectorized) if config is not None else False
         tracing = self.obs.enabled
@@ -719,14 +803,25 @@ class GraphflowDB:
         exec_graph = self._read_graph()
 
         if num_workers > 1:
-            parallel: ParallelResult = execute_parallel(
-                plan, exec_graph, num_workers=num_workers, config=config
-            )
+            if execution_mode == "process":
+                parallel, effective_mode = self._execute_process(
+                    plan, exec_graph, num_workers, config, collect
+                )
+            else:
+                parallel = execute_parallel(
+                    plan, exec_graph, num_workers=num_workers, config=config,
+                    collect=collect,
+                )
+                effective_mode = "parallel"
+            matches = None
+            if collect:
+                matches = parallel.matches_as_dicts()
+                matches = self._translate_match_names(matches, plan.query, query_graph)
             trace = (
                 self._record_query_trace(
                     query_graph,
                     plan,
-                    mode="parallel",
+                    mode=effective_mode,
                     num_matches=parallel.num_matches,
                     elapsed_seconds=parallel.elapsed_seconds,
                     profile=parallel.profile,
@@ -747,6 +842,7 @@ class GraphflowDB:
                 elapsed_seconds=parallel.elapsed_seconds,
                 i_cost=parallel.profile.intersection_cost,
                 intermediate_matches=parallel.profile.intermediate_matches,
+                matches=matches,
                 truncated=parallel.truncated,
                 deadline_exceeded=parallel.deadline_exceeded,
                 trace=trace,
@@ -794,6 +890,56 @@ class GraphflowDB:
             deadline_exceeded=result.deadline_exceeded,
             trace=trace,
         )
+
+    def _execute_process(
+        self,
+        plan: Plan,
+        exec_graph,
+        num_workers: int,
+        config: Optional[ExecutionConfig],
+        collect: bool,
+    ) -> Tuple[ParallelResult, str]:
+        """Run one query on the process pool, falling back to the in-process
+        thread executor when the query cannot be shipped (no scan leaf,
+        unshippable config, oversized dirty delta); fallbacks are counted in
+        the pool's stats."""
+        pool = self.enable_process_pool(num_workers)
+        base_path = self._process_base_path(exec_graph)
+        try:
+            result = pool.execute(
+                plan, exec_graph, config=config, collect=collect, base_path=base_path
+            )
+            return result, "parallel-process"
+        except ProcessExecutionUnsupported as exc:
+            pool.note_fallback(str(exc))
+            result = execute_parallel(
+                plan, exec_graph, num_workers=num_workers, config=config, collect=collect
+            )
+            return result, "parallel"
+
+    def _process_base_path(self, exec_graph) -> Optional[str]:
+        """The durable store's current snapshot file when it provably equals
+        the pinned snapshot's base — checkpointing on demand to make it so —
+        or ``None`` (the pool then spools the base itself).
+
+        The handout is only safe when nothing can have advanced past the
+        pinned snapshot: the pinned state must be clean (state == base) and
+        the store's applied sequence must be fully covered by the snapshot
+        file, re-checked after the on-demand checkpoint to guard against
+        racing writers.
+        """
+        store = self.durable_store
+        if store is None or store.closed:
+            return None
+        if not isinstance(exec_graph, GraphSnapshot) or not exec_graph.is_clean:
+            return None
+        if store.dirty:
+            if store.read_only:
+                return None
+            store.checkpoint()
+        if store.dirty or store.dynamic.version != exec_graph.version:
+            return None
+        return store.current_snapshot_path()
 
     def _record_query_trace(
         self,

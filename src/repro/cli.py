@@ -188,11 +188,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         adaptive=args.adaptive,
         num_workers=args.workers,
         vectorized=True if args.vectorized else None,
+        execution_mode=args.execution_mode,
     )
+    mode = result.trace.mode if result.trace is not None else "?"
     print(
         f"{query.name} on {db.graph.name}: {result.num_matches} matches in "
-        f"{result.elapsed_seconds:.3f}s (plan={result.plan.plan_type}, i-cost={result.i_cost})"
+        f"{result.elapsed_seconds:.3f}s (plan={result.plan.plan_type}, "
+        f"i-cost={result.i_cost}, mode={mode})"
     )
+    db.close_process_pool()
     return 0
 
 
@@ -287,6 +291,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_queue=max(len(workload), 1),
         default_deadline_seconds=args.deadline,
         default_row_limit=args.row_limit,
+        num_workers=args.workers,
+        execution_mode=args.execution_mode,
         vectorized=args.vectorized,
         slow_query_seconds=args.slow_query_seconds,
     ) as service:
@@ -516,6 +522,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="execute with the batch-at-a-time (columnar) engine",
     )
+    run.add_argument(
+        "--execution-mode",
+        choices=("thread", "process"),
+        default="thread",
+        dest="execution_mode",
+        help="how --workers > 1 splits morsels: threads in-process, or a "
+        "process pool mapping a shared snapshot file (GIL-free)",
+    )
     run.set_defaults(func=cmd_run)
 
     explain = sub.add_parser("explain", help="show the optimizer's plan for a query")
@@ -580,6 +594,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--vectorized",
         action="store_true",
         help="serve queries with the batch-at-a-time (columnar) engine",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="morsel workers per query (1 = serial)"
+    )
+    serve.add_argument(
+        "--execution-mode",
+        choices=("thread", "process"),
+        default="thread",
+        dest="execution_mode",
+        help="how --workers > 1 splits morsels: threads in-process, or a "
+        "process pool mapping a shared snapshot file (GIL-free)",
     )
     serve.add_argument(
         "--data-dir",

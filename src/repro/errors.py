@@ -40,6 +40,21 @@ class AdmissionError(ReproError):
     bounds)."""
 
 
+class WorkerPoolError(ReproError):
+    """Raised by the multi-process morsel executor when a worker process dies
+    mid-query (after the retry budget is exhausted) or reports a task-level
+    failure.  The pool itself survives: dead workers are respawned and later
+    queries run normally."""
+
+
+class ProcessExecutionUnsupported(ReproError):
+    """Internal control-flow signal of the multi-process executor: the query
+    cannot be shipped to worker processes (no partitionable scan leaf, an
+    unshippable config such as a triangle index, or a dirty snapshot whose
+    delta exceeds the shipping threshold).  :meth:`repro.api.GraphflowDB.execute`
+    catches it and falls back to in-process thread execution."""
+
+
 class PersistenceError(ReproError):
     """Raised by the durable graph store for unusable data directories or
     operations against a closed store."""

@@ -7,10 +7,12 @@ from repro.executor.profile import ExecutionProfile
 from repro.executor.pipeline import execute_plan, count_matches
 from repro.executor.adaptive import execute_adaptive
 from repro.executor.parallel import execute_parallel
+from repro.executor.multiprocess import MorselProcessPool
 from repro.executor.vectorized import execute_plan_vectorized
 
 __all__ = [
     "ExecutionProfile",
+    "MorselProcessPool",
     "execute_plan",
     "count_matches",
     "execute_adaptive",

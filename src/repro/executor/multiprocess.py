@@ -1,0 +1,704 @@
+"""Multi-process morsel execution over a shared mmap'd snapshot base.
+
+The thread-pool executor (:mod:`repro.executor.parallel`) partitions the
+primary SCAN's edge list into morsels but remains GIL-bound: it reports
+honest *work-based* speed-ups while wall-clock time barely moves for
+Python-level work.  This module escapes the GIL with worker *processes*,
+following the partition-and-stream design of distributed WCOJ dataflows
+(arXiv:1802.03760): the graph is never pickled through a pipe — workers
+``np.memmap`` one shared, immutable snapshot file read-only (the persistence
+layer's checksummed ``.gfs`` format), rebuild the cheap derived structures
+once per base, and then stream ``(plan, config, scan-range)`` tasks.
+
+Coordinator protocol
+--------------------
+:class:`MorselProcessPool` owns ``num_workers`` long-lived worker processes,
+one shared task queue, and one shared result queue.  For each query the
+coordinator
+
+1. resolves a *base path*: the durable store's current snapshot file when the
+   caller can prove it matches the pinned snapshot (checkpoint-on-demand is
+   the caller's job, see ``GraphflowDB._process_base_path``), else a spool
+   file written once per distinct base object and reused across queries;
+2. serialises the query **once** — plan via
+   :func:`repro.planner.serialize.plan_to_dict`, config as primitives, and,
+   for a *dirty* snapshot, the delta as an overlay of sorted
+   ``(src, dst, label)`` triples (bounded by ``delta_ship_threshold``;
+   anything larger raises :class:`ProcessExecutionUnsupported` so the caller
+   falls back to in-process execution);
+3. computes morsel ranges over the scan's edge count with dynamic sizing
+   (``total / (num_workers * morsels_per_worker)`` clamped to
+   ``[min_morsel_size, max_morsel_size]``), enqueues one task per range, and
+   collects exactly one result per range, discarding stale messages from
+   abandoned attempts by query id;
+4. merges counts, collected rows (in morsel-index order, which equals the
+   serial scan order for the iterator engine), and
+   :class:`~repro.executor.profile.ExecutionProfile` objects with the same
+   ``workers``/``busy_seconds`` semantics as the thread executor.
+
+Workers cache the deserialised ``(plan, graph, config)`` per query id and the
+mapped base per path, so a query's cost is paid once, not per morsel.  A
+worker that dies mid-query is respawned and the query retried once under a
+fresh id; a second death raises :class:`~repro.errors.WorkerPoolError` while
+the pool stays usable for later queries.
+
+Determinism: match *counts* are bit-identical to the single-threaded pipeline
+for both engines (each scan edge is executed exactly once across morsels).
+Collected rows from the iterator engine come back in exact serial order;
+the vectorized engine may group rows differently within a morsel, exactly as
+it already does in-process.
+
+Deadlines ship as absolute ``time.monotonic()`` values, which is correct on
+Linux (``CLOCK_MONOTONIC`` is system-wide, and child processes share the
+boot clock) — the platform this pool targets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_mod
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProcessExecutionUnsupported, WorkerPoolError
+from repro.executor.operators import ExecutionConfig
+from repro.executor.parallel import ParallelResult, _primary_scan
+from repro.executor.profile import ExecutionProfile
+from repro.graph.graph import Graph
+from repro.obs.registry import Histogram
+from repro.planner.plan import Plan
+from repro.planner.serialize import plan_from_dict, plan_to_dict
+
+#: Mapped bases a worker keeps alive at once (current + previous, so a
+#: compaction/checkpoint handover does not thrash the page cache).
+_WORKER_BASE_CACHE = 2
+
+#: Config fields shipped to workers.  Everything else on ExecutionConfig is
+#: either per-morsel (scan_range) or unshippable (triangle_index).
+_SHIPPED_CONFIG_FIELDS = (
+    "enable_intersection_cache",
+    "isomorphism",
+    "output_limit",
+    "deadline",
+    "vectorized",
+    "batch_size",
+)
+
+
+class _WorkerDied(Exception):
+    """Internal: a worker process died while a query was in flight."""
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+def _load_worker_graph(spec: dict, base_cache: Dict[str, Graph]):
+    """Map the shared base (cached per path) and apply the delta overlay."""
+    path = spec["base_path"]
+    base = base_cache.get(path)
+    if base is None:
+        from repro.persistence.snapshot_file import read_snapshot
+
+        base, _ = read_snapshot(path, mmap=True)
+        while len(base_cache) >= _WORKER_BASE_CACHE:
+            base_cache.pop(next(iter(base_cache)))
+        base_cache[path] = base
+    overlay = spec.get("overlay")
+    if overlay is None:
+        return base
+    from repro.storage.dynamic import DynamicGraph
+
+    dynamic = DynamicGraph(base)
+    if overlay["vertex_labels_tail"]:
+        dynamic.add_vertices(labels=overlay["vertex_labels_tail"])
+    if overlay["inserts"]:
+        dynamic.add_edges(overlay["inserts"])
+    if overlay["deletes"]:
+        dynamic.delete_edges(overlay["deletes"])
+    return dynamic.snapshot()
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: deserialise a query spec once, then execute its morsels.
+
+    Must stay importable at module top level (``spawn`` start method).
+    """
+    base_cache: Dict[str, Graph] = {}
+    current: Optional[tuple] = None  # (query_id, plan, graph, config, collect, scan_vertices)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        _, query_id, morsel_index, spec_bytes, scan_range = task
+        try:
+            if current is None or current[0] != query_id:
+                spec = pickle.loads(spec_bytes)
+                graph = _load_worker_graph(spec, base_cache)
+                plan = plan_from_dict(spec["plan"])
+                config = ExecutionConfig(**spec["config"])
+                current = (
+                    query_id,
+                    plan,
+                    graph,
+                    config,
+                    spec["collect"],
+                    tuple(spec["scan_vertices"]),
+                )
+            _, plan, graph, config, collect, scan_vertices = current
+            from repro.executor.pipeline import execute_plan
+
+            morsel_config = replace(
+                config,
+                scan_range=tuple(scan_range),
+                scan_range_vertices=scan_vertices,
+            )
+            busy_start = time.perf_counter()
+            result = execute_plan(plan, graph, config=morsel_config, collect=collect)
+            busy = time.perf_counter() - busy_start
+            result_queue.put(
+                (
+                    "result",
+                    query_id,
+                    morsel_index,
+                    worker_id,
+                    result.num_matches,
+                    result.matches if collect else None,
+                    tuple(result.vertex_order),
+                    result.profile,
+                    result.truncated,
+                    result.deadline_exceeded,
+                    busy,
+                )
+            )
+        except BaseException as exc:  # report, keep serving later queries
+            current = None
+            try:
+                result_queue.put(
+                    (
+                        "error",
+                        query_id,
+                        morsel_index,
+                        worker_id,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            except Exception:
+                return
+
+
+# --------------------------------------------------------------------------- #
+# coordinator side
+# --------------------------------------------------------------------------- #
+class MorselProcessPool:
+    """A persistent pool of worker processes executing scan-range morsels.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes to spawn (lazily, on the first query).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available (cheap, workers inherit the imported modules) and
+        ``"spawn"`` otherwise.
+    morsels_per_worker:
+        Dynamic-sizing target: aim for this many morsels per worker so the
+        shared queue load-balances skewed ranges.
+    min_morsel_size / max_morsel_size:
+        Clamp on the computed morsel size (edges per morsel).
+    delta_ship_threshold:
+        Largest dirty-snapshot overlay (edge mutations + new vertices) the
+        coordinator will serialise to workers; beyond it the query raises
+        :class:`ProcessExecutionUnsupported` for the caller to run in-process.
+    spool_dir:
+        Where bases without a durable snapshot file are materialized; a
+        private temp directory (removed on close) by default.
+
+    One query executes at a time (``execute`` serialises callers); morsels of
+    that query run concurrently across all workers.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        start_method: Optional[str] = None,
+        morsels_per_worker: int = 4,
+        min_morsel_size: int = 256,
+        max_morsel_size: int = 65536,
+        delta_ship_threshold: int = 5000,
+        spool_dir: Optional[str] = None,
+        poll_seconds: float = 0.1,
+        retry_limit: int = 1,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self.num_workers = num_workers
+        self.start_method = start_method
+        self.morsels_per_worker = morsels_per_worker
+        self.min_morsel_size = min_morsel_size
+        self.max_morsel_size = max_morsel_size
+        self.delta_ship_threshold = delta_ship_threshold
+        self.poll_seconds = poll_seconds
+        self.retry_limit = retry_limit
+        self._ctx = mp.get_context(start_method)
+        self._task_queue = None
+        self._result_queue = None
+        self._workers: List = []
+        self._spool_dir_given = spool_dir
+        self._spool_dir: Optional[str] = None
+        self._query_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._query_counter = 0
+        self._ship_counter = 0
+        # Base-dedup cache: id(base) -> (base, spool path).  Strong refs pin
+        # the objects so a recycled id() can never alias a different graph.
+        self._shipped: Dict[int, Tuple[object, str]] = {}
+        self._closed = False
+        # Observability (read by the registry collector wired up in api.py).
+        self.morsel_seconds = Histogram()
+        self._counters = {
+            "queries": 0,
+            "tasks": 0,
+            "fallbacks": 0,
+            "respawns": 0,
+            "base_ships": 0,
+            "overlay_queries": 0,
+        }
+        self._worker_busy_seconds = [0.0] * num_workers
+        self._worker_morsels = [0] * num_workers
+        self._last_query_skew = 1.0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise WorkerPoolError("process pool is closed")
+        if self._task_queue is None:
+            self._task_queue = self._ctx.Queue()
+            self._result_queue = self._ctx.Queue()
+        if not self._workers:
+            self._workers = [self._spawn(i) for i in range(self.num_workers)]
+        elif any(proc is None or not proc.is_alive() for proc in self._workers):
+            self._respawn_dead()
+
+    def _spawn(self, worker_id: int):
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self._task_queue, self._result_queue),
+            name=f"repro-morsel-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def _respawn_dead(self) -> int:
+        """Rebuild the pool after a worker death: fresh queues, fresh workers.
+
+        A worker killed while blocked in ``queue.get()`` dies *holding the
+        shared queue's reader lock*, poisoning it for every sibling — so one
+        death condemns the whole generation, not just the dead slot."""
+        dead = sum(
+            1 for proc in self._workers if proc is None or not proc.is_alive()
+        )
+        if not dead:
+            return 0
+        for proc in self._workers:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for q in (self._task_queue, self._result_queue):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        self._workers = [self._spawn(i) for i in range(self.num_workers)]
+        with self._state_lock:
+            self._counters["respawns"] += dead
+        return dead
+
+    def close(self) -> None:
+        """Graceful shutdown: drain workers with sentinels, then reap."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._task_queue is not None:
+            for _ in self._workers:
+                try:
+                    self._task_queue.put(None)
+                except Exception:  # pragma: no cover - queue already broken
+                    break
+        for proc in self._workers:
+            if proc is None:
+                continue
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._workers = []
+        for q in (self._task_queue, self._result_queue):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        self._task_queue = self._result_queue = None
+        self._shipped.clear()
+        if self._spool_dir is not None and self._spool_dir_given is None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+        self._spool_dir = None
+
+    def __enter__(self) -> "MorselProcessPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # base shipping
+    # ------------------------------------------------------------------ #
+    def _spool(self) -> str:
+        if self._spool_dir is None:
+            if self._spool_dir_given is not None:
+                os.makedirs(self._spool_dir_given, exist_ok=True)
+                self._spool_dir = self._spool_dir_given
+            else:
+                self._spool_dir = tempfile.mkdtemp(prefix="repro-morsel-pool-")
+        return self._spool_dir
+
+    def _ship_base(self, base: Graph) -> str:
+        """Materialize ``base`` as a snapshot file exactly once per object."""
+        with self._state_lock:
+            entry = self._shipped.get(id(base))
+            if entry is not None and entry[0] is base:
+                return entry[1]
+        from repro.persistence.snapshot_file import write_snapshot
+
+        path = os.path.join(self._spool(), f"base-{self._ship_counter}.gfs")
+        self._ship_counter += 1
+        write_snapshot(base, path, last_seq=0)
+        with self._state_lock:
+            self._shipped[id(base)] = (base, path)
+            # Dedup entries for the two most recent bases are enough; spool
+            # files stay on disk until close() so a worker's mapping of an
+            # evicted base never dangles.
+            while len(self._shipped) > 2:
+                oldest = next(iter(self._shipped))
+                if oldest == id(base):
+                    break
+                self._shipped.pop(oldest)
+            self._counters["base_ships"] += 1
+        return path
+
+    # ------------------------------------------------------------------ #
+    # query execution
+    # ------------------------------------------------------------------ #
+    def note_fallback(self, reason: str) -> None:
+        """Count a per-query fallback to in-process execution."""
+        with self._state_lock:
+            self._counters["fallbacks"] += 1
+
+    def execute(
+        self,
+        plan: Plan,
+        graph,
+        config: Optional[ExecutionConfig] = None,
+        collect: bool = False,
+        base_path: Optional[str] = None,
+    ) -> ParallelResult:
+        """Execute ``plan`` across the worker processes.
+
+        ``graph`` is a :class:`~repro.graph.graph.Graph`,
+        :class:`~repro.storage.snapshot.GraphSnapshot`, or
+        :class:`~repro.storage.dynamic.DynamicGraph` (pinned to a snapshot
+        here).  ``base_path`` optionally names an existing snapshot file whose
+        content equals the graph's *base* (the durable store's current
+        checkpoint); without it the base is spooled on first use.
+
+        Raises :class:`ProcessExecutionUnsupported` (before any work is
+        enqueued) when the query cannot be shipped; the caller decides
+        whether to fall back in-process.
+        """
+        from repro.storage.dynamic import DynamicGraph
+
+        if isinstance(graph, DynamicGraph):
+            graph = graph.snapshot()
+        base_config = config or ExecutionConfig()
+        spec, ranges = self._build_spec(plan, graph, base_config, collect, base_path)
+        with self._query_lock:
+            self._ensure_started()
+            return self._run_query(plan, spec, ranges, base_config, collect)
+
+    def _build_spec(
+        self,
+        plan: Plan,
+        graph,
+        base_config: ExecutionConfig,
+        collect: bool,
+        base_path: Optional[str],
+    ) -> Tuple[dict, List[Tuple[int, int]]]:
+        from repro.storage.snapshot import GraphSnapshot
+
+        scan = _primary_scan(plan)
+        if scan is None:
+            raise ProcessExecutionUnsupported(
+                "plan has no scan leaf to partition into morsels"
+            )
+        if base_config.scan_range is not None:
+            raise ProcessExecutionUnsupported(
+                "an explicit scan_range conflicts with morsel partitioning"
+            )
+        if base_config.triangle_index is not None:
+            raise ProcessExecutionUnsupported(
+                "a triangle index cannot be shipped to worker processes"
+            )
+
+        overlay = None
+        if isinstance(graph, GraphSnapshot):
+            base = graph.base
+            if not graph.is_clean:
+                inserts = sorted(graph.delta.insert_keys)
+                deletes = sorted(graph.delta.deleted_keys)
+                tail = graph.vertex_labels[base.num_vertices:]
+                overlay_size = len(inserts) + len(deletes) + len(tail)
+                if overlay_size > self.delta_ship_threshold:
+                    raise ProcessExecutionUnsupported(
+                        f"dirty snapshot delta ({overlay_size} mutations) exceeds "
+                        f"the shipping threshold ({self.delta_ship_threshold})"
+                    )
+                overlay = {
+                    "inserts": inserts,
+                    "deletes": deletes,
+                    "vertex_labels_tail": [int(x) for x in tail.tolist()],
+                }
+                with self._state_lock:
+                    self._counters["overlay_queries"] += 1
+        elif isinstance(graph, Graph):
+            base = graph
+        else:
+            raise ProcessExecutionUnsupported(
+                f"unsupported graph type for process execution: {type(graph).__name__}"
+            )
+
+        if base_path is None:
+            base_path = self._ship_base(base)
+
+        edge = scan.edge
+        total_edges = graph.count_edges(
+            edge_label=edge.label,
+            src_label=scan.sub_query.vertex_label(edge.src),
+            dst_label=scan.sub_query.vertex_label(edge.dst),
+        )
+        spec = {
+            "base_path": base_path,
+            "overlay": overlay,
+            "plan": plan_to_dict(plan),
+            "config": {
+                field: getattr(base_config, field) for field in _SHIPPED_CONFIG_FIELDS
+            },
+            "collect": collect,
+            "scan_vertices": tuple(scan.out_vertices),
+        }
+        return spec, self._morsel_ranges(total_edges)
+
+    def _morsel_ranges(self, total_edges: int) -> List[Tuple[int, int]]:
+        if total_edges <= 0:
+            return [(0, 0)]
+        target = max(1, self.num_workers * self.morsels_per_worker)
+        size = -(-total_edges // target)  # ceil division
+        size = max(self.min_morsel_size, min(self.max_morsel_size, size))
+        return [
+            (start, min(start + size, total_edges))
+            for start in range(0, total_edges, size)
+        ]
+
+    def _run_query(
+        self,
+        plan: Plan,
+        spec: dict,
+        ranges: List[Tuple[int, int]],
+        base_config: ExecutionConfig,
+        collect: bool,
+    ) -> ParallelResult:
+        spec_bytes = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        start_time = time.perf_counter()
+        attempts = 0
+        while True:
+            with self._state_lock:
+                self._query_counter += 1
+                query_id = self._query_counter
+            try:
+                payloads = self._dispatch(query_id, spec_bytes, ranges)
+                break
+            except _WorkerDied:
+                self._respawn_dead()
+                attempts += 1
+                if attempts > self.retry_limit:
+                    raise WorkerPoolError(
+                        "worker process died mid-query and the retry budget is "
+                        "exhausted; the query failed but the pool was respawned"
+                    )
+                # Retry the whole query under a fresh id: results of the
+                # abandoned attempt are discarded by id on arrival.
+        elapsed = time.perf_counter() - start_time
+        return self._merge(plan, payloads, ranges, base_config, collect, elapsed)
+
+    def _dispatch(
+        self, query_id: int, spec_bytes: bytes, ranges: List[Tuple[int, int]]
+    ) -> Dict[int, tuple]:
+        for index, scan_range in enumerate(ranges):
+            self._task_queue.put(("task", query_id, index, spec_bytes, scan_range))
+        payloads: Dict[int, tuple] = {}
+        while len(payloads) < len(ranges):
+            try:
+                message = self._result_queue.get(timeout=self.poll_seconds)
+            except queue_mod.Empty:
+                if self._closed:
+                    raise WorkerPoolError("process pool closed mid-query")
+                if any(proc is None or not proc.is_alive() for proc in self._workers):
+                    raise _WorkerDied()
+                continue
+            if message[1] != query_id:
+                continue  # stale result from an abandoned attempt
+            if message[0] == "error":
+                raise WorkerPoolError(
+                    f"worker {message[3]} failed on morsel {message[2]}: {message[4]}"
+                )
+            payloads[message[2]] = message
+        return payloads
+
+    def _merge(
+        self,
+        plan: Plan,
+        payloads: Dict[int, tuple],
+        ranges: List[Tuple[int, int]],
+        base_config: ExecutionConfig,
+        collect: bool,
+        elapsed: float,
+    ) -> ParallelResult:
+        total = 0
+        merged = ExecutionProfile()
+        truncated = False
+        deadline_exceeded = False
+        per_worker_work = [0] * self.num_workers
+        query_busy = [0.0] * self.num_workers
+        matches: Optional[List[Tuple[int, ...]]] = [] if collect else None
+        vertex_order: Tuple[str, ...] = ()
+        for index in sorted(payloads):
+            (
+                _,
+                _,
+                _,
+                worker_id,
+                count,
+                rows,
+                v_order,
+                profile,
+                m_truncated,
+                m_deadline,
+                busy,
+            ) = payloads[index]
+            total += count
+            merged = merged.merge(profile)
+            per_worker_work[worker_id] += profile.intersection_cost + count
+            truncated = truncated or m_truncated
+            deadline_exceeded = deadline_exceeded or m_deadline
+            if v_order:
+                vertex_order = v_order
+            if matches is not None and rows:
+                matches.extend(rows)
+            query_busy[worker_id] += busy
+            self.morsel_seconds.observe(busy)
+        limit = base_config.output_limit
+        if limit is not None and total > limit:
+            total = limit
+            truncated = True
+        if matches is not None and limit is not None and len(matches) > limit:
+            matches = matches[:limit]
+        merged.elapsed_seconds = elapsed
+        merged.output_matches = total
+        # One profile per morsel was folded in; normalise busy-vs-wall by the
+        # process count, mirroring the thread executor.
+        merged.workers = self.num_workers
+        active = [b for b in query_busy if b > 0]
+        skew = (max(active) * len(active) / sum(active)) if active else 1.0
+        with self._state_lock:
+            self._counters["queries"] += 1
+            self._counters["tasks"] += len(ranges)
+            for worker_id, busy in enumerate(query_busy):
+                self._worker_busy_seconds[worker_id] += busy
+            for index in payloads:
+                self._worker_morsels[payloads[index][3]] += 1
+            self._last_query_skew = skew
+        return ParallelResult(
+            plan=plan,
+            num_matches=total,
+            profile=merged,
+            num_workers=self.num_workers,
+            elapsed_seconds=elapsed,
+            per_worker_work=per_worker_work,
+            truncated=truncated,
+            deadline_exceeded=deadline_exceeded,
+            matches=matches,
+            vertex_order=vertex_order,
+        )
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Pool-level counters plus per-worker busy/morsel/skew numbers
+        (flattened into gauges by the metrics registry's collector)."""
+        with self._state_lock:
+            counters = dict(self._counters)
+            busy = list(self._worker_busy_seconds)
+            morsels = list(self._worker_morsels)
+            skew = self._last_query_skew
+        total_busy = sum(busy)
+        mean_busy = total_busy / self.num_workers if self.num_workers else 0.0
+        overall_skew = (max(busy) / mean_busy) if mean_busy > 0 else 1.0
+        return {
+            "num_workers": self.num_workers,
+            "start_method": self.start_method,
+            "alive_workers": sum(
+                1 for proc in self._workers if proc is not None and proc.is_alive()
+            ),
+            **counters,
+            "last_query_skew": skew,
+            "busy_skew": overall_skew,
+            "morsel_count": self.morsel_seconds.count,
+            "morsel_p50_seconds": self.morsel_seconds.quantile(0.5),
+            "morsel_p99_seconds": self.morsel_seconds.quantile(0.99),
+            "workers": {
+                f"w{worker_id}": {
+                    "busy_seconds": busy[worker_id],
+                    "morsels": morsels[worker_id],
+                }
+                for worker_id in range(self.num_workers)
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MorselProcessPool(num_workers={self.num_workers}, "
+            f"start_method={self.start_method!r}, closed={self._closed})"
+        )
+
+
+__all__ = [
+    "MorselProcessPool",
+    "ProcessExecutionUnsupported",
+    "WorkerPoolError",
+]

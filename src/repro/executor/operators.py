@@ -70,6 +70,15 @@ class ExecutionConfig:
     batch_size:
         Rows per columnar frame emitted by the batch SCAN operator (and the
         granularity of deadline checks in vectorized mode).
+    execution_mode:
+        How ``num_workers > 1`` executions distribute morsels: ``"thread"``
+        (the in-process pool of :func:`repro.executor.parallel.execute_parallel`,
+        GIL-bound for Python-level work) or ``"process"`` (the
+        :class:`repro.executor.multiprocess.MorselProcessPool`, worker
+        processes mapping a shared snapshot file read-only for wall-clock
+        scaling).  Ignored when ``num_workers <= 1``.  An unsupported query
+        in process mode (e.g. a triangle-index config or an oversized dirty
+        delta) falls back to thread execution per query.
     """
 
     enable_intersection_cache: bool = True
@@ -81,6 +90,7 @@ class ExecutionConfig:
     deadline: Optional[float] = None
     vectorized: bool = False
     batch_size: int = 2048
+    execution_mode: str = "thread"
 
 
 # How many tuples an operator processes between deadline checks; keeps the

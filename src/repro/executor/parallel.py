@@ -41,6 +41,10 @@ class ParallelResult:
     per_worker_work: List[int] = field(default_factory=list)
     truncated: bool = False
     deadline_exceeded: bool = False
+    # Collected rows (``collect=True``): per-morsel frames merged in range
+    # order, capped at ``config.output_limit``; None when only counting.
+    matches: Optional[List[Tuple[int, ...]]] = None
+    vertex_order: Tuple[str, ...] = ()
 
     @property
     def work_based_speedup(self) -> float:
@@ -49,6 +53,12 @@ class ParallelResult:
         total = sum(self.per_worker_work)
         worst = max(self.per_worker_work) if self.per_worker_work else 0
         return total / worst if worst else 1.0
+
+    def matches_as_dicts(self) -> List[dict]:
+        """Matches keyed by query-vertex name (only if matches were collected)."""
+        if self.matches is None:
+            return []
+        return [dict(zip(self.vertex_order, m)) for m in self.matches]
 
 
 def _primary_scan(plan: Plan) -> Optional[ScanNode]:
@@ -72,15 +82,22 @@ def execute_parallel(
     num_workers: int = 2,
     morsel_size: int = 1024,
     config: Optional[ExecutionConfig] = None,
+    collect: bool = False,
 ) -> ParallelResult:
-    """Execute ``plan`` with ``num_workers`` workers over scan-range morsels."""
+    """Execute ``plan`` with ``num_workers`` workers over scan-range morsels.
+
+    With ``collect=True`` each morsel materialises its rows and the merged
+    result concatenates them in range order (the iterator engine therefore
+    reproduces the serial row order exactly), capped at
+    ``config.output_limit``.
+    """
     base_config = config or ExecutionConfig()
     scan = _primary_scan(plan)
     if scan is None or num_workers <= 1:
         from repro.executor.pipeline import execute_plan
 
         start = time.perf_counter()
-        result = execute_plan(plan, graph, config=base_config)
+        result = execute_plan(plan, graph, config=base_config, collect=collect)
         elapsed = time.perf_counter() - start
         return ParallelResult(
             plan=plan,
@@ -91,6 +108,8 @@ def execute_parallel(
             per_worker_work=[result.profile.intersection_cost + result.num_matches],
             truncated=result.truncated,
             deadline_exceeded=result.deadline_exceeded,
+            matches=result.matches,
+            vertex_order=tuple(result.vertex_order),
         )
 
     edge = scan.edge
@@ -104,7 +123,7 @@ def execute_parallel(
         for start in range(0, total_edges, morsel_size)
     ] or [(0, 0)]
 
-    def run_range(scan_range: Tuple[int, int]) -> Tuple[int, ExecutionProfile, bool, bool]:
+    def run_range(scan_range: Tuple[int, int]):
         # A global output limit cannot be partitioned across morsels exactly,
         # but it still bounds each worker: no single range may contribute more
         # than the limit, and the merged count is capped below.  Every other
@@ -118,9 +137,16 @@ def execute_parallel(
             scan_range=scan_range,
             scan_range_vertices=tuple(scan.out_vertices),
         )
-        result = execute_plan(plan, graph, config=worker_config)
+        result = execute_plan(plan, graph, config=worker_config, collect=collect)
         range_truncated = result.truncated and not result.deadline_exceeded
-        return result.num_matches, result.profile, result.deadline_exceeded, range_truncated
+        return (
+            result.num_matches,
+            result.profile,
+            result.deadline_exceeded,
+            range_truncated,
+            result.matches,
+            tuple(result.vertex_order),
+        )
 
     start_time = time.perf_counter()
     per_worker_work = [0] * num_workers
@@ -128,17 +154,26 @@ def execute_parallel(
     merged = ExecutionProfile()
     deadline_exceeded = False
     truncated = False
+    matches: Optional[List[Tuple[int, ...]]] = [] if collect else None
+    vertex_order: Tuple[str, ...] = ()
     with ThreadPoolExecutor(max_workers=num_workers) as pool:
         results = list(pool.map(run_range, ranges))
-    for i, (count, profile, exceeded, range_truncated) in enumerate(results):
+    for i, (count, profile, exceeded, range_truncated, rows, v_order) in enumerate(results):
         total += count
         merged = merged.merge(profile)
         per_worker_work[i % num_workers] += profile.intersection_cost + count
         deadline_exceeded = deadline_exceeded or exceeded
         truncated = truncated or exceeded or range_truncated
+        if v_order:
+            vertex_order = v_order
+        if matches is not None and rows:
+            # pool.map preserves input order, so frames merge in range order.
+            matches.extend(rows)
     if base_config.output_limit is not None and total > base_config.output_limit:
         total = base_config.output_limit
         truncated = True
+    if matches is not None and base_config.output_limit is not None:
+        matches = matches[: base_config.output_limit]
     elapsed = time.perf_counter() - start_time
     merged.elapsed_seconds = elapsed
     merged.output_matches = total
@@ -154,4 +189,6 @@ def execute_parallel(
         per_worker_work=per_worker_work,
         truncated=truncated,
         deadline_exceeded=deadline_exceeded,
+        matches=matches,
+        vertex_order=vertex_order,
     )

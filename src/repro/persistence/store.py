@@ -193,6 +193,7 @@ class DurableGraphStore:
         snapshot_seq: int,
         recovery: RecoveryReport,
         keep_snapshots: int = 2,
+        read_only: bool = False,
     ) -> None:
         if keep_snapshots < 1:
             raise ValueError("keep_snapshots must be at least 1")
@@ -202,13 +203,16 @@ class DurableGraphStore:
         self.snapshot_seq = snapshot_seq
         self.recovery = recovery
         self.keep_snapshots = keep_snapshots
+        self.read_only = read_only
         self.checkpoints = 0
         self.last_checkpoint_seconds = 0.0
         self.total_checkpoint_seconds = 0.0
         # Checkpoint-duration histogram (standalone; surfaced via stats()
         # quantiles and the database registry's persistence collector).
         self.checkpoint_seconds = Histogram()
-        self._last_applied_seq = wal.last_seq
+        # A reader's WAL tail may legitimately end before the snapshot (a
+        # writer's force_base case); never report a sequence below it.
+        self._last_applied_seq = max(wal.last_seq, snapshot_seq)
         # Serialises (WAL append, in-memory commit) pairs and checkpoint
         # captures; the heavy checkpoint I/O runs outside it.
         self._commit_lock = threading.RLock()
@@ -229,6 +233,7 @@ class DurableGraphStore:
         sync_every: int = 8,
         mmap: bool = False,
         keep_snapshots: int = 2,
+        read_only: bool = False,
     ) -> "DurableGraphStore":
         """Open (recovering) or bootstrap (initial snapshot) a store.
 
@@ -237,11 +242,28 @@ class DurableGraphStore:
         missing directory requires ``graph`` to bootstrap from.  With
         ``mmap=True`` the recovered base arrays are zero-copy
         ``np.memmap`` views of the snapshot file.
+
+        ``read_only=True`` opens the store as a *reader*: the pid ``LOCK`` is
+        neither checked nor taken (a live writer can keep running), recovery
+        is entirely side-effect free (the reader replays the durable WAL
+        prefix without truncating torn tails or dropping segments), and every
+        write entry point — :meth:`log_and_apply`, :meth:`checkpoint` —
+        raises :class:`~repro.errors.PersistenceError`.  Readers require an
+        existing store; bootstrapping is a writer's job.
         """
         start = time.perf_counter()
         data_dir = os.path.abspath(data_dir)
         snap_dir = os.path.join(data_dir, SNAPSHOT_DIR)
         wal_dir = os.path.join(data_dir, WAL_DIR)
+        if read_only:
+            if not store_exists(data_dir):
+                raise PersistenceError(
+                    f"{data_dir}: no store to open read-only (readers never bootstrap)"
+                )
+            return cls._open_locked(
+                data_dir, None, sync_every, mmap, keep_snapshots, None, start,
+                read_only=True,
+            )
         os.makedirs(snap_dir, exist_ok=True)
         os.makedirs(wal_dir, exist_ok=True)
         lock_path = _acquire_lock(data_dir)
@@ -261,8 +283,9 @@ class DurableGraphStore:
         sync_every: int,
         mmap: bool,
         keep_snapshots: int,
-        lock_path: str,
+        lock_path: Optional[str],
         start: float,
+        read_only: bool = False,
     ) -> "DurableGraphStore":
         snap_dir = os.path.join(data_dir, SNAPSHOT_DIR)
         wal_dir = os.path.join(data_dir, WAL_DIR)
@@ -309,9 +332,9 @@ class DurableGraphStore:
             bootstrapped = True
             snapshot_path = os.path.join(snap_dir, snapshot_filename(0))
 
-        wal = WriteAheadLog(wal_dir, sync_every=sync_every)
+        wal = WriteAheadLog(wal_dir, sync_every=sync_every, read_only=read_only)
         records = wal.open(min_seq=snapshot_seq)
-        if wal.last_seq < snapshot_seq:
+        if not read_only and wal.last_seq < snapshot_seq:
             # The WAL tail covering the snapshot was lost (e.g. a crash ate
             # the sealed segment after the checkpoint landed); restart the
             # log at the snapshot's sequence so new appends stay monotonic.
@@ -340,6 +363,7 @@ class DurableGraphStore:
             snapshot_seq=snapshot_seq,
             recovery=report,
             keep_snapshots=keep_snapshots,
+            read_only=read_only,
         )
         store._lock_path = lock_path
         return store
@@ -364,6 +388,8 @@ class DurableGraphStore:
         must therefore be idempotent with respect to replay — the
         ``DynamicGraph`` write API is).
         """
+        if self.read_only:
+            raise PersistenceError("durable store is open read-only")
         with self._commit_lock:
             # Checked under the lock: close() flips the flag and closes the
             # WAL while holding it, so an in-flight updater can never append
@@ -405,6 +431,8 @@ class DurableGraphStore:
         """
         if self._closed:
             raise PersistenceError("durable store is closed")
+        if self.read_only:
+            raise PersistenceError("durable store is open read-only")
         with self._checkpoint_lock:
             if not self.dirty and not force:
                 return None
@@ -439,9 +467,19 @@ class DurableGraphStore:
         """Checkpoint only if there is anything to cover (the compaction
         listener's entry point; never raises into the compaction thread for
         an already-clean store)."""
-        if not self.dirty or self._closed:
+        if not self.dirty or self._closed or self.read_only:
             return None
         return self.checkpoint()
+
+    def current_snapshot_path(self) -> Optional[str]:
+        """Path of the snapshot file covering ``snapshot_seq`` (the newest
+        checkpoint), or ``None`` if the file is gone.  When the store is not
+        :attr:`dirty`, this file's content equals the served graph's base —
+        the shared, mmap-able artifact multi-process execution maps."""
+        path = os.path.join(
+            self.data_dir, SNAPSHOT_DIR, snapshot_filename(self.snapshot_seq)
+        )
+        return path if os.path.exists(path) else None
 
     def _prune_snapshots(self) -> None:
         snap_dir = os.path.join(self.data_dir, SNAPSHOT_DIR)
@@ -459,7 +497,7 @@ class DurableGraphStore:
         graceful — restart will load the final snapshot and replay nothing."""
         if self._closed:
             return
-        if checkpoint and self.dirty:
+        if checkpoint and self.dirty and not self.read_only:
             self.checkpoint()
         with self._commit_lock:
             self._closed = True
@@ -474,6 +512,7 @@ class DurableGraphStore:
     def stats(self) -> dict:
         return {
             "data_dir": self.data_dir,
+            "read_only": self.read_only,
             "last_seq": self._last_applied_seq,
             "snapshot_seq": self.snapshot_seq,
             "wal_records_since_checkpoint": self._last_applied_seq - self.snapshot_seq,

@@ -42,7 +42,7 @@ import numpy as np
 
 from repro.obs.registry import Histogram
 
-from repro.errors import WALCorruptionError
+from repro.errors import PersistenceError, WALCorruptionError
 from repro.persistence.snapshot_file import _fsync_directory
 
 SEGMENT_MAGIC = b"GFWAL01\0"
@@ -209,13 +209,23 @@ class WriteAheadLog:
         per-record durability; larger values trade a bounded number of
         recent records (never more than ``sync_every - 1``) against fsync
         cost under sustained write load.
+    read_only:
+        Open the log as a *reader*: :meth:`open` scans the durable prefix
+        with **no** filesystem mutations (no torn-tail truncation, no
+        segment unlinks, no active segment creation), so a live writer's
+        files are never touched; :meth:`append`, :meth:`rotate`,
+        :meth:`force_base` and :meth:`prune` raise
+        :class:`~repro.errors.PersistenceError`.  Readers recover exactly
+        the records a writer's recovery would, they just leave the repairs
+        to the writer.
     """
 
-    def __init__(self, directory: str, sync_every: int = 8) -> None:
+    def __init__(self, directory: str, sync_every: int = 8, read_only: bool = False) -> None:
         if sync_every < 1:
             raise ValueError("sync_every must be at least 1")
         self.directory = os.path.abspath(directory)
         self.sync_every = sync_every
+        self.read_only = read_only
         os.makedirs(self.directory, exist_ok=True)
         self._handle: Optional[IO[bytes]] = None
         self._active_path: Optional[str] = None
@@ -240,6 +250,11 @@ class WriteAheadLog:
         segment becomes the active one (a fresh segment is created when the
         directory is empty).  Records at or below ``min_seq`` (already
         covered by a snapshot) are skipped but not deleted.
+
+        In ``read_only`` mode the scan is side-effect free: torn tails and
+        unusable segments end the durable prefix but are left on disk
+        untouched (they still count in ``truncated_bytes`` /
+        ``dropped_segments``), and no append handle or segment is created.
         """
         self.close()
         records: List[UpdateRecord] = []
@@ -252,22 +267,19 @@ class WriteAheadLog:
                 # Everything after a corruption point is not part of the
                 # durable prefix; drop it so a later rotation cannot
                 # resurrect stale records.
-                os.unlink(path)
-                self.dropped_segments += 1
+                self._drop_segment(path)
                 continue
             try:
                 seg_base, seg_records, durable = _scan_segment(path, expected_base=base_seq)
             except WALCorruptionError:
-                os.unlink(path)
-                self.dropped_segments += 1
+                self._drop_segment(path)
                 end_of_log = True
                 continue
             if prev_seq is None and seg_base > min_seq:
                 # The log starts *after* the snapshot's coverage: records in
                 # (min_seq, seg_base] are simply missing, so nothing from
                 # this point on can be replayed safely.
-                os.unlink(path)
-                self.dropped_segments += 1
+                self._drop_segment(path)
                 end_of_log = True
                 continue
             if prev_seq is not None and seg_base != prev_seq:
@@ -278,22 +290,27 @@ class WriteAheadLog:
                 # after a checkpoint already made it redundant.  Anything
                 # else means the durable prefix ends here.
                 if seg_base < prev_seq or seg_base > min_seq:
-                    os.unlink(path)
-                    self.dropped_segments += 1
+                    self._drop_segment(path)
                     end_of_log = True
                     continue
             size = os.path.getsize(path)
             if durable < size:
-                with open(path, "r+b") as handle:
-                    handle.truncate(durable)
-                    handle.flush()
-                    os.fsync(handle.fileno())
+                if not self.read_only:
+                    with open(path, "r+b") as handle:
+                        handle.truncate(durable)
+                        handle.flush()
+                        os.fsync(handle.fileno())
                 self.truncated_bytes += size - durable
                 end_of_log = True
             valid.append((seg_base, path, durable))
             records.extend(seg_records)
             prev_seq = seg_records[-1].seq if seg_records else seg_base
-        if valid:
+        if self.read_only:
+            if valid:
+                self._last_seq = prev_seq if prev_seq is not None else valid[-1][0]
+            else:
+                self._last_seq = min_seq
+        elif valid:
             base_seq, path, _ = valid[-1]
             self._active_path = path
             self._handle = open(path, "ab")
@@ -302,6 +319,13 @@ class WriteAheadLog:
             self._last_seq = min_seq
             self._start_segment(min_seq)
         return [r for r in records if r.seq > min_seq]
+
+    def _drop_segment(self, path: str) -> None:
+        """Discard a segment past the durable prefix (count-only when
+        read-only: a reader must not repair a live writer's files)."""
+        if not self.read_only:
+            os.unlink(path)
+        self.dropped_segments += 1
 
     def _start_segment(self, base_seq: int) -> None:
         path = os.path.join(self.directory, segment_name(base_seq))
@@ -341,6 +365,7 @@ class WriteAheadLog:
         group-commit policy), and the append raises — leaving the in-memory
         state untouched — if the log is closed or the write fails.
         """
+        self._check_writable()
         if self._handle is None:
             raise WALCorruptionError("write-ahead log is not open")
         append_start = time.perf_counter()
@@ -391,6 +416,7 @@ class WriteAheadLog:
         snapshot): new appends must continue from ``base_seq``, not from the
         stale tail.  Only ever moves the sequence forward.
         """
+        self._check_writable()
         if base_seq < self._last_seq:
             raise ValueError(
                 f"force_base({base_seq}) would move the log backwards "
@@ -414,6 +440,7 @@ class WriteAheadLog:
         Called with the store's commit lock held, so no append can interleave
         between sealing and the new segment's creation.
         """
+        self._check_writable()
         sealed_seq = self._last_seq
         if self._handle is not None:
             self._handle.flush()
@@ -431,6 +458,7 @@ class WriteAheadLog:
         last record of this one) is at most ``upto_seq``.  The active segment
         is never removed.
         """
+        self._check_writable()
         removed = 0
         segments = _list_segments(self.directory)
         for (base_seq, path), (next_base, _) in zip(segments, segments[1:]):
@@ -440,6 +468,10 @@ class WriteAheadLog:
         if removed:
             _fsync_directory(self.directory)
         return removed
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise PersistenceError("write-ahead log is open read-only")
 
     # ------------------------------------------------------------------ #
     # lifecycle

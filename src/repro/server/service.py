@@ -101,6 +101,16 @@ class QueryService:
         Morsel-parallel workers used *within* each query's execution
         (:func:`repro.executor.parallel.execute_parallel`); 1 means the
         single-threaded pipeline.
+    execution_mode:
+        ``"thread"`` (default) or ``"process"``: how ``num_workers > 1``
+        queries distribute their morsels.  Process mode warms a
+        :class:`~repro.executor.multiprocess.MorselProcessPool` at
+        construction — worker processes that map the durable store's
+        snapshot file (or a spooled copy) read-only and execute morsels
+        GIL-free — and shuts it down in :meth:`close`.  Queries the pool
+        cannot ship (e.g. a dirty snapshot whose delta exceeds the shipping
+        threshold) fall back to in-process thread execution per query.  A
+        submission can override the mode per query.
     vectorized / batch_size:
         Default execution mode for served queries: when ``vectorized`` is
         True, plans run through the batch-at-a-time (columnar) engine with
@@ -159,6 +169,7 @@ class QueryService:
         default_deadline_seconds: Optional[float] = None,
         default_row_limit: Optional[int] = None,
         num_workers: int = 1,
+        execution_mode: str = "thread",
         vectorized: bool = False,
         batch_size: int = 2048,
         background_compaction: bool = False,
@@ -201,6 +212,17 @@ class QueryService:
         self.default_deadline_seconds = default_deadline_seconds
         self.default_row_limit = default_row_limit
         self.num_workers = num_workers
+        if execution_mode not in ("thread", "process"):
+            raise ValueError(
+                f"unknown execution_mode {execution_mode!r}; expected 'thread' or 'process'"
+            )
+        self.execution_mode = execution_mode
+        # Process mode: warm the pool now (workers spawn, the base ships on
+        # the first query) so serving latency never pays pool startup; this
+        # service then owns the pool's shutdown.
+        self._owns_process_pool = execution_mode == "process" and num_workers > 1
+        if self._owns_process_pool:
+            db.enable_process_pool(num_workers)
         self.vectorized = vectorized
         self.batch_size = batch_size
         self.metrics = ServiceMetrics(window_seconds=metrics_window_seconds)
@@ -279,6 +301,7 @@ class QueryService:
         row_limit: Optional[int] = None,
         num_workers: Optional[int] = None,
         vectorized: Optional[bool] = None,
+        execution_mode: Optional[str] = None,
         _block: bool = False,
     ) -> "Future[ServiceResult]":
         """Submit a query for asynchronous execution.
@@ -303,6 +326,7 @@ class QueryService:
                 row_limit if row_limit is not None else self.default_row_limit,
                 num_workers if num_workers is not None else self.num_workers,
                 vectorized if vectorized is not None else self.vectorized,
+                execution_mode if execution_mode is not None else self.execution_mode,
             )
         except BaseException:
             self._release()
@@ -320,6 +344,7 @@ class QueryService:
         deadline_seconds: Optional[float] = None,
         row_limit: Optional[int] = None,
         vectorized: Optional[bool] = None,
+        execution_mode: Optional[str] = None,
     ) -> List[ServiceResult]:
         """Execute a batch, sharing planning across identical query shapes.
 
@@ -342,6 +367,7 @@ class QueryService:
                 deadline_seconds=deadline_seconds,
                 row_limit=row_limit,
                 vectorized=vectorized,
+                execution_mode=execution_mode,
                 _block=True,
             )
             for graph in graphs
@@ -423,6 +449,7 @@ class QueryService:
         row_limit: Optional[int],
         num_workers: int,
         vectorized: bool,
+        execution_mode: str,
     ) -> ServiceResult:
         start = time.monotonic()
         queue_seconds = start - submit_time
@@ -446,6 +473,7 @@ class QueryService:
                     collect=collect,
                     num_workers=num_workers,
                     config=config,
+                    execution_mode=execution_mode,
                 )
                 if result.deadline_exceeded:
                     status = STATUS_DEADLINE_EXCEEDED
@@ -556,6 +584,9 @@ class QueryService:
             out["compaction"] = self.db.compaction_manager.stats()
         if self.db.durable_store is not None:
             out["persistence"] = self.db.durable_store.stats()
+        pool_stats = self.db._process_pool_stats()
+        if pool_stats:
+            out["process_pool"] = pool_stats
         out["traces"] = self.obs.traces.stats()
         out["cardinality_feedback"] = self.obs.feedback.stats()
         return out
@@ -627,6 +658,9 @@ class QueryService:
             self._closed = True
             self._slots_free.notify_all()
         self._pool.shutdown(wait=wait)
+        if self._owns_process_pool:
+            self.db.close_process_pool()
+            self._owns_process_pool = False
         if self._owns_compaction:
             self.db.disable_background_compaction(wait=wait)
             self._owns_compaction = False

@@ -1,0 +1,184 @@
+"""Read-only reader mode: a second process-style handle on a live store.
+
+A reader must recover exactly the durable prefix a writer would, without
+taking the pid ``LOCK``, without truncating torn WAL tails, and without being
+able to mutate anything — so it can coexist with a running writer while the
+single-writer invariant stays intact.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import GraphflowDB
+from repro.errors import PersistenceError
+from repro.persistence.store import LOCK_FILE, DurableGraphStore
+from repro.persistence.wal import WriteAheadLog
+from repro.storage.dynamic import DynamicGraph
+
+from tests.persistence.conftest import (
+    apply_batch,
+    assert_graphs_equal,
+    random_workload,
+)
+
+
+def _store_apply(store: DurableGraphStore, batch) -> int:
+    inserts, deletes, labels = batch
+    seq, _ = store.log_and_apply(
+        inserts, deletes, labels, lambda: apply_batch(store.dynamic, batch)
+    )
+    return seq
+
+
+class TestReaderRecovery:
+    def test_reader_sees_writer_state_while_lock_held(self, base_graph, tmp_path):
+        rng = np.random.default_rng(5)
+        writer = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        for batch in random_workload(base_graph, rng, rounds=6):
+            _store_apply(writer, batch)
+        writer.wal.sync()
+
+        # The writer still holds the pid LOCK; the reader opens anyway.
+        assert os.path.exists(os.path.join(writer.data_dir, LOCK_FILE))
+        reader = DurableGraphStore.open(writer.data_dir, read_only=True)
+        assert reader.read_only
+        assert reader.last_seq == writer.last_seq
+        assert_graphs_equal(reader.dynamic.snapshot(), writer.dynamic.snapshot())
+
+        # Reader close leaves the writer's lock (and its WAL) untouched.
+        reader.close()
+        assert os.path.exists(os.path.join(writer.data_dir, LOCK_FILE))
+        _store_apply(writer, ([(0, 1, 0)], [], None))
+        writer.close(checkpoint=False)
+
+    def test_reader_never_bootstraps(self, tmp_path):
+        with pytest.raises(PersistenceError, match="read-only"):
+            DurableGraphStore.open(str(tmp_path / "missing"), read_only=True)
+
+    def test_reader_catches_up_past_checkpoint(self, base_graph, tmp_path):
+        rng = np.random.default_rng(9)
+        writer = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        batches = random_workload(base_graph, rng, rounds=8)
+        for i, batch in enumerate(batches):
+            _store_apply(writer, batch)
+            if i == 3:
+                writer.checkpoint()
+        writer.wal.sync()
+        reader = DurableGraphStore.open(writer.data_dir, read_only=True)
+        assert reader.last_seq == writer.last_seq
+        assert_graphs_equal(reader.dynamic.snapshot(), writer.dynamic.snapshot())
+        reader.close()
+        writer.close(checkpoint=False)
+
+
+class TestReaderGuards:
+    @pytest.fixture()
+    def pair(self, base_graph, tmp_path):
+        writer = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        _store_apply(writer, ([(0, 7, 0)], [], None))
+        writer.wal.sync()
+        reader = DurableGraphStore.open(writer.data_dir, read_only=True)
+        yield writer, reader
+        reader.close()
+        writer.close(checkpoint=False)
+
+    def test_reader_refuses_writes(self, pair):
+        _, reader = pair
+        with pytest.raises(PersistenceError, match="read-only"):
+            reader.log_and_apply([(1, 2, 0)], [], None, lambda: None)
+
+    def test_reader_refuses_checkpoints(self, pair):
+        _, reader = pair
+        with pytest.raises(PersistenceError, match="read-only"):
+            reader.checkpoint()
+        assert reader.maybe_checkpoint() is None
+
+    def test_reader_wal_refuses_mutation(self, pair):
+        _, reader = pair
+        with pytest.raises(PersistenceError, match="read-only"):
+            reader.wal.append([(1, 2, 0)], [], None)
+        with pytest.raises(PersistenceError, match="read-only"):
+            reader.wal.rotate()
+        with pytest.raises(PersistenceError, match="read-only"):
+            reader.wal.prune(0)
+
+    def test_reader_stats_flag(self, pair):
+        writer, reader = pair
+        assert reader.stats()["read_only"] is True
+        assert writer.stats()["read_only"] is False
+
+    def test_foreign_lock_rejects_writer_not_reader(self, base_graph, tmp_path):
+        """A lock held by another *running* process (pid 1 is always alive)
+        blocks a second writer but never a reader."""
+        data_dir = str(tmp_path / "store")
+        store = DurableGraphStore.open(data_dir, graph=base_graph)
+        store.wal.sync()
+        store.close(checkpoint=False)
+        with open(os.path.join(data_dir, LOCK_FILE), "w") as handle:
+            handle.write("1")
+        with pytest.raises(PersistenceError, match="locked by running process"):
+            DurableGraphStore.open(data_dir)
+        reader = DurableGraphStore.open(data_dir, read_only=True)
+        assert reader.read_only
+        reader.close()
+
+
+class TestTornTailReadOnly:
+    def test_torn_tail_not_truncated_on_disk(self, base_graph, tmp_path):
+        writer = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        for batch in random_workload(base_graph, np.random.default_rng(2), rounds=4):
+            _store_apply(writer, batch)
+        writer.wal.sync()
+        expected = writer.dynamic.snapshot()
+        last_seq = writer.last_seq
+        data_dir = writer.data_dir
+        writer.close(checkpoint=False)
+
+        # Tear the active segment mid-record (a crashed writer's torn tail).
+        wal_dir = os.path.join(data_dir, "wal")
+        segments = sorted(os.listdir(wal_dir))
+        seg_path = os.path.join(wal_dir, segments[-1])
+        original = open(seg_path, "rb").read()
+        torn = original + b"\x07\x00\x00\x00gar"
+        with open(seg_path, "wb") as handle:
+            handle.write(torn)
+
+        reader = DurableGraphStore.open(data_dir, read_only=True)
+        assert reader.last_seq == last_seq
+        assert_graphs_equal(reader.dynamic.snapshot(), expected)
+        reader.close()
+        # A read-only open must not repair the file: bytes are unchanged.
+        assert open(seg_path, "rb").read() == torn
+
+        # A read-write open *does* truncate the torn bytes.
+        repaired = DurableGraphStore.open(data_dir)
+        assert repaired.last_seq == last_seq
+        repaired.close(checkpoint=False)
+        assert open(seg_path, "rb").read() == original
+
+
+class TestDatabaseReader:
+    def test_graphflow_reader_matches_writer(self, base_graph, tmp_path):
+        data_dir = str(tmp_path / "store")
+        writer = GraphflowDB.open(data_dir, graph=base_graph)
+        writer.apply_updates(inserts=[(0, 5, 0), (5, 9, 0), (9, 0, 0)])
+        writer.durable_store.wal.sync()
+        writer.build_catalogue(h=2, z=60)
+
+        reader = GraphflowDB.open(data_dir, read_only=True)
+        assert reader.read_only
+        reader.build_catalogue(h=2, z=60)
+        from repro.query import catalog_queries as cq
+
+        query = cq.triangle()
+        assert reader.execute(query).num_matches == writer.execute(query).num_matches
+        with pytest.raises(PersistenceError, match="read-only"):
+            reader.apply_updates(inserts=[(1, 2, 0)])
+        reader.close()
+        # The writer keeps serving writes after the reader detaches.
+        writer.apply_updates(inserts=[(2, 6, 0)])
+        writer.close()

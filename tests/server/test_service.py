@@ -279,12 +279,13 @@ class TestExecuteFlagValidation:
         with pytest.raises(ValueError, match="adaptive"):
             db.execute(cq.triangle(), num_workers=2, adaptive=True)
 
-    def test_parallel_with_collect_raises(self, db):
-        with pytest.raises(ValueError, match="collect"):
-            db.execute(cq.triangle(), num_workers=2, collect=True)
+    def test_parallel_with_collect_matches_serial(self, db):
+        serial = db.execute(cq.triangle(), collect=True)
+        parallel = db.execute(cq.triangle(), num_workers=2, collect=True)
+        assert parallel.matches == serial.matches
 
     def test_parallel_with_both_raises(self, db):
-        with pytest.raises(ValueError, match="adaptive or collect"):
+        with pytest.raises(ValueError, match="adaptive"):
             db.execute(cq.triangle(), num_workers=2, adaptive=True, collect=True)
 
     def test_parallel_plain_still_works(self, db):
