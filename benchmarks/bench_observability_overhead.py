@@ -10,11 +10,17 @@ dicts, exposition rendering, quantiles) runs at scrape time only.
 
 This benchmark replays the same repeated-query serving workload (the
 ``bench_serving_throughput`` shape: a small query mix, vertices renamed per
-request, replayed through :class:`repro.server.service.QueryService`) twice
-per graph — once with ``Observability.enabled = True`` (the default) and
-once with ``False`` — and gates the instrumented run at **<= 5% overhead**
-on the largest graph.  Results are recorded in
-``BENCH_observability.json`` at the repo root.
+request, replayed through :class:`repro.server.service.QueryService`) in
+both modes per graph — ``Observability.enabled = True`` (the default) and
+``False`` — with the timed rounds *interleaved* (instrumented, plain,
+instrumented, plain, …) so slow environmental drift on a shared runner
+cancels out instead of biasing one mode, and gates the instrumented best
+round at **<= 5% overhead** on the largest graph.  A second phase replays the same workload through the
+persistent morsel process pool (``execution_mode="process"``): worker-side
+stage timing, the metrics piggyback on result messages, and the
+coordinator-side merge into morsel spans all ride that path and share the
+same **<= 5%** bar.  Results are recorded in ``BENCH_observability.json``
+at the repo root.
 
 Run directly (also the CI smoke test):
 
@@ -49,6 +55,20 @@ CLIENTS = 2
 ROUNDS = 5
 MAX_OVERHEAD_LARGEST = 1.05
 
+#: Process-mode phase: the same replay served through the persistent morsel
+#: process pool, instrumented vs not.  Worker-side span collection, the
+#: timing piggyback on result messages, and the coordinator-side fold into
+#: morsel spans + worker_* metric families all ride this path, and they
+#: share the thread-mode overhead bar.  One mid-size graph, a shorter
+#: request replay, and fewer rounds: each request pays cross-process
+#: dispatch (~1s on epinions), so the phase is sized to stay cheap on small
+#: CI runners while still executing dozens of instrumented morsels.
+PROCESS_GRAPH = ("epinions", 1.0)
+PROCESS_WORKERS = 2
+PROCESS_REQUESTS = 12
+PROCESS_ROUNDS = 2
+MAX_OVERHEAD_PROCESS = MAX_OVERHEAD_LARGEST
+
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_observability.json"
 
 
@@ -76,14 +96,93 @@ def _replay(service: QueryService, requests: List[QueryGraph]) -> float:
     return elapsed
 
 
-def _best_replay_seconds(db: GraphflowDB, requests: List[QueryGraph]) -> float:
-    # QueryService(trace=...) is the serving-side master switch; it must
-    # mirror the db's Observability state or it re-enables tracing.
-    with QueryService(
-        db, max_concurrent=CLIENTS, max_queue=len(requests), trace=db.obs.enabled
-    ) as service:
-        _replay(service, requests)  # warm: plan cache, catalogue, allocator
-        return min(_replay(service, requests) for _ in range(ROUNDS))
+def _paired_replay_seconds(
+    instrumented_db: GraphflowDB,
+    plain_db: GraphflowDB,
+    requests: List[QueryGraph],
+    rounds: int = ROUNDS,
+    **service_kwargs,
+) -> Dict[bool, float]:
+    """Best replay seconds for both modes, measured with interleaved rounds.
+
+    The two services stay open together and timed rounds alternate
+    instrumented/plain, so slow environmental drift (CPU frequency, memory
+    pressure, a noisy CI neighbour) hits both modes equally instead of
+    biasing whichever mode happened to run second.  Returns
+    ``{True: best_instrumented, False: best_plain}``.
+
+    QueryService(trace=...) is the serving-side master switch; it must
+    mirror each db's Observability state or it re-enables tracing.
+    """
+    services = {}
+    times: Dict[bool, List[float]] = {True: [], False: []}
+    try:
+        for flag, db in ((True, instrumented_db), (False, plain_db)):
+            services[flag] = QueryService(
+                db,
+                max_concurrent=CLIENTS,
+                max_queue=len(requests),
+                trace=db.obs.enabled,
+                **service_kwargs,
+            )
+            _replay(services[flag], requests)  # warm: plan cache, allocator
+        for _ in range(rounds):
+            for flag in (True, False):
+                times[flag].append(_replay(services[flag], requests))
+    finally:
+        for service in services.values():
+            service.close()
+    return {flag: min(samples) for flag, samples in times.items()}
+
+
+def run_process_phase() -> Dict:
+    """Instrumented vs uninstrumented serving through the morsel process pool."""
+    name, scale = PROCESS_GRAPH
+    graph = datasets.load(name, scale=scale)
+    requests = _workload()[:PROCESS_REQUESTS]
+
+    instrumented_db = _make_db(graph, instrumented=True)
+    plain_db = _make_db(graph, instrumented=False)
+    best = _paired_replay_seconds(
+        instrumented_db,
+        plain_db,
+        requests,
+        rounds=PROCESS_ROUNDS,
+        num_workers=PROCESS_WORKERS,
+        execution_mode="process",
+    )
+    instrumented_seconds, plain_seconds = best[True], best[False]
+    # The instrumented run must have merged worker-side spans and shipped
+    # worker metrics back to the coordinator registry.
+    last_trace = instrumented_db.obs.traces.last(kind="query")
+    assert last_trace is not None and last_trace.mode == "parallel-process"
+    morsel_spans = sum(1 for s in last_trace.spans if s.name == "morsel")
+    assert morsel_spans >= 1, "process-mode trace carries no morsel spans"
+    exposition = instrumented_db.obs.registry.expose_prometheus()
+    assert "graphflow_worker_morsels_total" in exposition
+    assert plain_db.obs.traces.stats()["recorded"] == 0
+    instrumented_db.close()
+    plain_db.close()
+
+    overhead = instrumented_seconds / max(plain_seconds, 1e-9)
+    print(
+        f"{name}(x{scale}) process pool ({PROCESS_WORKERS} workers): "
+        f"uninstrumented {plain_seconds * 1e3:.1f}ms, "
+        f"instrumented {instrumented_seconds * 1e3:.1f}ms "
+        f"({(overhead - 1) * 100:+.1f}%)"
+    )
+    return {
+        "graph": name,
+        "scale": scale,
+        "workers": PROCESS_WORKERS,
+        "requests": PROCESS_REQUESTS,
+        "clients": CLIENTS,
+        "rounds": PROCESS_ROUNDS,
+        "morsel_spans_last_trace": morsel_spans,
+        "uninstrumented_seconds": round(plain_seconds, 5),
+        "instrumented_seconds": round(instrumented_seconds, 5),
+        "overhead": round(overhead, 4),
+    }
 
 
 def run_benchmark() -> Dict:
@@ -93,15 +192,16 @@ def run_benchmark() -> Dict:
         graph = datasets.load(name, scale=scale)
 
         instrumented_db = _make_db(graph, instrumented=True)
-        instrumented_seconds = _best_replay_seconds(instrumented_db, requests)
+        plain_db = _make_db(graph, instrumented=False)
+        best = _paired_replay_seconds(instrumented_db, plain_db, requests)
+        instrumented_seconds, plain_seconds = best[True], best[False]
         # The instrumented run must actually have observed everything.
         recorded = instrumented_db.obs.traces.stats()["recorded"]
         assert recorded >= (ROUNDS + 1) * NUM_REQUESTS, recorded
         assert instrumented_db.obs.feedback.stats()["plans_tracked"] >= 2
-
-        plain_db = _make_db(graph, instrumented=False)
-        plain_seconds = _best_replay_seconds(plain_db, requests)
         assert plain_db.obs.traces.stats()["recorded"] == 0
+        instrumented_db.close()
+        plain_db.close()
 
         overhead = instrumented_seconds / max(plain_seconds, 1e-9)
         rows.append(
@@ -127,12 +227,16 @@ def run_benchmark() -> Dict:
         )
     largest = GRAPHS[-1][0]
     largest_row = next(r for r in rows if r["graph"] == largest)
+    process_row = run_process_phase()
     return {
         "benchmark": "observability_overhead",
         "largest_graph": largest,
         "largest_overhead": largest_row["overhead"],
         "max_allowed_overhead_largest": MAX_OVERHEAD_LARGEST,
+        "process_overhead": process_row["overhead"],
+        "max_allowed_overhead_process": MAX_OVERHEAD_PROCESS,
         "rows": rows,
+        "process": process_row,
     }
 
 
@@ -144,6 +248,11 @@ def test_observability_overhead():
         f"per-query tracing must cost <= "
         f"{(MAX_OVERHEAD_LARGEST - 1) * 100:.0f}% on {record['largest_graph']}, "
         f"got {(record['largest_overhead'] - 1) * 100:.1f}%"
+    )
+    assert record["process_overhead"] <= MAX_OVERHEAD_PROCESS, (
+        f"worker-side tracing + metrics shipping must cost <= "
+        f"{(MAX_OVERHEAD_PROCESS - 1) * 100:.0f}% in process mode, "
+        f"got {(record['process_overhead'] - 1) * 100:.1f}%"
     )
 
 

@@ -34,7 +34,7 @@ from repro.executor.parallel import ParallelResult, execute_parallel
 from repro.executor.pipeline import ExecutionResult, execute_plan
 from repro.graph.graph import Graph
 from repro.graph.schema import GraphSchema
-from repro.obs import Observability
+from repro.obs import EventLog, Observability
 from repro.obs.trace import QueryTrace, operator_stats_from_profile
 from repro.planner.cost_model import CostModel, annotate_operator_estimates, constants_for
 from repro.planner.dp_optimizer import DynamicProgrammingOptimizer
@@ -114,6 +114,7 @@ class GraphflowDB:
         schema: Optional[GraphSchema] = None,
         plan_cache_capacity: int = 128,
         obs: Optional[Observability] = None,
+        event_log: Optional[Union[str, EventLog]] = None,
     ) -> None:
         self.graph = graph
         self.catalogue = catalogue
@@ -152,6 +153,11 @@ class GraphflowDB:
         # feedback).  Collectors pull the ad-hoc stats surfaces lazily at
         # scrape time, so attaching them here costs nothing per query.
         self.obs = obs if obs is not None else Observability()
+        # Structured event log (obs/events.py): a path (or EventLog) here
+        # attaches the JSONL stream lifecycle events flow into — query
+        # finishes, checkpoints, compactions, pool respawns, recovery.
+        if event_log is not None:
+            self.obs.attach_event_log(event_log)
         registry = self.obs.registry
         registry.register_collector("plan_cache", self._plan_cache_stats)
         registry.register_collector("compaction", self._compaction_stats)
@@ -242,6 +248,18 @@ class GraphflowDB:
         )
         db = cls(store.dynamic, **db_kwargs)
         db.durable_store = store
+        store.event_sink = db.obs.emit_event
+        report = store.recovery
+        if report is not None:
+            db.obs.emit_event(
+                "recovery",
+                bootstrapped=report.bootstrapped,
+                snapshot_seq=report.snapshot_seq,
+                replayed_records=report.replayed_records,
+                replayed_edges=report.replayed_edges,
+                truncated_bytes=report.truncated_bytes,
+                seconds=round(report.seconds, 6),
+            )
         return db
 
     @property
@@ -295,6 +313,7 @@ class GraphflowDB:
             else:
                 self.set_graph(store.dynamic)
             self.durable_store = store
+            store.event_sink = self.obs.emit_event
             return store
 
     def checkpoint(self, force: bool = False):
@@ -339,9 +358,15 @@ class GraphflowDB:
                 return pool
             if pool is not None and not pool.closed:
                 pool.close()
-            pool = MorselProcessPool(num_workers=num_workers, **pool_kwargs)
-            self._process_pool = pool
-            return pool
+            new_pool = MorselProcessPool(
+                num_workers=num_workers, observability=self.obs, **pool_kwargs
+            )
+            if pool is not None:
+                # Worker counters and generation keep accumulating across the
+                # pool replacement, so worker_* exposition never resets.
+                new_pool.carry_from(pool)
+            self._process_pool = new_pool
+            return new_pool
 
     def close_process_pool(self) -> None:
         """Shut the process pool down (workers drain and exit); idempotent."""
@@ -546,6 +571,7 @@ class GraphflowDB:
                     poll_interval_seconds=poll_interval_seconds,
                     min_interval_seconds=min_interval_seconds or 0.0,
                 )
+                manager.event_sink = self.obs.emit_event
                 self.compaction_manager = manager
             else:
                 if compact_ratio is not None:
@@ -831,6 +857,7 @@ class GraphflowDB:
                     deadline_exceeded=parallel.deadline_exceeded,
                     feedback_key=feedback_key,
                     num_workers=num_workers,
+                    morsel_records=parallel.morsel_records,
                 )
                 if tracing
                 else None
@@ -956,6 +983,7 @@ class GraphflowDB:
         deadline_exceeded: bool,
         feedback_key: Optional[tuple],
         num_workers: int = 1,
+        morsel_records: Optional[List[dict]] = None,
     ) -> QueryTrace:
         """Assemble and record the trace of one executed query.
 
@@ -965,6 +993,12 @@ class GraphflowDB:
         (generators only finalise their counters when fully drained), in
         which case the trace simply carries no operator rows and the
         execution contributes no cardinality feedback.
+
+        ``morsel_records`` (process mode) become one ``morsel`` child span
+        per executed morsel, carrying the worker-side stage timings; the
+        ``execute`` span then also gets the cross-worker skew and
+        critical-path summary so ``trace.format()`` can show where a slow
+        parallel query actually spent its time.
         """
         status = (
             "deadline" if deadline_exceeded else ("truncated" if truncated else "ok")
@@ -977,12 +1011,24 @@ class GraphflowDB:
             total_seconds=plan_seconds + elapsed_seconds,
             plan_type=plan.plan_type,
             plan_cached=plan_cached,
+            canonical_key=str(query_graph.canonical_key()),
         )
         trace.add_span("plan", plan_seconds, cached=plan_cached, plan_type=plan.plan_type)
         exec_attrs = {"mode": mode}
         if num_workers > 1:
             exec_attrs["num_workers"] = num_workers
+        if morsel_records:
+            # Shared field list with ExecutionProfile.as_dict — the trace and
+            # the profile surface the same multi-worker summary names.
+            for name in type(profile).WORKER_SUMMARY_FIELDS:
+                exec_attrs[name] = getattr(profile, name)
         trace.add_span("execute", elapsed_seconds, **exec_attrs)
+        for record in morsel_records or ():
+            # The span duration is the execute time; every other timing
+            # (queue_wait, deserialize, base_load, overlay_rebuild) plus the
+            # monotonic started_at stamp ride along as attributes.
+            attrs = {key: value for key, value in record.items() if key != "execute"}
+            trace.add_span("morsel", record.get("execute", 0.0), **attrs)
         trace.operators = operator_stats_from_profile(
             profile.per_operator, profile.operator_seconds, plan.operator_estimates
         )

@@ -116,24 +116,37 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(f"  triangle estimate: {stats.triangle_estimate:.0f}")
         return 0
 
+    import time
+
     from repro.server.service import QueryService
 
     db = _load_db(args)
     names = [n.strip() for n in args.queries.split(",") if n.strip()]
     workload = [_resolve_query(names[i % len(names)]) for i in range(args.requests)]
     with QueryService(db, vectorized=args.vectorized) as service:
-        service.execute_batch(workload)
-        if args.json:
-            stats = service.stats()
-            stats["db"] = db.stats()
-            print(json.dumps(stats, indent=2, default=str))
-        else:
-            print(
-                format_table(
-                    service.stats_rows(),
-                    title=f"service stats after {len(workload)} queries ({','.join(names)})",
-                )
-            )
+        iteration = 0
+        while True:
+            service.execute_batch(workload)
+            iteration += 1
+            if args.json:
+                stats = service.stats()
+                stats["db"] = db.stats()
+                print(json.dumps(stats, indent=2, default=str))
+            else:
+                title = f"service stats after {iteration * len(workload)} queries ({','.join(names)})"
+                if args.watch is not None:
+                    title += time.strftime(" — %H:%M:%S")
+                print(format_table(service.stats_rows(), title=title))
+            if args.watch is None:
+                break
+            # Hidden test hook: bound the refresh loop; interactive use runs
+            # until Ctrl-C.
+            if args.watch_iterations is not None and iteration >= args.watch_iterations:
+                break
+            try:
+                time.sleep(args.watch)
+            except KeyboardInterrupt:
+                break
     return 0
 
 
@@ -145,24 +158,20 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     db = _load_db(args)
     query = _resolve_query(args.query)
-    result = db.execute(
-        query,
+    execute_kwargs = dict(
         adaptive=args.adaptive,
         num_workers=args.workers,
         vectorized=True if args.vectorized else None,
+        execution_mode=getattr(args, "execution_mode", None),
     )
+    result = db.execute(query, **execute_kwargs)
     trace = result.trace
     if trace is None:  # pragma: no cover - tracing is on by default
         print("error: tracing is disabled on this database", file=sys.stderr)
         return 1
     if args.repeat > 1:
         for _ in range(args.repeat - 1):
-            result = db.execute(
-                query,
-                adaptive=args.adaptive,
-                num_workers=args.workers,
-                vectorized=True if args.vectorized else None,
-            )
+            result = db.execute(query, **execute_kwargs)
             trace = result.trace
     if args.json:
         print(json.dumps(trace.as_dict(), indent=2, default=str))
@@ -295,6 +304,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         execution_mode=args.execution_mode,
         vectorized=args.vectorized,
         slow_query_seconds=args.slow_query_seconds,
+        event_log=args.event_log,
     ) as service:
         start = time.perf_counter()
         results = service.execute_batch(workload)
@@ -411,6 +421,75 @@ def cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_events(args: argparse.Namespace) -> int:
+    """Tail / filter a structured event log: the JSONL stream written by
+    ``GraphflowDB(event_log=...)`` / ``serve --event-log``.  Reads rotated
+    backups oldest-first, skips torn or malformed lines, and with
+    ``--follow`` keeps polling the active file for appended events
+    (rotation-aware) until interrupted."""
+    import json
+    import os
+    import time
+
+    from repro.obs.events import iter_events, tail_events
+
+    types = (
+        [t.strip() for t in args.type.split(",") if t.strip()] if args.type else None
+    )
+
+    def render(event: dict) -> str:
+        if args.json:
+            return json.dumps(event, sort_keys=True, default=str)
+        stamp = time.strftime("%H:%M:%S", time.localtime(event.get("ts", 0.0)))
+        fields = " ".join(
+            f"{key}={value}"
+            for key, value in event.items()
+            if key not in ("v", "ts", "type")
+        )
+        return f"{stamp}  {event.get('type', '?'):<20} {fields}"
+
+    if not os.path.exists(args.path):
+        print(f"error: no event log at {args.path}", file=sys.stderr)
+        return 1
+    if args.tail is not None:
+        events = tail_events(args.path, n=args.tail, types=types)
+    else:
+        events = list(iter_events(args.path, types=types))
+    for event in events:
+        print(render(event))
+    if not args.follow:
+        return 0
+    try:
+        handle = open(args.path, "r", encoding="utf-8")
+        handle.seek(0, os.SEEK_END)
+        while True:
+            line = handle.readline()
+            if not line:
+                # Rotation check: the writer renamed our file away and
+                # started a fresh one at the same path.
+                try:
+                    if os.stat(args.path).st_ino != os.fstat(handle.fileno()).st_ino:
+                        handle.close()
+                        handle = open(args.path, "r", encoding="utf-8")
+                        continue
+                except OSError:
+                    pass
+                time.sleep(args.poll_interval)
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if types is not None and event.get("type") not in types:
+                continue
+            print(render(event), flush=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        handle.close()
+    return 0
+
+
 def cmd_checkpoint(args: argparse.Namespace) -> int:
     """Force a checkpoint of an existing durable store: compact state is
     written as a fresh snapshot file and the write-ahead log is truncated
@@ -489,6 +568,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--vectorized", action="store_true", help="serve the workload vectorized"
     )
     stats.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    stats.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --queries: re-run the workload and refresh the stats "
+        "every SECONDS until interrupted",
+    )
+    stats.add_argument(
+        # Test hook: bound the --watch loop to N refreshes.
+        "--watch-iterations",
+        type=int,
+        default=None,
+        dest="watch_iterations",
+        help=argparse.SUPPRESS,
+    )
     stats.set_defaults(func=cmd_stats)
 
     trace = sub.add_parser(
@@ -498,6 +593,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--query", required=True)
     trace.add_argument("--adaptive", action="store_true")
     trace.add_argument("--workers", type=int, default=1)
+    trace.add_argument(
+        "--execution-mode",
+        choices=("thread", "process"),
+        default="thread",
+        dest="execution_mode",
+        help="how --workers > 1 splits morsels; 'process' traces show "
+        "per-morsel worker spans plus skew/critical-path summaries",
+    )
     trace.add_argument(
         "--vectorized",
         action="store_true",
@@ -628,7 +731,44 @@ def build_parser() -> argparse.ArgumentParser:
         dest="slow_query_seconds",
         help="log and retain queries at least this slow (the slow-query log)",
     )
+    serve.add_argument(
+        "--event-log",
+        default=None,
+        dest="event_log",
+        metavar="PATH",
+        help="stream structured lifecycle events (query finishes, "
+        "checkpoints, compactions, pool respawns) to this JSONL file",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    events = sub.add_parser(
+        "events", help="tail / filter a structured event log (JSONL)"
+    )
+    events.add_argument("--path", required=True, help="event log file path")
+    events.add_argument(
+        "--type",
+        default=None,
+        help="comma-separated event types to keep (e.g. slow_query,checkpoint)",
+    )
+    events.add_argument(
+        "--tail", type=int, default=None, metavar="N", help="only the last N events"
+    )
+    events.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new events until interrupted",
+    )
+    events.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.25,
+        dest="poll_interval",
+        help=argparse.SUPPRESS,
+    )
+    events.add_argument(
+        "--json", action="store_true", help="print raw JSON records instead of columns"
+    )
+    events.set_defaults(func=cmd_events)
 
     update = sub.add_parser(
         "update", help="replay a live-update workload with continuous queries"

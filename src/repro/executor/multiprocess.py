@@ -36,6 +36,16 @@ coordinator
    :class:`~repro.executor.profile.ExecutionProfile` objects with the same
    ``workers``/``busy_seconds`` semantics as the thread executor.
 
+Every task also carries its enqueue timestamp and every result a compact
+per-morsel timing dict (queue wait, plan deserialization, base load vs
+mmap-cache hit, overlay rebuild, execute) — the worker's metric deltas,
+piggybacked on the result message rather than shipped separately.  The
+coordinator folds them into the attached observability's ``worker_*``
+registry families, computes the query's busy skew and critical path onto
+the merged profile, and returns the raw records on
+:attr:`~repro.executor.parallel.ParallelResult.morsel_records` so the
+database can attach one child span per morsel to the query's trace.
+
 Workers cache the deserialised ``(plan, graph, config)`` per query id and the
 mapped base per path, so a query's cost is paid once, not per morsel.  A
 worker that dies mid-query is respawned and the query retried once under a
@@ -98,22 +108,34 @@ class _WorkerDied(Exception):
 # --------------------------------------------------------------------------- #
 # worker side
 # --------------------------------------------------------------------------- #
-def _load_worker_graph(spec: dict, base_cache: Dict[str, Graph]):
-    """Map the shared base (cached per path) and apply the delta overlay."""
+def _load_worker_graph(spec: dict, base_cache: Dict[str, Graph], timings: dict):
+    """Map the shared base (cached per path) and apply the delta overlay.
+
+    Fills ``timings`` with the stage costs this load actually paid:
+    ``base_cache_hit`` (whether the mapped base was already cached),
+    ``base_load`` seconds on a miss, and ``overlay_rebuild`` seconds for a
+    dirty snapshot's delta replay.
+    """
     path = spec["base_path"]
     base = base_cache.get(path)
     if base is None:
         from repro.persistence.snapshot_file import read_snapshot
 
+        load_start = time.perf_counter()
         base, _ = read_snapshot(path, mmap=True)
+        timings["base_load"] = time.perf_counter() - load_start
+        timings["base_cache_hit"] = False
         while len(base_cache) >= _WORKER_BASE_CACHE:
             base_cache.pop(next(iter(base_cache)))
         base_cache[path] = base
+    else:
+        timings["base_cache_hit"] = True
     overlay = spec.get("overlay")
     if overlay is None:
         return base
     from repro.storage.dynamic import DynamicGraph
 
+    rebuild_start = time.perf_counter()
     dynamic = DynamicGraph(base)
     if overlay["vertex_labels_tail"]:
         dynamic.add_vertices(labels=overlay["vertex_labels_tail"])
@@ -121,7 +143,9 @@ def _load_worker_graph(spec: dict, base_cache: Dict[str, Graph]):
         dynamic.add_edges(overlay["inserts"])
     if overlay["deletes"]:
         dynamic.delete_edges(overlay["deletes"])
-    return dynamic.snapshot()
+    snapshot = dynamic.snapshot()
+    timings["overlay_rebuild"] = time.perf_counter() - rebuild_start
+    return snapshot
 
 
 def _worker_main(worker_id: int, task_queue, result_queue) -> None:
@@ -133,15 +157,30 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
     current: Optional[tuple] = None  # (query_id, plan, graph, config, collect, scan_vertices)
     while True:
         task = task_queue.get()
+        pickup = time.monotonic()
         if task is None:
             break
-        _, query_id, morsel_index, spec_bytes, scan_range = task
+        _, query_id, morsel_index, spec_bytes, scan_range, enqueue_ts = task
+        # Per-morsel stage timings, shipped back with the result.  queue_wait
+        # spans coordinator enqueue -> worker pickup: CLOCK_MONOTONIC is
+        # system-wide on Linux, so the two processes' readings compare
+        # directly (same convention the shipped deadlines already rely on).
+        timings = {"queue_wait": max(0.0, pickup - enqueue_ts)}
         try:
             if current is None or current[0] != query_id:
+                deser_start = time.perf_counter()
                 spec = pickle.loads(spec_bytes)
-                graph = _load_worker_graph(spec, base_cache)
+                graph = _load_worker_graph(spec, base_cache, timings)
                 plan = plan_from_dict(spec["plan"])
                 config = ExecutionConfig(**spec["config"])
+                # Spec-unpickle + plan/config rebuild cost, excluding the
+                # graph load (reported as base_load / overlay_rebuild).
+                timings["deserialize"] = max(
+                    0.0,
+                    (time.perf_counter() - deser_start)
+                    - timings.get("base_load", 0.0)
+                    - timings.get("overlay_rebuild", 0.0),
+                )
                 current = (
                     query_id,
                     plan,
@@ -158,9 +197,10 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
                 scan_range=tuple(scan_range),
                 scan_range_vertices=scan_vertices,
             )
+            timings["started_at"] = time.monotonic()
             busy_start = time.perf_counter()
             result = execute_plan(plan, graph, config=morsel_config, collect=collect)
-            busy = time.perf_counter() - busy_start
+            timings["execute"] = time.perf_counter() - busy_start
             result_queue.put(
                 (
                     "result",
@@ -173,7 +213,7 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
                     result.profile,
                     result.truncated,
                     result.deadline_exceeded,
-                    busy,
+                    timings,
                 )
             )
         except BaseException as exc:  # report, keep serving later queries
@@ -218,6 +258,12 @@ class MorselProcessPool:
     spool_dir:
         Where bases without a durable snapshot file are materialized; a
         private temp directory (removed on close) by default.
+    observability:
+        Optional :class:`~repro.obs.Observability` to fold worker-side
+        metrics into (``worker_*`` registry families) and to emit pool
+        events through (``pool_respawn``, ``fallback_to_thread``).  The
+        registry families live on the observability object, so they survive
+        both generation respawns and pool replacement.
 
     One query executes at a time (``execute`` serialises callers); morsels of
     that query run concurrently across all workers.
@@ -234,6 +280,7 @@ class MorselProcessPool:
         spool_dir: Optional[str] = None,
         poll_seconds: float = 0.1,
         retry_limit: int = 1,
+        observability=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
@@ -264,7 +311,9 @@ class MorselProcessPool:
         self._shipped: Dict[int, Tuple[object, str]] = {}
         self._closed = False
         # Observability (read by the registry collector wired up in api.py).
+        self._observability = observability
         self.morsel_seconds = Histogram()
+        self.queue_wait_seconds = Histogram()
         self._counters = {
             "queries": 0,
             "tasks": 0,
@@ -272,7 +321,16 @@ class MorselProcessPool:
             "respawns": 0,
             "base_ships": 0,
             "overlay_queries": 0,
+            "base_cache_hits": 0,
+            "base_cache_misses": 0,
+            "overlay_rebuilds": 0,
         }
+        # Cumulative across generations: a crash-respawn rebuilds workers
+        # but must not zero the per-worker totals (a scrape would read a
+        # counter going backwards).  `generation` counts whole-pool
+        # respawns; `carry_from` additionally preserves the totals across a
+        # pool *replacement* (enable_process_pool with a new worker count).
+        self._generation = 0
         self._worker_busy_seconds = [0.0] * num_workers
         self._worker_morsels = [0] * num_workers
         self._last_query_skew = 1.0
@@ -329,6 +387,14 @@ class MorselProcessPool:
         self._workers = [self._spawn(i) for i in range(self.num_workers)]
         with self._state_lock:
             self._counters["respawns"] += dead
+            self._generation += 1
+            generation = self._generation
+        self._emit_event(
+            "pool_respawn",
+            dead_workers=dead,
+            generation=generation,
+            num_workers=self.num_workers,
+        )
         return dead
 
     def close(self) -> None:
@@ -409,6 +475,68 @@ class MorselProcessPool:
         """Count a per-query fallback to in-process execution."""
         with self._state_lock:
             self._counters["fallbacks"] += 1
+        self._emit_event("fallback_to_thread", reason=reason)
+
+    # ------------------------------------------------------------------ #
+    # observability plumbing
+    # ------------------------------------------------------------------ #
+    def _emit_event(self, event_type: str, **fields) -> None:
+        """Forward a pool event to the attached observability's event log
+        (a no-op without one; ``emit_event`` itself never raises)."""
+        obs = self._observability
+        emit = getattr(obs, "emit_event", None)
+        if emit is not None:
+            emit(event_type, **fields)
+
+    def carry_from(self, previous: "MorselProcessPool") -> None:
+        """Adopt the cumulative counters of a pool this one replaces.
+
+        ``enable_process_pool`` calls this when a resize swaps pools, so
+        the scrape-visible totals (busy seconds, morsel counts, query and
+        respawn counters, latency histograms) keep accumulating instead of
+        resetting to zero; the generation counter continues past the old
+        pool's.  Per-worker totals carry for the overlapping worker ids.
+        """
+        with previous._state_lock:
+            prev_counters = dict(previous._counters)
+            prev_busy = list(previous._worker_busy_seconds)
+            prev_morsels = list(previous._worker_morsels)
+            prev_generation = previous._generation
+        with self._state_lock:
+            for key, value in prev_counters.items():
+                if key in self._counters:
+                    self._counters[key] += value
+            for worker_id in range(min(self.num_workers, len(prev_busy))):
+                self._worker_busy_seconds[worker_id] += prev_busy[worker_id]
+                self._worker_morsels[worker_id] += prev_morsels[worker_id]
+            self._generation += prev_generation + 1
+        self.morsel_seconds = previous.morsel_seconds
+        self.queue_wait_seconds = previous.queue_wait_seconds
+
+    def _fold_worker_metrics(self, records: List[dict]) -> None:
+        """Fold per-morsel worker timings into the shared registry families
+        (``worker_*``); skipped when no observability is attached or the
+        master switch is off."""
+        obs = self._observability
+        if obs is None or not getattr(obs, "enabled", False):
+            return
+        if not hasattr(obs, "worker_queue_wait_seconds"):
+            return
+        for rec in records:
+            obs.worker_queue_wait_seconds.labels().observe(rec.get("queue_wait", 0.0))
+            obs.worker_execute_seconds.labels().observe(rec.get("execute", 0.0))
+            if "base_cache_hit" in rec:
+                if rec["base_cache_hit"]:
+                    obs.worker_base_cache_hits_total.labels().inc()
+                else:
+                    obs.worker_base_cache_misses_total.labels().inc()
+                    obs.worker_base_load_seconds.labels().observe(rec.get("base_load", 0.0))
+            if "overlay_rebuild" in rec:
+                obs.worker_overlay_rebuild_seconds.labels().observe(rec["overlay_rebuild"])
+            worker = f"w{rec['worker_id']}"
+            obs.worker_busy_seconds_total.labels(worker).inc(rec.get("execute", 0.0))
+            obs.worker_morsels_total.labels(worker).inc()
+        obs.worker_pool_generation.labels().set(float(self._generation))
 
     def execute(
         self,
@@ -559,7 +687,12 @@ class MorselProcessPool:
         self, query_id: int, spec_bytes: bytes, ranges: List[Tuple[int, int]]
     ) -> Dict[int, tuple]:
         for index, scan_range in enumerate(ranges):
-            self._task_queue.put(("task", query_id, index, spec_bytes, scan_range))
+            # The enqueue timestamp rides with the task so the worker can
+            # measure its own queue wait (monotonic clocks are shared across
+            # processes on Linux; see the module docstring).
+            self._task_queue.put(
+                ("task", query_id, index, spec_bytes, scan_range, time.monotonic())
+            )
         payloads: Dict[int, tuple] = {}
         while len(payloads) < len(ranges):
             try:
@@ -594,6 +727,10 @@ class MorselProcessPool:
         deadline_exceeded = False
         per_worker_work = [0] * self.num_workers
         query_busy = [0.0] * self.num_workers
+        # Per-worker total seconds on this query including setup stages
+        # (deserialize, base load, overlay rebuild) — the critical-path basis.
+        query_total = [0.0] * self.num_workers
+        morsel_records: List[dict] = []
         matches: Optional[List[Tuple[int, ...]]] = [] if collect else None
         vertex_order: Tuple[str, ...] = ()
         for index in sorted(payloads):
@@ -608,8 +745,9 @@ class MorselProcessPool:
                 profile,
                 m_truncated,
                 m_deadline,
-                busy,
+                timings,
             ) = payloads[index]
+            busy = timings.get("execute", 0.0)
             total += count
             merged = merged.merge(profile)
             per_worker_work[worker_id] += profile.intersection_cost + count
@@ -620,7 +758,17 @@ class MorselProcessPool:
             if matches is not None and rows:
                 matches.extend(rows)
             query_busy[worker_id] += busy
+            query_total[worker_id] += (
+                busy
+                + timings.get("deserialize", 0.0)
+                + timings.get("base_load", 0.0)
+                + timings.get("overlay_rebuild", 0.0)
+            )
             self.morsel_seconds.observe(busy)
+            self.queue_wait_seconds.observe(timings.get("queue_wait", 0.0))
+            record = {"morsel_index": index, "worker_id": worker_id, "rows": count}
+            record.update(timings)
+            morsel_records.append(record)
         limit = base_config.output_limit
         if limit is not None and total > limit:
             total = limit
@@ -634,14 +782,23 @@ class MorselProcessPool:
         merged.workers = self.num_workers
         active = [b for b in query_busy if b > 0]
         skew = (max(active) * len(active) / sum(active)) if active else 1.0
+        merged.skew = skew
+        merged.critical_path_seconds = max(query_total) if query_total else 0.0
         with self._state_lock:
             self._counters["queries"] += 1
             self._counters["tasks"] += len(ranges)
+            for record in morsel_records:
+                if "base_cache_hit" in record:
+                    key = "base_cache_hits" if record["base_cache_hit"] else "base_cache_misses"
+                    self._counters[key] += 1
+                if "overlay_rebuild" in record:
+                    self._counters["overlay_rebuilds"] += 1
             for worker_id, busy in enumerate(query_busy):
                 self._worker_busy_seconds[worker_id] += busy
             for index in payloads:
                 self._worker_morsels[payloads[index][3]] += 1
             self._last_query_skew = skew
+        self._fold_worker_metrics(morsel_records)
         return ParallelResult(
             plan=plan,
             num_matches=total,
@@ -653,6 +810,7 @@ class MorselProcessPool:
             deadline_exceeded=deadline_exceeded,
             matches=matches,
             vertex_order=vertex_order,
+            morsel_records=morsel_records,
         )
 
     # ------------------------------------------------------------------ #
@@ -666,6 +824,7 @@ class MorselProcessPool:
             busy = list(self._worker_busy_seconds)
             morsels = list(self._worker_morsels)
             skew = self._last_query_skew
+            generation = self._generation
         total_busy = sum(busy)
         mean_busy = total_busy / self.num_workers if self.num_workers else 0.0
         overall_skew = (max(busy) / mean_busy) if mean_busy > 0 else 1.0
@@ -675,12 +834,15 @@ class MorselProcessPool:
             "alive_workers": sum(
                 1 for proc in self._workers if proc is not None and proc.is_alive()
             ),
+            "generation": generation,
             **counters,
             "last_query_skew": skew,
             "busy_skew": overall_skew,
             "morsel_count": self.morsel_seconds.count,
             "morsel_p50_seconds": self.morsel_seconds.quantile(0.5),
             "morsel_p99_seconds": self.morsel_seconds.quantile(0.99),
+            "queue_wait_p50_seconds": self.queue_wait_seconds.quantile(0.5),
+            "queue_wait_p99_seconds": self.queue_wait_seconds.quantile(0.99),
             "workers": {
                 f"w{worker_id}": {
                     "busy_seconds": busy[worker_id],

@@ -45,6 +45,12 @@ class ParallelResult:
     # order, capped at ``config.output_limit``; None when only counting.
     matches: Optional[List[Tuple[int, ...]]] = None
     vertex_order: Tuple[str, ...] = ()
+    # Process mode only: one dict per executed morsel with the worker-side
+    # stage timings (queue_wait, deserialize, base_load, overlay_rebuild,
+    # execute, started_at) plus worker_id/morsel_index/rows — the raw
+    # material the trace merge turns into worker child spans.  Empty for
+    # thread-mode runs (stage boundaries are not observable in-process).
+    morsel_records: List[dict] = field(default_factory=list)
 
     @property
     def work_based_speedup(self) -> float:

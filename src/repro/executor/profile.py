@@ -10,12 +10,21 @@ intersection-cache hit counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import ClassVar, Dict, Tuple
 
 
 @dataclass
 class ExecutionProfile:
     """Counters accumulated while a plan runs."""
+
+    #: Multi-worker summary fields assigned by the parallel coordinators
+    #: after merging per-morsel profiles.  The trace merge (``api.py``) and
+    #: :meth:`as_dict` both iterate this tuple, so the two surfaces can
+    #: never drift apart.
+    WORKER_SUMMARY_FIELDS: ClassVar[Tuple[str, ...]] = (
+        "skew",
+        "critical_path_seconds",
+    )
 
     intersection_cost: int = 0
     intermediate_matches: int = 0
@@ -42,6 +51,14 @@ class ExecutionProfile:
     # The normalisation factor between the summed busy-second fields and the
     # max-ed wall-clock field.
     workers: int = 1
+    # Per-query busy skew across active workers: max(busy) * n / sum(busy),
+    # 1.0 for a perfectly balanced (or serial) run.  Assigned by the process
+    # pool coordinator after merging; `merge` leaves it at the default.
+    skew: float = 1.0
+    # The busiest worker's total seconds on this query (setup + execute) —
+    # the wall-clock lower bound the morsel partition allows.  0.0 for
+    # serial runs.
+    critical_path_seconds: float = 0.0
 
     # ------------------------------------------------------------------ #
     def record_intersection(self, accessed_list_sizes: int) -> None:
@@ -121,7 +138,7 @@ class ExecutionProfile:
         return merged
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        out = {
             "i_cost": self.intersection_cost,
             "intermediate_matches": self.intermediate_matches,
             "output_matches": self.output_matches,
@@ -135,6 +152,9 @@ class ExecutionProfile:
             "busy_seconds": self.busy_seconds,
             "workers": self.workers,
         }
+        for name in self.WORKER_SUMMARY_FIELDS:
+            out[name] = getattr(self, name)
+        return out
 
     def __repr__(self) -> str:
         return (

@@ -24,8 +24,9 @@ at <= 5% against this).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
+from repro.obs.events import EVENT_SCHEMA_VERSION, EventLog, iter_events, tail_events
 from repro.obs.feedback import CardinalityFeedback, PlanFeedback
 from repro.obs.registry import (
     LATENCY_BUCKETS,
@@ -46,6 +47,10 @@ from repro.obs.trace import (
 
 __all__ = [
     "Observability",
+    "EventLog",
+    "EVENT_SCHEMA_VERSION",
+    "iter_events",
+    "tail_events",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -84,11 +89,19 @@ class Observability:
         slow_query_seconds: Optional[float] = None,
         enabled: bool = True,
         feedback_capacity: int = 512,
+        event_log: Optional[Union[str, EventLog]] = None,
     ) -> None:
         self.enabled = enabled
         self.registry = MetricsRegistry()
         self.traces = TraceRecorder(capacity=trace_capacity, slow_seconds=slow_query_seconds)
         self.feedback = CardinalityFeedback(capacity=feedback_capacity)
+        # Structured event stream (query finishes, checkpoints, pool
+        # respawns, ...); None until attach_event_log.  Events flow even
+        # when `enabled` is False: lifecycle events (recovery, respawn) are
+        # rare and operators want them regardless of per-query tracing.
+        self.event_log: Optional[EventLog] = None
+        if event_log is not None:
+            self.attach_event_log(event_log)
         self.registry.register_collector("traces", self.traces.stats)
         self.registry.register_collector("cardinality_feedback", self.feedback.stats)
         # Pre-declared instrument families shared by the serving stack.  A
@@ -145,6 +158,70 @@ class Observability:
         self.compaction_seconds = self.registry.histogram(
             "compaction_seconds", "Delta-CSR compaction duration"
         )
+        # Worker-side families for the multi-process morsel executor.  The
+        # pool coordinator folds per-morsel timing records (piggybacked on
+        # result messages) into these; the per-worker counters accumulate
+        # across pool generations, so a crash-respawn never reads as a
+        # counter going backwards.
+        self.worker_queue_wait_seconds = self.registry.histogram(
+            "worker_queue_wait_seconds",
+            "Morsel wait between coordinator enqueue and worker pickup",
+        )
+        self.worker_execute_seconds = self.registry.histogram(
+            "worker_execute_seconds", "Per-morsel execution time inside a worker process"
+        )
+        self.worker_base_load_seconds = self.registry.histogram(
+            "worker_base_load_seconds",
+            "Snapshot-base mmap+rebuild time on a worker base-cache miss",
+        )
+        self.worker_overlay_rebuild_seconds = self.registry.histogram(
+            "worker_overlay_rebuild_seconds",
+            "Delta-overlay replay time for dirty-snapshot queries in a worker",
+        )
+        self.worker_base_cache_hits_total = self.registry.counter(
+            "worker_base_cache_hits_total", "Worker graph loads served from the mmap base cache"
+        )
+        self.worker_base_cache_misses_total = self.registry.counter(
+            "worker_base_cache_misses_total", "Worker graph loads that mapped the base from disk"
+        )
+        self.worker_busy_seconds_total = self.registry.counter(
+            "worker_busy_seconds_total",
+            "Cumulative execute seconds per worker slot (survives pool respawns)",
+            labelnames=("worker",),
+        )
+        self.worker_morsels_total = self.registry.counter(
+            "worker_morsels_total",
+            "Cumulative morsels executed per worker slot (survives pool respawns)",
+            labelnames=("worker",),
+        )
+        self.worker_pool_generation = self.registry.gauge(
+            "worker_pool_generation",
+            "Process-pool generation (bumped on every whole-pool respawn)",
+        )
+
+    # ------------------------------------------------------------------ #
+    # event stream
+    # ------------------------------------------------------------------ #
+    def attach_event_log(self, event_log: Union[str, EventLog], **log_kwargs) -> EventLog:
+        """Attach a structured event log (a path opens one; an existing
+        :class:`EventLog` is shared).  Replaces any previous attachment
+        without closing it (the creator owns the handle)."""
+        if not isinstance(event_log, EventLog):
+            event_log = EventLog(str(event_log), **log_kwargs)
+        self.event_log = event_log
+        return event_log
+
+    def emit_event(self, event_type: str, **fields) -> None:
+        """Append one event; a silent no-op without an attached log, and
+        never raises into the caller (emission failures must not take down
+        a query, checkpoint, or compaction thread)."""
+        log = self.event_log
+        if log is None:
+            return
+        try:
+            log.emit(event_type, **fields)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     def record_query(self, trace: QueryTrace, feedback_key=None) -> Optional[QueryTrace]:
@@ -170,6 +247,28 @@ class Observability:
             self.query_q_error.labels().observe(worst)
         if feedback_key is not None and trace.operators:
             self.feedback.record(feedback_key, trace.query_name, trace.operators)
+        if self.event_log is not None:
+            self.emit_event(
+                "query_finish",
+                trace_id=trace.trace_id,
+                query=trace.query_name,
+                key=trace.canonical_key,
+                status=trace.status,
+                mode=trace.mode,
+                seconds=round(trace.total_seconds, 6),
+                matches=trace.num_matches,
+            )
+            slow = self.traces.slow_seconds
+            if slow is not None and trace.total_seconds >= slow:
+                self.emit_event(
+                    "slow_query",
+                    trace_id=trace.trace_id,
+                    query=trace.query_name,
+                    key=trace.canonical_key,
+                    seconds=round(trace.total_seconds, 6),
+                    threshold=slow,
+                    mode=trace.mode,
+                )
         return trace
 
     def record_update(self, trace: QueryTrace) -> Optional[QueryTrace]:
@@ -181,6 +280,14 @@ class Observability:
         wal_span = trace.span("wal_append")
         if wal_span is not None:
             self.wal_append_seconds.labels().observe(wal_span.seconds)
+        if self.event_log is not None:
+            self.emit_event(
+                "update_batch",
+                trace_id=trace.trace_id,
+                query=trace.query_name,
+                status=trace.status,
+                seconds=round(trace.total_seconds, 6),
+            )
         return trace
 
     # ------------------------------------------------------------------ #
@@ -189,4 +296,5 @@ class Observability:
             "enabled": self.enabled,
             "traces": self.traces.stats(),
             "cardinality_feedback": self.feedback.stats(),
+            "events": self.event_log.stats() if self.event_log is not None else {"attached": False},
         }

@@ -102,6 +102,10 @@ class QueryTrace:
     num_matches: int = 0
     plan_type: str = ""
     plan_cached: Optional[bool] = None
+    # The query's canonical (isomorphism-invariant) key, stringified — the
+    # join handle back to the plan cache and cardinality-feedback table.
+    # Empty when unknown (e.g. a pre-built Plan executed directly).
+    canonical_key: str = ""
     spans: List[Span] = field(default_factory=list)
     operators: List[OperatorStats] = field(default_factory=list)
     profile: Dict[str, float] = field(default_factory=dict)
@@ -138,11 +142,38 @@ class QueryTrace:
         errors = [op.q_error for op in self.operators if op.has_estimate]
         return max(errors) if errors else float("nan")
 
+    def worker_summary(self) -> Optional[dict]:
+        """Aggregate the per-morsel ``morsel`` child spans (process-mode
+        executions) into per-worker totals plus the query's skew and
+        critical path; ``None`` when the trace has no worker spans."""
+        morsels = [s for s in self.spans if s.name == "morsel"]
+        if not morsels:
+            return None
+        workers: Dict[str, dict] = {}
+        for span in morsels:
+            attrs = span.attributes
+            key = f"w{attrs.get('worker_id', '?')}"
+            entry = workers.setdefault(
+                key, {"morsels": 0, "busy_seconds": 0.0, "queue_wait_seconds": 0.0, "rows": 0}
+            )
+            entry["morsels"] += 1
+            entry["busy_seconds"] += span.seconds
+            entry["queue_wait_seconds"] += float(attrs.get("queue_wait", 0.0))
+            entry["rows"] += int(attrs.get("rows", 0))
+        execute = self.span("execute")
+        summary = {"morsels": len(morsels), "workers": workers}
+        if execute is not None:
+            for key in ("skew", "critical_path_seconds"):
+                if key in execute.attributes:
+                    summary[key] = execute.attributes[key]
+        return summary
+
     def as_dict(self) -> dict:
         return {
             "trace_id": self.trace_id,
             "kind": self.kind,
             "query": self.query_name,
+            "canonical_key": self.canonical_key,
             "status": self.status,
             "mode": self.mode,
             "started_at": self.started_at,
@@ -156,16 +187,44 @@ class QueryTrace:
             "profile": dict(self.profile),
         }
 
-    def describe(self) -> str:
-        """A compact human-readable rendering (used by the CLI)."""
+    def format(self) -> str:
+        """A compact human-readable rendering (used by the CLI).
+
+        Process-mode traces additionally get a per-worker summary block
+        (busy/queue-wait totals, skew, critical path) aggregated from the
+        ``morsel`` child spans.
+        """
         lines = [
             f"trace #{self.trace_id} [{self.kind}] {self.query_name}: "
             f"status={self.status} mode={self.mode} matches={self.num_matches} "
             f"total={self.total_seconds * 1e3:.2f}ms"
         ]
+        if self.canonical_key:
+            lines.append(f"  canonical key: {self.canonical_key}")
         for span in self.spans:
-            attrs = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+            attrs = " ".join(
+                f"{k}={v:.6f}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in span.attributes.items()
+            )
             lines.append(f"  span {span.name:<12} {span.seconds * 1e3:>9.3f}ms  {attrs}".rstrip())
+        summary = self.worker_summary()
+        if summary is not None:
+            skew = summary.get("skew")
+            critical = summary.get("critical_path_seconds")
+            header = f"  workers ({summary['morsels']} morsels"
+            if skew is not None:
+                header += f", skew={skew:.2f}"
+            if critical is not None:
+                header += f", critical path={critical * 1e3:.2f}ms"
+            lines.append(header + "):")
+            for name in sorted(summary["workers"]):
+                entry = summary["workers"][name]
+                lines.append(
+                    f"    {name}: {entry['morsels']} morsel(s)  "
+                    f"busy={entry['busy_seconds'] * 1e3:.2f}ms  "
+                    f"queue-wait={entry['queue_wait_seconds'] * 1e3:.2f}ms  "
+                    f"rows={entry['rows']}"
+                )
         if self.operators:
             lines.append("  operators (actual vs estimated cardinality):")
             for op in self.operators:
@@ -176,6 +235,10 @@ class QueryTrace:
                     f"    {op.name:<28} actual={op.actual:<10} est={est:<10} q-error={qe}{timing}"
                 )
         return "\n".join(lines)
+
+    def describe(self) -> str:
+        """Backwards-compatible alias for :meth:`format`."""
+        return self.format()
 
 
 def operator_stats_from_profile(
@@ -244,12 +307,18 @@ class TraceRecorder:
                 self._slow.append(trace)
                 self.slow_queries += 1
         if slow:
+            # The trace id joins the line back to `trace(id)` / `repro trace`,
+            # the canonical key back to the plan cache and feedback table.
             logger.warning(
-                "slow query %s: %.3fs (threshold %.3fs) status=%s matches=%d",
+                "slow query %s (trace #%d, key=%s): %.3fs (threshold %.3fs) "
+                "status=%s mode=%s matches=%d",
                 trace.query_name,
+                trace.trace_id,
+                trace.canonical_key or "-",
                 trace.total_seconds,
                 self.slow_seconds,
                 trace.status,
+                trace.mode,
                 trace.num_matches,
             )
         return trace

@@ -221,6 +221,10 @@ class DurableGraphStore:
         self._closed = False
         # Single-writer pid lock (set by open(); None for hand-wired stores).
         self._lock_path: Optional[str] = None
+        # Optional structured-event callback with the signature of
+        # Observability.emit_event(type, **fields); the database wires it
+        # when it attaches the store.  Must never raise.
+        self.event_sink = None
 
     # ------------------------------------------------------------------ #
     # opening / recovery
@@ -461,6 +465,15 @@ class DurableGraphStore:
             self.last_checkpoint_seconds = elapsed
             self.total_checkpoint_seconds += elapsed
             self.checkpoint_seconds.observe(elapsed)
+            sink = self.event_sink
+            if sink is not None:
+                sink(
+                    "checkpoint",
+                    seq=seq,
+                    path=info.path,
+                    seconds=round(elapsed, 6),
+                    forced=force,
+                )
             return info
 
     def maybe_checkpoint(self) -> Optional[SnapshotInfo]:

@@ -159,6 +159,13 @@ class QueryService:
         When set, requests at least this slow are also kept in a separate
         slow-query ring (:meth:`slow_queries`) and logged at WARNING level
         via the ``repro.obs.slowlog`` logger.
+    event_log:
+        A path (or :class:`~repro.obs.events.EventLog`) to stream structured
+        lifecycle events to: query finishes, slow queries, update batches,
+        checkpoints, compaction installs, pool respawns, fallbacks, and
+        recovery — one JSON object per line, size-rotated.  A path given
+        here is opened by (and closed with) this service; an ``EventLog``
+        object is shared and stays open.
     """
 
     def __init__(
@@ -183,12 +190,19 @@ class QueryService:
         trace: bool = True,
         trace_capacity: Optional[int] = None,
         slow_query_seconds: Optional[float] = None,
+        event_log: Optional[object] = None,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be at least 1")
         if max_queue < 0:
             raise ValueError("max_queue cannot be negative")
         self.db = db
+        # Event log before durability/compaction so their lifecycle events
+        # (recovery happens in enable_durability's recovery path, compaction
+        # installs on the manager thread) have somewhere to land.
+        self._owns_event_log = event_log is not None and not hasattr(event_log, "emit")
+        if event_log is not None:
+            db.obs.attach_event_log(event_log)
         # Durability first: the durable store owns the dynamic graph a
         # compaction manager would watch, so attach it before compaction.
         # Mirror enable_durability's attach condition exactly: a closed
@@ -587,8 +601,21 @@ class QueryService:
         pool_stats = self.db._process_pool_stats()
         if pool_stats:
             out["process_pool"] = pool_stats
+            # Worker section: the cross-generation per-worker totals plus the
+            # pool generation, pulled up for `repro stats --json` consumers.
+            out["workers"] = {
+                "generation": pool_stats.get("generation", 0),
+                "queue_wait_p50_seconds": pool_stats.get("queue_wait_p50_seconds", 0.0),
+                "queue_wait_p99_seconds": pool_stats.get("queue_wait_p99_seconds", 0.0),
+                **pool_stats.get("workers", {}),
+            }
         out["traces"] = self.obs.traces.stats()
         out["cardinality_feedback"] = self.obs.feedback.stats()
+        out["events"] = (
+            self.obs.event_log.stats()
+            if self.obs.event_log is not None
+            else {"attached": False}
+        )
         return out
 
     def stats_rows(self) -> List[dict]:
@@ -640,6 +667,20 @@ class QueryService:
             rows.append({"metric": "traces recorded", "value": str(traces["recorded"])})
             if traces.get("slow_queries"):
                 rows.append({"metric": "slow queries", "value": str(traces["slow_queries"])})
+        workers = stats.get("workers")
+        if workers:
+            rows.append({"metric": "pool generation", "value": str(workers["generation"])})
+            for name, per_worker in sorted(workers.items()):
+                if isinstance(per_worker, dict):
+                    rows.append(
+                        {
+                            "metric": f"worker {name} busy (ms)",
+                            "value": f"{per_worker['busy_seconds'] * 1e3:.2f}",
+                        }
+                    )
+        events = stats.get("events")
+        if events and events.get("attached"):
+            rows.append({"metric": "events emitted", "value": str(events["emitted"])})
         feedback = stats.get("cardinality_feedback")
         if feedback and feedback.get("plans_tracked"):
             rows.append({"metric": "plans with feedback", "value": str(feedback["plans_tracked"])})
@@ -669,6 +710,11 @@ class QueryService:
             if store is not None and not store.closed:
                 store.close(checkpoint=self._checkpoint_on_close)
             self._owns_durability = False
+        if self._owns_event_log:
+            log = self.obs.event_log
+            if log is not None:
+                log.close()
+            self._owns_event_log = False
 
     def __enter__(self) -> "QueryService":
         return self

@@ -111,6 +111,9 @@ class CompactionManager:
         # histogram; surfaced through stats() quantiles and the database
         # registry's compaction collector).
         self.compaction_seconds = Histogram()
+        # Optional structured-event callback (Observability.emit_event
+        # signature), wired by the database; must never raise.
+        self.event_sink = None
         self._attached = False
         self._attach()
 
@@ -232,6 +235,14 @@ class CompactionManager:
                 self.last_compaction_seconds = elapsed
                 self.total_compaction_seconds += elapsed
                 self.compaction_seconds.observe(elapsed)
+            sink = self.event_sink
+            if sink is not None:
+                sink(
+                    "compaction_install",
+                    seconds=round(elapsed, 6),
+                    delta_edges=self.graph.delta_edges,
+                    compactions=self.compactions,
+                )
             listener = self._compaction_listener
             if listener is not None:
                 # A listener failure (e.g. the durable store's checkpoint

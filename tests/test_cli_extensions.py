@@ -216,3 +216,84 @@ class TestPersistenceCommands:
         assert "recovered from snapshot-" in out
         assert "wal last seq" in out
         assert "checkpointed durable store" in out
+
+
+class TestEventsCommand:
+    def _serve_with_event_log(self, tmp_path, capsys) -> str:
+        log_path = str(tmp_path / "events.jsonl")
+        code = main(
+            [
+                "serve",
+                "--dataset",
+                "epinions",
+                "--scale",
+                "0.1",
+                "--z",
+                "40",
+                "--queries",
+                "Q1",
+                "--clients",
+                "2",
+                "--requests",
+                "4",
+                "--event-log",
+                log_path,
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return log_path
+
+    def test_serve_event_log_and_events_listing(self, tmp_path, capsys):
+        log_path = self._serve_with_event_log(tmp_path, capsys)
+        code = main(["events", "--path", log_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "query_finish" in out
+
+    def test_events_type_filter_and_tail(self, tmp_path, capsys):
+        log_path = self._serve_with_event_log(tmp_path, capsys)
+        code = main(
+            ["events", "--path", log_path, "--type", "query_finish", "--tail", "2", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert record["type"] == "query_finish"
+            assert record["v"] == 1
+
+    def test_events_missing_file_errors(self, tmp_path, capsys):
+        code = main(["events", "--path", str(tmp_path / "none.jsonl")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no event log" in captured.err
+
+
+class TestStatsWatch:
+    def test_watch_refreshes_the_table(self, capsys):
+        code = main(
+            [
+                "stats",
+                "--dataset",
+                "epinions",
+                "--scale",
+                "0.1",
+                "--z",
+                "40",
+                "--queries",
+                "Q1",
+                "--requests",
+                "2",
+                "--watch",
+                "0.05",
+                "--watch-iterations",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("service stats after") == 2
+        assert "service stats after 4 queries" in out
