@@ -390,12 +390,51 @@ class GraphflowDB:
         Entries are measured lazily as the optimizer needs them unless a set
         of queries to precompute for is given.
         """
-        self.catalogue = build_catalogue(self._read_graph(), h=h, z=z, seed=seed, queries=queries)
-        self._cost_models = {}
-        # Cached plans were costed against the old catalogue; flush them.
-        if self.plan_cache is not None:
-            self.plan_cache.invalidate()
+        fresh = build_catalogue(self._read_graph(), h=h, z=z, seed=seed, queries=queries)
+        with self._write_lock:
+            # Epochs stay monotonic across rebuilds so a refresher's CAS token
+            # captured before this rebuild can never match afterwards.
+            if self.catalogue is not None:
+                fresh.epoch = self.catalogue.epoch + 1
+            self.catalogue = fresh
+            self._cost_models = {}
+            # Cached plans were costed against the old catalogue; flush them.
+            if self.plan_cache is not None:
+                self.plan_cache.invalidate()
         return self.catalogue
+
+    def install_refreshed_catalogue(
+        self,
+        catalogue: SubgraphCatalogue,
+        expected_epoch: int,
+        expected_drift_edges: Optional[int] = None,
+    ) -> bool:
+        """Atomically swap in a catalogue re-sampled off the write path.
+
+        Compare-and-swap semantics: the install succeeds only if the current
+        catalogue still carries ``expected_epoch`` (no competing rebuild ran)
+        and, when given, ``expected_drift_edges`` (no writes landed since the
+        re-sample's snapshot was pinned).  On success the new catalogue's
+        epoch is bumped and — under the same lock — the cost models and plan
+        cache are flushed, so a query admitted during the install sees either
+        the old plan with the old catalogue or a new plan costed against the
+        new one, never a torn mix.
+        """
+        with self._write_lock:
+            current = self.catalogue
+            if current is None or current.epoch != expected_epoch:
+                return False
+            if (
+                expected_drift_edges is not None
+                and current.drift_edges != expected_drift_edges
+            ):
+                return False
+            catalogue.epoch = expected_epoch + 1
+            self.catalogue = catalogue
+            self._cost_models = {}
+            if self.plan_cache is not None:
+                self.plan_cache.invalidate()
+            return True
 
     def set_graph(self, graph: Union[Graph, DynamicGraph]) -> None:
         """Replace the data graph, dropping the catalogue, cost model, and
@@ -642,9 +681,13 @@ class GraphflowDB:
         key = "vectorized" if vectorized else "iterator"
         model = self._cost_models.get(key)
         if model is None:
+            if self.catalogue is None:
+                # Built outside _stats_lock: build_catalogue swaps state under
+                # the write lock, and holding _stats_lock across that would
+                # invert the lock order of callers that plan while holding the
+                # write lock.  A racing double-build is benign (last wins).
+                self.build_catalogue(z=200)
             with self._stats_lock:
-                if self.catalogue is None:
-                    self.build_catalogue(z=200)
                 model = self._cost_models.get(key)
                 if model is None:
                     model = CostModel(
@@ -711,7 +754,12 @@ class GraphflowDB:
         plan = optimizer.optimize(query)
         # Stamp per-operator cardinality estimates onto the plan so every
         # later execution (including plan-cache hits) can report q-errors.
-        return annotate_operator_estimates(plan, cost_model)
+        plan = annotate_operator_estimates(plan, cost_model)
+        # Record which catalogue installation the estimates came from; the
+        # refresher's install CAS plus plan-cache invalidation guarantee a
+        # served plan's epoch always matches the live catalogue's.
+        plan.catalogue_epoch = cost_model.catalogue.epoch
+        return plan
 
     def explain(self, query: Union[QueryGraph, str]) -> str:
         """A human-readable description of the chosen plan with its costs."""

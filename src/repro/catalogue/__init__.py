@@ -2,7 +2,13 @@
 to estimate cardinalities, i-costs, and hash-join costs of candidate plans."""
 
 from repro.catalogue.catalogue import CatalogueEntry, SubgraphCatalogue
-from repro.catalogue.construction import build_catalogue
+from repro.catalogue.construction import build_catalogue, resample_catalogue
 from repro.catalogue.qerror import q_error
 
-__all__ = ["SubgraphCatalogue", "CatalogueEntry", "build_catalogue", "q_error"]
+__all__ = [
+    "SubgraphCatalogue",
+    "CatalogueEntry",
+    "build_catalogue",
+    "resample_catalogue",
+    "q_error",
+]

@@ -72,6 +72,15 @@ class CatalogueEntry:
     avg_list_sizes: Tuple[float, ...]
     mu: float
     num_samples: int = 0
+    # The (pre-canonicalisation) triple this entry was measured from.  The
+    # canonical key is lossy — it cannot be decoded back into a QueryGraph —
+    # so the refresher needs the source triple to re-sample the entry against
+    # a newer graph.  Entries loaded from a persisted catalogue have no
+    # source and are skipped by re-sampling (the next lazy ensure_entry or
+    # full rebuild re-measures them).
+    sub_query: Optional[QueryGraph] = None
+    descriptors: Optional[Tuple[AdjListDescriptor, ...]] = None
+    to_vertex_label: Optional[int] = None
 
     @property
     def total_list_size(self) -> float:
@@ -102,6 +111,11 @@ class SubgraphCatalogue:
     # operators can decide when a rebuild is due.
     drift_edges: int = 0
     edges_at_build: int = 0
+    # Installation epoch.  Bumped by the owning database every time a freshly
+    # (re)built catalogue is swapped in; the CatalogueRefresher uses it (plus
+    # drift_edges) as the compare-and-swap token so a re-sample raced by
+    # writes or by a competing rebuild is discarded instead of installed.
+    epoch: int = 0
 
     # ------------------------------------------------------------------ #
     def put(
@@ -119,6 +133,9 @@ class SubgraphCatalogue:
             avg_list_sizes=tuple(float(x) for x in avg_list_sizes),
             mu=float(mu),
             num_samples=num_samples,
+            sub_query=sub_query,
+            descriptors=tuple(descriptors),
+            to_vertex_label=to_vertex_label,
         )
         self.entries[key] = entry
         return entry

@@ -209,6 +209,40 @@ def build_catalogue(
     return catalogue
 
 
+def resample_catalogue(
+    catalogue: SubgraphCatalogue,
+    graph: Graph,
+    z: Optional[int] = None,
+    seed: int = 0,
+) -> SubgraphCatalogue:
+    """Re-measure every entry of ``catalogue`` against ``graph``.
+
+    This is the refresher's off-write-path rebuild: the exact edge/label
+    statistics are recomputed from the graph, and every sampled ``mu`` /
+    ``|A|`` entry that remembers its source triple is re-measured with fresh
+    samples.  Entries without a source triple (e.g. loaded from a persisted
+    catalogue) are dropped; the cost model lazily re-measures them on next
+    use.  The input catalogue is never mutated — the caller decides whether
+    to install the returned one.
+    """
+    start = time.perf_counter()
+    fresh = SubgraphCatalogue(h=catalogue.h, z=z if z is not None else catalogue.z)
+    fresh.num_graph_vertices = graph.num_vertices
+    fresh.num_graph_edges = graph.num_edges
+    fresh.edges_at_build = graph.num_edges
+    fresh.edge_counts = _edge_count_statistics(graph)
+    rng = np.random.default_rng(seed)
+    for entry in list(catalogue.entries.values()):
+        if entry.sub_query is None or entry.descriptors is None:
+            continue
+        sizes, mu, n = measure_extension(
+            graph, entry.sub_query, entry.descriptors, entry.to_vertex_label, fresh.z, rng
+        )
+        fresh.put(entry.sub_query, entry.descriptors, entry.to_vertex_label, sizes, mu, n)
+    fresh.construction_seconds = time.perf_counter() - start
+    return fresh
+
+
 def ensure_entry(
     catalogue: SubgraphCatalogue,
     graph: Graph,

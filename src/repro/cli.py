@@ -267,6 +267,41 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plans(args: argparse.Namespace) -> int:
+    """Check (or rebaseline) the plan-regression guard suite."""
+    import os
+
+    from repro.tuning.regression import (
+        DEFAULT_BASELINE_PATH,
+        PlanRegressionSuite,
+        format_diffs,
+    )
+
+    baseline = args.baseline if args.baseline else DEFAULT_BASELINE_PATH
+    suite = PlanRegressionSuite()
+    if args.rebaseline:
+        entries = suite.rebaseline(baseline)
+        print(f"recorded {len(entries)} plan signature(s) to {baseline}")
+        print("commit the updated baseline with the change that motivated it")
+        return 0
+    if not os.path.exists(baseline):
+        print(
+            f"error: no baseline at {baseline!r}; run "
+            f"`repro plans --rebaseline` first",
+            file=sys.stderr,
+        )
+        return 2
+    diffs = suite.check_path(baseline)
+    if diffs:
+        print(format_diffs(diffs))
+        return 1
+    print(
+        f"plan regression: {len(suite.case_ids())} case(s) match the baseline "
+        f"at {baseline}"
+    )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Replay a repeated-query workload through the QueryService and print
     the serving metrics table (QPS, latency percentiles, plan-cache stats)."""
@@ -664,6 +699,26 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--format", choices=("json", "dot"), default="json")
     plan.add_argument("--output", default=None, help="write to this file instead of stdout")
     plan.set_defaults(func=cmd_plan)
+
+    plans = sub.add_parser(
+        "plans", help="diff the optimizer's plans for the canned workload against the baseline"
+    )
+    plans.add_argument(
+        "--check",
+        action="store_true",
+        help="compare live plan signatures against the baseline (the default)",
+    )
+    plans.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="record the live plan signatures as the new baseline",
+    )
+    plans.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: tests/baselines/plan_regression.json)",
+    )
+    plans.set_defaults(func=cmd_plans)
 
     serve = sub.add_parser(
         "serve", help="replay a repeated-query workload through the QueryService"

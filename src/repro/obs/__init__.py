@@ -198,6 +198,35 @@ class Observability:
             "worker_pool_generation",
             "Process-pool generation (bumped on every whole-pool respawn)",
         )
+        # Self-tuning loop families (catalogue auto-refresh + feedback-driven
+        # re-optimization).  The before/after histograms share the q-error
+        # bucket layout with query_q_error so drift and recovery can be read
+        # off the same scale.
+        self.tuning_catalogue_refreshes_total = self.registry.counter(
+            "tuning_catalogue_refreshes_total",
+            "Catalogue refreshes installed by the CatalogueRefresher",
+        )
+        self.tuning_refresh_seconds = self.registry.histogram(
+            "tuning_refresh_seconds", "Off-path catalogue re-sample + install duration"
+        )
+        self.tuning_replans_total = self.registry.counter(
+            "tuning_replans_total",
+            "Drifting cached plans re-planned by the re-optimization pass",
+        )
+        self.tuning_plan_changes_total = self.registry.counter(
+            "tuning_plan_changes_total",
+            "Re-plans that installed a different, cheaper plan",
+        )
+        self.tuning_qerror_before = self.registry.histogram(
+            "tuning_qerror_before",
+            "Worst-operator q-error of a plan at the moment it was re-planned",
+            buckets=QERROR_BUCKETS,
+        )
+        self.tuning_qerror_after = self.registry.histogram(
+            "tuning_qerror_after",
+            "Worst-operator q-error of the first full execution after a re-plan",
+            buckets=QERROR_BUCKETS,
+        )
 
     # ------------------------------------------------------------------ #
     # event stream
@@ -246,7 +275,15 @@ class Observability:
         if worst == worst:  # not NaN
             self.query_q_error.labels().observe(worst)
         if feedback_key is not None and trace.operators:
-            self.feedback.record(feedback_key, trace.query_name, trace.operators)
+            # Deadline/row-limit runs stop early, so their operator actuals
+            # undercount: route them to the partial-execution tally instead
+            # of the q-error aggregates.
+            self.feedback.record(
+                feedback_key,
+                trace.query_name,
+                trace.operators,
+                partial=trace.status != "ok",
+            )
         if self.event_log is not None:
             self.emit_event(
                 "query_finish",

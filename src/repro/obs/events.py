@@ -47,6 +47,8 @@ EVENT_TYPES = (
     "pool_respawn",
     "fallback_to_thread",
     "recovery",
+    "catalogue_refresh",
+    "plan_replan",
 )
 
 

@@ -4,9 +4,7 @@ The optimizer chooses plans from catalogue estimates; the executor measures
 what actually happened.  :class:`CardinalityFeedback` aggregates the two per
 *cached plan* (keyed by the query's canonical form), so a self-tuning loop
 can ask "which plans' estimates have drifted?" and re-optimize exactly those
-— the ROADMAP's "record actual-vs-estimated cardinalities per cached plan
-and re-optimize queries whose q-error drifts" open item consumes this
-directly.
+— :class:`repro.tuning.Reoptimizer` consumes :meth:`drifting_plans` directly.
 
 Per key we keep execution counts, running mean and max of the trace-level
 q-error (the *worst* per-operator q-error of each execution, which is the
@@ -38,6 +36,11 @@ class PlanFeedback:
     sum_q_error: float = 0.0
     max_q_error: float = 0.0
     last_q_error: float = 0.0
+    # Deadline/row-limit-truncated executions observed for this plan.  Their
+    # actuals are artificially low (the run stopped early), so they are
+    # counted here for visibility but never folded into the q-error
+    # aggregates above.
+    partial_executions: int = 0
     # Most recent per-operator rows (estimates vs actuals).
     operators: List[OperatorStats] = field(default_factory=list)
 
@@ -49,6 +52,7 @@ class PlanFeedback:
         return {
             "query": self.query_name,
             "executions": self.executions,
+            "partial_executions": self.partial_executions,
             "mean_q_error": self.mean_q_error,
             "max_q_error": self.max_q_error,
             "last_q_error": self.last_q_error,
@@ -77,13 +81,33 @@ class CardinalityFeedback:
         key: Hashable,
         query_name: str,
         operators: List[OperatorStats],
+        partial: bool = False,
     ) -> Optional[PlanFeedback]:
         """Fold one execution's operator rows into the per-plan aggregate.
 
         Executions whose operators carry no estimates (hand-built plans,
         truncated runs that produced no per-operator accounting) are
         skipped — feedback must never blame a plan for a partial run.
+
+        ``partial`` marks an execution that stopped early (deadline expiry or
+        a row limit): its actuals undercount the true cardinalities, so the
+        q-errors it would produce are fiction.  Partial executions only bump
+        ``partial_executions``; the mean/max/last q-error aggregates — and
+        therefore :meth:`drifting_plans` — see full executions only.
         """
+        if partial:
+            with self._lock:
+                entry = self._plans.get(key)
+                if entry is None:
+                    entry = PlanFeedback(query_name=query_name)
+                    self._plans[key] = entry
+                else:
+                    self._plans.move_to_end(key)
+                entry.partial_executions += 1
+                while len(self._plans) > self.capacity:
+                    self._plans.popitem(last=False)
+                    self.evictions += 1
+                return entry
         errors = [op.q_error for op in operators if op.has_estimate]
         if not errors:
             return None
@@ -114,13 +138,25 @@ class CardinalityFeedback:
         self, threshold: float = 2.0
     ) -> List[Tuple[Hashable, PlanFeedback]]:
         """Plans whose latest worst-operator q-error meets ``threshold`` —
-        the re-optimization candidates for the self-tuning loop."""
+        the re-optimization candidates for the self-tuning loop.
+
+        Plans observed only through partial executions have no trustworthy
+        q-error and are never surfaced."""
         with self._lock:
             return [
                 (key, entry)
                 for key, entry in self._plans.items()
-                if entry.last_q_error >= threshold
+                if entry.executions > 0 and entry.last_q_error >= threshold
             ]
+
+    def discard(self, key: Hashable) -> None:
+        """Drop the aggregate for one plan.
+
+        The re-optimizer calls this after acting on a drifting plan so the
+        stale signal is consumed; subsequent executions rebuild the aggregate
+        against whatever plan is now cached."""
+        with self._lock:
+            self._plans.pop(key, None)
 
     def worst(self, n: int = 10) -> List[Tuple[Hashable, PlanFeedback]]:
         with self._lock:
@@ -137,6 +173,7 @@ class CardinalityFeedback:
             entries = list(self._plans.values())
             evictions = self.evictions
         executions = sum(e.executions for e in entries)
+        partial = sum(e.partial_executions for e in entries)
         max_q = max((e.max_q_error for e in entries), default=0.0)
         mean_last = (
             sum(e.last_q_error for e in entries) / len(entries) if entries else 0.0
@@ -144,10 +181,13 @@ class CardinalityFeedback:
         return {
             "plans_tracked": len(entries),
             "executions": executions,
+            "partial_executions": partial,
             "evictions": evictions,
             "max_q_error": max_q if math.isfinite(max_q) else 0.0,
             "mean_last_q_error": mean_last,
-            "drifting_over_2": sum(1 for e in entries if e.last_q_error >= 2.0),
+            "drifting_over_2": sum(
+                1 for e in entries if e.executions > 0 and e.last_q_error >= 2.0
+            ),
         }
 
     def rows(self, n: int = 20) -> List[dict]:

@@ -199,8 +199,10 @@ class DynamicProgrammingOptimizer:
         if wco is not None:
             consider(wco.root, wco.cost)
 
-        # (ii) extend a stored (k-1)-vertex plan by one query vertex.
-        for v in vset:
+        # (ii) extend a stored (k-1)-vertex plan by one query vertex.  The
+        # frozenset is iterated in sorted order: ties are broken first-seen,
+        # so enumeration order must not depend on hash randomization.
+        for v in sorted(vset):
             rest = frozenset(vset - {v})
             if len(rest) < 2 or rest not in best:
                 continue
@@ -214,7 +216,12 @@ class DynamicProgrammingOptimizer:
 
         # (iii) hash-join two stored sub-plans covering this sub-query.
         if self.enable_binary_joins:
-            stored = [s for s in best if s < vset and len(s) >= 3]
+            # Sorted for the same reason as case (ii): the (left, right) pair
+            # enumeration order decides equal-cost ties.
+            stored = sorted(
+                (s for s in best if s < vset and len(s) >= 3),
+                key=lambda s: tuple(sorted(s)),
+            )
             sub_edges = {(e.src, e.dst, e.label) for e in sub.edges}
             for i, left in enumerate(stored):
                 for right in stored[i:]:

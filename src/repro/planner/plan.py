@@ -195,6 +195,10 @@ class Plan:
     #: execution can compute per-operator q-error without re-running the
     #: catalogue.  None for hand-built plans.
     operator_estimates: Optional[dict] = None
+    #: Epoch of the catalogue this plan was costed against (None for
+    #: hand-built plans).  The invalidation-ordering tests use it to assert a
+    #: served plan is never a torn mix of old plan + refreshed catalogue.
+    catalogue_epoch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if set(self.root.out_vertices) != set(self.query.vertices):

@@ -58,7 +58,10 @@ def enumerate_orderings(
         recurse(list(prefix))
     else:
         for first in vertices:
-            for second in query.neighbors(first):
+            # neighbors() is a set; sort so the enumeration order (and hence
+            # which of several equal-cost orderings a first-seen tie-break
+            # picks downstream) does not depend on hash randomization.
+            for second in sorted(query.neighbors(first)):
                 recurse([first, second])
     # Orderings of length < 2 cannot form plans.
     return [o for o in results if len(o) >= 2]

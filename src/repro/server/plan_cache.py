@@ -93,6 +93,37 @@ class PlanCache:
         with self._lock:
             self._store(key, plan)
 
+    def peek(self, key: Hashable) -> Optional[Plan]:
+        """Look up a plan without touching hit/miss counters or recency.
+
+        The re-optimization pass uses this to inspect cached plans: a
+        maintenance sweep should not distort the serving hit rate or keep
+        otherwise-cold entries alive.
+        """
+        with self._lock:
+            return self._plans.get(key)
+
+    @property
+    def generation(self) -> int:
+        """Current invalidation generation (bumped by :meth:`invalidate`)."""
+        with self._lock:
+            return self._generation
+
+    def put_if_generation(self, key: Hashable, plan: Plan, generation: int) -> bool:
+        """Insert ``plan`` only if no invalidation ran since ``generation``
+        was observed.  Returns whether the plan was installed.
+
+        This is the re-optimizer's guard: it plans outside any lock, so a
+        concurrent write or catalogue refresh may have flushed the cache in
+        the meantime — installing then would resurrect a plan costed against
+        statistics that no longer exist.
+        """
+        with self._lock:
+            if self._generation != generation:
+                return False
+            self._store(key, plan)
+            return True
+
     def _store(self, key: Hashable, plan: Plan) -> None:
         if key in self._plans:
             self._plans.move_to_end(key)

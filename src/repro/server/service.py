@@ -166,6 +166,22 @@ class QueryService:
         recovery — one JSON object per line, size-rotated.  A path given
         here is opened by (and closed with) this service; an ``EventLog``
         object is shared and stays open.
+    self_tuning:
+        When True, run the self-tuning optimizer loop for the served
+        database: a :class:`~repro.tuning.CatalogueRefresher` thread
+        re-samples the catalogue off the write path once its staleness
+        crosses ``tuning_stale_threshold`` (installing via epoch CAS and
+        invalidating the plan cache), and each cycle a
+        :class:`~repro.tuning.Reoptimizer` pass re-plans cached plans whose
+        worst-operator q-error drifted past ``tuning_qerror_threshold``,
+        evicting only when the new plan is cheaper than the old by
+        ``tuning_cost_margin``.  The loop is stopped by :meth:`close`.
+    tuning_stale_threshold / tuning_qerror_threshold / tuning_cost_margin:
+        The loop's sense/decide thresholds (see above).
+    tuning_poll_interval_seconds / tuning_min_refresh_interval_seconds / tuning_refresh_z:
+        Cadence of the staleness check, pacing floor between installed
+        refreshes, and the re-sample's sample count (``None`` keeps the
+        catalogue's own ``z``).
     """
 
     def __init__(
@@ -191,6 +207,13 @@ class QueryService:
         trace_capacity: Optional[int] = None,
         slow_query_seconds: Optional[float] = None,
         event_log: Optional[object] = None,
+        self_tuning: bool = False,
+        tuning_stale_threshold: float = 0.25,
+        tuning_qerror_threshold: float = 2.0,
+        tuning_cost_margin: float = 0.9,
+        tuning_poll_interval_seconds: float = 0.05,
+        tuning_min_refresh_interval_seconds: float = 0.0,
+        tuning_refresh_z: Optional[int] = None,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be at least 1")
@@ -239,6 +262,32 @@ class QueryService:
             db.enable_process_pool(num_workers)
         self.vectorized = vectorized
         self.batch_size = batch_size
+        # Self-tuning loop (catalogue auto-refresh + feedback-driven
+        # re-optimization).  Started after compaction/durability so the
+        # refresher watches the graph the service actually serves; owned and
+        # stopped by close().
+        self.reoptimizer = None
+        self.catalogue_refresher = None
+        self._owns_tuning = False
+        if self_tuning:
+            from repro.tuning import CatalogueRefresher, Reoptimizer
+
+            self.reoptimizer = Reoptimizer(
+                db,
+                qerror_threshold=tuning_qerror_threshold,
+                cost_margin=tuning_cost_margin,
+            )
+            self.catalogue_refresher = CatalogueRefresher(
+                db,
+                stale_threshold=tuning_stale_threshold,
+                poll_interval_seconds=tuning_poll_interval_seconds,
+                min_interval_seconds=tuning_min_refresh_interval_seconds,
+                z=tuning_refresh_z,
+                reoptimizer=self.reoptimizer,
+            )
+            self.catalogue_refresher.start()
+            self._owns_tuning = True
+            db.obs.registry.register_collector("tuning", self._collect_tuning_stats)
         self.metrics = ServiceMetrics(window_seconds=metrics_window_seconds)
         # Observability: the database owns the registry/trace ring/feedback
         # table; the service configures them and layers request-level data
@@ -557,6 +606,31 @@ class QueryService:
         (includes this service's request-level collector)."""
         return self.obs.registry.expose_prometheus()
 
+    def _collect_tuning_stats(self) -> dict:
+        """Self-tuning loop numbers for the registry's ``tuning`` collector."""
+        refresher = self.catalogue_refresher
+        reopt = self.reoptimizer
+        out: dict = {}
+        if refresher is not None:
+            out.update(refresher.stats())
+        if reopt is not None:
+            out["reoptimizer"] = reopt.stats()
+        return out
+
+    def refresh_catalogue_now(self) -> bool:
+        """Synchronously run one catalogue re-sample + install (requires
+        ``self_tuning=True``); returns whether a catalogue was installed."""
+        if self.catalogue_refresher is None:
+            raise RuntimeError("self_tuning is disabled for this service")
+        return self.catalogue_refresher.refresh_now()
+
+    def reoptimize_now(self):
+        """Synchronously run one re-optimization pass over drifting plans
+        (requires ``self_tuning=True``); returns the pass report."""
+        if self.reoptimizer is None:
+            raise RuntimeError("self_tuning is disabled for this service")
+        return self.reoptimizer.run_once()
+
     def _collect_service_stats(self) -> dict:
         """Request-level numbers for the metrics registry's collector (flat,
         numeric leaves only — strings are skipped by the flattener)."""
@@ -609,6 +683,8 @@ class QueryService:
                 "queue_wait_p99_seconds": pool_stats.get("queue_wait_p99_seconds", 0.0),
                 **pool_stats.get("workers", {}),
             }
+        if self.catalogue_refresher is not None:
+            out["tuning"] = self._collect_tuning_stats()
         out["traces"] = self.obs.traces.stats()
         out["cardinality_feedback"] = self.obs.feedback.stats()
         out["events"] = (
@@ -681,6 +757,14 @@ class QueryService:
         events = stats.get("events")
         if events and events.get("attached"):
             rows.append({"metric": "events emitted", "value": str(events["emitted"])})
+        tuning = stats.get("tuning")
+        if tuning:
+            rows.append({"metric": "catalogue refreshes", "value": str(tuning["refreshes"])})
+            rows.append({"metric": "catalogue epoch", "value": str(tuning["catalogue_epoch"])})
+            reopt = tuning.get("reoptimizer")
+            if reopt:
+                rows.append({"metric": "plan replans", "value": str(reopt["replans"])})
+                rows.append({"metric": "plan changes", "value": str(reopt["plan_changes"])})
         feedback = stats.get("cardinality_feedback")
         if feedback and feedback.get("plans_tracked"):
             rows.append({"metric": "plans with feedback", "value": str(feedback["plans_tracked"])})
@@ -698,6 +782,11 @@ class QueryService:
         with self._slots_free:
             self._closed = True
             self._slots_free.notify_all()
+        # Stop the tuning loop before draining workers: it reads planner
+        # state that the teardown below starts dismantling.
+        if self._owns_tuning and self.catalogue_refresher is not None:
+            self.catalogue_refresher.stop(wait=wait)
+            self._owns_tuning = False
         self._pool.shutdown(wait=wait)
         if self._owns_process_pool:
             self.db.close_process_pool()

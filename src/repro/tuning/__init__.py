@@ -1,0 +1,40 @@
+"""The self-tuning optimizer loop (sense → decide → act → guard).
+
+PR 5/6 built the *sense* half — :attr:`~repro.catalogue.SubgraphCatalogue.
+stale_fraction` tracks how far the sampled statistics have drifted and
+:meth:`~repro.obs.feedback.CardinalityFeedback.drifting_plans` lists cached
+plans whose actual-vs-estimated q-error has degraded.  This package consumes
+both signals:
+
+* :class:`CatalogueRefresher` — a background thread (modeled on the
+  compaction manager) that re-samples the catalogue off the write path when
+  staleness crosses a threshold and installs it with an epoch CAS,
+* :class:`Reoptimizer` — a maintenance pass that re-plans drifting cached
+  plans against current statistics, evicting only when the new plan is
+  cheaper by a margin,
+* :class:`PlanRegressionSuite` — the guard: a canned workload over
+  deterministic graphs whose chosen plan signatures are pinned in a
+  committed baseline (``tests/baselines/plan_regression.json``), so tuning
+  changes cannot silently regress plan quality.
+"""
+
+from repro.tuning.refresher import CatalogueRefresher
+from repro.tuning.regression import (
+    DEFAULT_BASELINE_PATH,
+    PlanDiff,
+    PlanRegressionSuite,
+    format_diffs,
+    plan_signature,
+)
+from repro.tuning.reoptimize import ReoptimizationReport, Reoptimizer
+
+__all__ = [
+    "CatalogueRefresher",
+    "Reoptimizer",
+    "ReoptimizationReport",
+    "PlanRegressionSuite",
+    "PlanDiff",
+    "plan_signature",
+    "format_diffs",
+    "DEFAULT_BASELINE_PATH",
+]

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import time
 from itertools import permutations, product
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import pytest
 
@@ -11,6 +12,30 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.generators import clustered_social, complete_graph, erdos_renyi
 from repro.graph.graph import Graph
 from repro.query.query_graph import QueryGraph
+
+
+# --------------------------------------------------------------------------- #
+# timing helpers
+# --------------------------------------------------------------------------- #
+def wait_until(
+    predicate: Callable[[], bool],
+    timeout: float = 5.0,
+    interval: float = 0.005,
+) -> bool:
+    """Poll ``predicate`` until it is truthy or ``timeout`` elapses.
+
+    The standard alternative to a fixed ``time.sleep`` when a test waits on a
+    background thread (compaction, catalogue refresh, checkpointing): it
+    returns as soon as the condition holds, so tests are fast on quick
+    machines and tolerant on slow ones.  Returns the predicate's final value
+    so call sites read ``assert wait_until(...)``.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
 
 
 # --------------------------------------------------------------------------- #

@@ -9,7 +9,6 @@ results identical to an in-memory reference that never restarted.
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 import pytest
@@ -20,6 +19,7 @@ from repro.graph.generators import clustered_social
 from repro.query import catalog_queries as cq
 from repro.server.service import QueryService
 
+from tests.conftest import wait_until
 from tests.persistence.conftest import random_workload
 
 QUERY_SET = [
@@ -149,10 +149,9 @@ class TestServiceWiring:
         store = db.durable_store
         for i in range(6):
             db.apply_updates(inserts=[(v, 100 + i, 0) for v in range(4)])
-        deadline = time.monotonic() + 5.0
-        while time.monotonic() < deadline and store.checkpoints == 0:
-            time.sleep(0.02)
-        assert store.checkpoints >= 1, "compaction install should checkpoint the WAL"
+        assert wait_until(
+            lambda: store.checkpoints >= 1
+        ), "compaction install should checkpoint the WAL"
         assert manager.stats()["checkpoints_triggered"] >= 1
         # The checkpoint truncated the WAL behind the new snapshot.
         assert store.snapshot_seq > 0

@@ -12,6 +12,7 @@ from repro.api import GraphflowDB
 from repro.errors import AdmissionError, InvalidQueryError
 from repro.query import catalog_queries as cq
 from repro.server.metrics import ServiceMetrics, percentile
+from tests.conftest import wait_until
 from repro.server.service import (
     STATUS_DEADLINE_EXCEEDED,
     STATUS_ERROR,
@@ -131,6 +132,7 @@ class TestDeadlinesAndLimits:
         full = db.execute(q).num_matches
         assert result.num_matches <= full  # partial (possibly zero) result
 
+    @pytest.mark.timing
     def test_deadline_expiring_in_queue(self, db):
         """Queue wait counts against the deadline: a query stuck behind a
         blocked worker expires without ever executing."""
@@ -148,8 +150,11 @@ class TestDeadlinesAndLimits:
         try:
             blocker = service.submit(cq.triangle())
             assert started.acquire(timeout=5)
+            submitted = time.monotonic()
             queued = service.submit(cq.triangle(), deadline_seconds=0.05)
-            time.sleep(0.2)  # let the queued query's deadline lapse
+            # Wait for the queued query's deadline to lapse (with slack for a
+            # slow scheduler) instead of sleeping a fixed amount.
+            assert wait_until(lambda: time.monotonic() - submitted > 0.1, timeout=2.0)
             release.set()
             assert blocker.result().status == STATUS_OK
             result = queued.result()

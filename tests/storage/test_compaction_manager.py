@@ -7,8 +7,6 @@ the epoch counter (a racing write makes the install retry, never lose data).
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.api import GraphflowDB
@@ -16,19 +14,11 @@ from repro.graph.builder import graph_from_edges
 from repro.query import catalog_queries as cq
 from repro.server.service import QueryService
 from repro.storage import CompactionManager, DynamicGraph, GraphSnapshot
+from tests.conftest import wait_until as _wait_until
 
 
 def _chain_graph(n: int = 30):
     return graph_from_edges([(i, i + 1) for i in range(n)] + [(n, 0)])
-
-
-def _wait_until(predicate, timeout: float = 5.0) -> bool:
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(0.005)
-    return predicate()
 
 
 class TestWritePath:

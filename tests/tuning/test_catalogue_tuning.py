@@ -1,0 +1,107 @@
+"""Incremental catalogue statistics vs. from-scratch rebuilds.
+
+Property test for the *sense* half of the self-tuning loop: under a
+randomized stream of insert/delete batches, the incrementally maintained
+exact statistics (``apply_edge_delta``) must equal what a from-scratch
+rebuild over the current graph would compute — at every step, not just at
+the end — and the drift accounting (``drift_edges`` / ``stale_fraction``)
+must count exactly the effectively applied mutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import GraphflowDB
+from repro.catalogue import resample_catalogue
+from repro.catalogue.construction import _edge_count_statistics
+from repro.graph.generators import clustered_social, erdos_renyi
+from repro.query import catalog_queries as cq
+
+
+def _random_batch(rng, graph, n_inserts: int, n_deletes: int):
+    """A random update batch: inserts among existing vertices (may collide
+    with existing edges — those are no-ops) and deletes of existing edges
+    (may repeat — the repeats are no-ops)."""
+    n = graph.num_vertices
+    inserts = []
+    for _ in range(n_inserts):
+        src, dst = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if src != dst:
+            inserts.append((src, dst, 0))
+    deletes = []
+    if graph.num_edges:
+        for idx in rng.integers(0, graph.num_edges, size=n_deletes):
+            deletes.append(
+                (int(graph.edge_src[idx]), int(graph.edge_dst[idx]), int(graph.edge_labels[idx]))
+            )
+    return inserts, deletes
+
+
+class TestIncrementalStatsProperty:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_update_stream_matches_scratch_rebuild_every_step(self, seed):
+        db = GraphflowDB(erdos_renyi(60, 300, seed=17, name=f"prop-{seed}"))
+        db.build_catalogue(h=2, z=40, queries=[cq.triangle()])
+        rng = np.random.default_rng(seed)
+        applied = 0
+        for step in range(8):
+            snapshot = db._read_graph(materialize=True)
+            inserts, deletes = _random_batch(
+                rng, snapshot, n_inserts=int(rng.integers(1, 12)), n_deletes=int(rng.integers(0, 8))
+            )
+            result = db.apply_updates(inserts=inserts, deletes=deletes)
+            applied += result.num_applied
+            current = db._read_graph(materialize=True)
+            catalogue = db.catalogue
+            # The exact statistics a scratch rebuild would compute.
+            assert catalogue.edge_counts == _edge_count_statistics(current), f"step {step}"
+            assert catalogue.num_graph_edges == current.num_edges
+            assert catalogue.num_graph_vertices == current.num_vertices
+            # Drift counts effectively applied mutations only (no-ops don't
+            # decay the sampled estimates).
+            assert catalogue.drift_edges == applied
+            assert catalogue.stale_fraction == applied / catalogue.edges_at_build
+
+    def test_vertex_additions_are_tracked(self):
+        db = GraphflowDB(erdos_renyi(40, 160, seed=3))
+        db.build_catalogue(h=2, z=40, queries=[cq.triangle()])
+        db.apply_updates(new_vertex_labels=[0, 0, 0], inserts=[(40, 41, 0), (41, 42, 0)])
+        current = db._read_graph(materialize=True)
+        assert db.catalogue.num_graph_vertices == current.num_vertices == 43
+        assert db.catalogue.edge_counts == _edge_count_statistics(current)
+
+
+class TestResample:
+    def test_resample_re_measures_entries_from_source_triples(self):
+        graph = clustered_social(120, avg_degree=6, clustering=0.3, seed=9)
+        db = GraphflowDB(graph)
+        db.build_catalogue(h=3, z=60, queries=[cq.triangle(), cq.q3()])
+        old = db.catalogue
+        old.drift_edges = 500  # pretend the graph churned
+        fresh = resample_catalogue(old, db._read_graph(), seed=1)
+        # Same keys (the workload didn't change), fresh measurements.
+        assert set(fresh.entries) == set(old.entries)
+        assert fresh.drift_edges == 0
+        assert fresh.edges_at_build == graph.num_edges
+        assert all(e.num_samples > 0 for e in fresh.entries.values())
+        # Entry values are re-measured, not copied.
+        assert any(
+            fresh.entries[k].mu != old.entries[k].mu
+            or fresh.entries[k].avg_list_sizes != old.entries[k].avg_list_sizes
+            for k in old.entries
+        ) or len(old.entries) == 0
+
+    def test_entries_without_source_triples_are_dropped(self):
+        db = GraphflowDB(erdos_renyi(50, 200, seed=4))
+        db.build_catalogue(h=2, z=40, queries=[cq.triangle()])
+        old = db.catalogue
+        assert old.num_entries > 0
+        for entry in old.entries.values():  # simulate a persisted-then-loaded catalogue
+            entry.sub_query = None
+            entry.descriptors = None
+        fresh = resample_catalogue(old, db._read_graph())
+        assert fresh.num_entries == 0
+        # The exact statistics still transfer — only sampled entries drop.
+        assert fresh.edge_counts == old.edge_counts
