@@ -35,6 +35,14 @@ from repro.executor.pipeline import ExecutionResult, execute_plan
 from repro.graph.graph import Graph
 from repro.graph.schema import GraphSchema
 from repro.obs import EventLog, Observability
+from repro.obs.health import (
+    HealthRegistry,
+    checkpoint_lag_check,
+    free_space_check,
+    process_pool_check,
+    recovery_check,
+    thread_alive_check,
+)
 from repro.obs.trace import QueryTrace, operator_stats_from_profile
 from repro.planner.cost_model import CostModel, annotate_operator_estimates, constants_for
 from repro.planner.dp_optimizer import DynamicProgrammingOptimizer
@@ -158,7 +166,17 @@ class GraphflowDB:
         # finishes, checkpoints, compactions, pool respawns, recovery.
         if event_log is not None:
             self.obs.attach_event_log(event_log)
+        # Pluggable health checks (obs/health.py): subsystems register deep
+        # checks as they attach (durable store, process pool, compaction
+        # thread), the ops plane's /readyz runs them, and the "health"
+        # collector exports the same verdicts as health_* gauges.
+        self.health = HealthRegistry()
+        self.health.register(
+            "database",
+            lambda: (True, f"graph version {self.graph_version}"),
+        )
         registry = self.obs.registry
+        registry.register_collector("health", self.health.collect)
         registry.register_collector("plan_cache", self._plan_cache_stats)
         registry.register_collector("compaction", self._compaction_stats)
         registry.register_collector("persistence", self._persistence_stats)
@@ -206,6 +224,15 @@ class GraphflowDB:
             "observability": self.obs.stats(),
         }
 
+    def _register_durability_health(self, store: DurableGraphStore) -> None:
+        """Wire the durable store's readiness checks: recovery completed,
+        the WAL volume has headroom, and the checkpoint lag is bounded.
+        Re-registering (replace semantics) keeps the checks pointed at the
+        live store across ``enable_durability`` after an earlier close."""
+        self.health.register("recovery_complete", recovery_check(store))
+        self.health.register("wal_free_space", free_space_check(store.data_dir))
+        self.health.register("checkpoint_lag", checkpoint_lag_check(store))
+
     # ------------------------------------------------------------------ #
     # durability
     # ------------------------------------------------------------------ #
@@ -249,6 +276,7 @@ class GraphflowDB:
         db = cls(store.dynamic, **db_kwargs)
         db.durable_store = store
         store.event_sink = db.obs.emit_event
+        db._register_durability_health(store)
         report = store.recovery
         if report is not None:
             db.obs.emit_event(
@@ -314,6 +342,7 @@ class GraphflowDB:
                 self.set_graph(store.dynamic)
             self.durable_store = store
             store.event_sink = self.obs.emit_event
+            self._register_durability_health(store)
             return store
 
     def checkpoint(self, force: bool = False):
@@ -366,6 +395,11 @@ class GraphflowDB:
                 # pool replacement, so worker_* exposition never resets.
                 new_pool.carry_from(pool)
             self._process_pool = new_pool
+            # Closed over the getter, not the pool object: a later resize
+            # replaces the pool but the readiness probe keeps following it.
+            self.health.register(
+                "worker_pool", process_pool_check(lambda: self._process_pool)
+            )
             return new_pool
 
     def close_process_pool(self) -> None:
@@ -374,6 +408,8 @@ class GraphflowDB:
             pool, self._process_pool = self._process_pool, None
         if pool is not None:
             pool.close()
+        # An intentionally-absent pool is not a readiness failure.
+        self.health.unregister("worker_pool")
 
     # ------------------------------------------------------------------ #
     # catalogue / cost model management
@@ -622,7 +658,16 @@ class GraphflowDB:
             if self.durable_store is not None and not self.durable_store.closed:
                 store = self.durable_store
                 manager.set_compaction_listener(lambda: store.maybe_checkpoint())
-            return manager.start()
+            started = manager.start()
+            self.health.register(
+                "compaction_thread",
+                thread_alive_check(
+                    lambda: self.compaction_manager is not None
+                    and self.compaction_manager.running,
+                    description="background compaction manager",
+                ),
+            )
+            return started
 
     def disable_background_compaction(self, wait: bool = True) -> None:
         """Stop and detach the background compaction manager (restoring the
@@ -631,6 +676,9 @@ class GraphflowDB:
             manager, self.compaction_manager = self.compaction_manager, None
         if manager is not None:
             manager.stop(wait=wait)
+        # Compaction deliberately off is healthy; only a dead thread that
+        # should be running is a readiness failure.
+        self.health.unregister("compaction_thread")
 
     def note_external_writes(
         self,

@@ -64,6 +64,61 @@ def _resolve_query(text: str):
         return parse_query(text, name="cli-query")
 
 
+def _ops_url(base: str, path: str, params: Optional[dict] = None) -> str:
+    """Join an ops-server base URL (``host:port`` accepted) with a path."""
+    from urllib.parse import urlencode
+
+    base = base.rstrip("/")
+    if "://" not in base:
+        base = f"http://{base}"
+    url = f"{base}{path}"
+    if params:
+        query = urlencode({k: v for k, v in params.items() if v is not None})
+        if query:
+            url = f"{url}?{query}"
+    return url
+
+
+def _ops_get_json(url: str, timeout: float = 10.0):
+    """GET a JSON document from a running ops server.
+
+    4xx/5xx responses still carry a JSON body (the ops server always answers
+    in JSON), so decode those too instead of surfacing a bare HTTPError.
+    """
+    import json
+    from urllib.error import HTTPError
+    from urllib.request import urlopen
+
+    try:
+        with urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8")), response.status
+    except HTTPError as exc:
+        body = exc.read().decode("utf-8", errors="replace")
+        try:
+            return json.loads(body), exc.code
+        except ValueError:
+            raise RuntimeError(f"{url}: HTTP {exc.code}: {body.strip()}") from exc
+
+
+def _scalar_rows(data: dict, prefix: str = "", depth: int = 0) -> list:
+    """Flatten a nested stats dict into metric/value table rows (scalar
+    leaves only, dotted names, two levels deep — enough for /stats)."""
+    rows = []
+    for key in sorted(data):
+        value = data[key]
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            if depth < 2:
+                rows.extend(_scalar_rows(value, prefix=f"{name}.", depth=depth + 1))
+        elif isinstance(value, (list, tuple)):
+            continue
+        else:
+            if isinstance(value, float):
+                value = f"{value:.4f}"
+            rows.append({"metric": name, "value": str(value)})
+    return rows
+
+
 def cmd_datasets(_: argparse.Namespace) -> int:
     rows = [
         {
@@ -83,8 +138,22 @@ def cmd_stats(args: argparse.Namespace) -> int:
     behaviour).  With ``--queries``: run a short workload through a
     :class:`QueryService` and print the unified service/database counters —
     the same data :meth:`QueryService.stats` exposes from Python — as a
-    table or, with ``--json``, as one JSON document."""
+    table or, with ``--json``, as one JSON document.  With ``--url``: fetch
+    the stats of an already-running server from its ops plane (``GET
+    /stats``) instead of spinning anything up locally."""
     import json
+
+    if args.url:
+        stats, _ = _ops_get_json(_ops_url(args.url, "/stats"))
+        if args.json:
+            print(json.dumps(stats, indent=2, default=str))
+        else:
+            print(
+                format_table(
+                    _scalar_rows(stats), title=f"service stats from {args.url}"
+                )
+            )
+        return 0
 
     if not args.queries:
         graph = datasets.load(args.dataset, scale=args.scale)
@@ -153,8 +222,53 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     """Execute one query and print its full trace: spans (plan/cache lookup,
     execution) and per-operator actual-vs-estimated cardinalities with
-    q-errors."""
+    q-errors.
+
+    With ``--url`` the traces come from a running server's ops plane
+    instead: ``--id N`` fetches one full trace, ``--slow`` the slow-query
+    ring, and neither lists recent trace summaries."""
     import json
+
+    if args.url:
+        if args.trace_id is not None:
+            payload, status = _ops_get_json(
+                _ops_url(args.url, f"/traces/{args.trace_id}")
+            )
+            if status != 200:
+                print(f"error: {payload.get('error', payload)}", file=sys.stderr)
+                return 1
+            print(json.dumps(payload, indent=2, default=str))
+            return 0
+        path = "/slow" if args.slow else "/traces"
+        payload, status = _ops_get_json(_ops_url(args.url, path))
+        if status != 200:
+            print(f"error: {payload.get('error', payload)}", file=sys.stderr)
+            return 1
+        traces = payload.get("traces", [])
+        if args.json:
+            print(json.dumps(payload, indent=2, default=str))
+            return 0
+        rows = [
+            {
+                "id": t.get("trace_id"),
+                "kind": t.get("kind"),
+                "query": t.get("query"),
+                "status": t.get("status"),
+                "mode": t.get("mode"),
+                "matches": t.get("num_matches"),
+                "seconds": f"{t.get('total_seconds', 0.0):.4f}",
+            }
+            for t in traces
+        ]
+        title = f"{'slow queries' if args.slow else 'recent traces'} from {args.url}"
+        if rows:
+            print(format_table(rows, title=title))
+        else:
+            print(f"{title}: none recorded")
+        return 0
+    if args.query is None:
+        print("error: --query is required (or use --url for a remote server)", file=sys.stderr)
+        return 2
 
     db = _load_db(args)
     query = _resolve_query(args.query)
@@ -329,6 +443,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             query = query.rename_vertices({v: f"{v}_r{i}" for v in query.vertices})
         workload.append(query)
 
+    ops_addr = (args.ops_host, args.ops_port) if args.ops_port is not None else None
     with QueryService(
         db,
         max_concurrent=args.clients,
@@ -340,7 +455,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         vectorized=args.vectorized,
         slow_query_seconds=args.slow_query_seconds,
         event_log=args.event_log,
+        ops_addr=ops_addr,
     ) as service:
+        if service.ops_server is not None:
+            print(f"ops plane listening on {service.ops_server.url}", flush=True)
         start = time.perf_counter()
         results = service.execute_batch(workload)
         elapsed = time.perf_counter() - start
@@ -366,6 +484,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 with open(args.metrics_dump, "w", encoding="utf-8") as handle:
                     handle.write(exposition)
                 print(f"wrote Prometheus metrics to {args.metrics_dump}")
+        if args.hold_seconds:
+            # Keep serving (inside the with block: the ops server stays up,
+            # /readyz stays green) so external probes and scrapers can hit a
+            # live service — the CI ops smoke and ad-hoc debugging both use
+            # this.  Ctrl-C ends the hold early.
+            print(
+                f"holding for {args.hold_seconds:.0f}s "
+                "(ops endpoints live; Ctrl-C to stop)",
+                flush=True,
+            )
+            deadline = time.perf_counter() + args.hold_seconds
+            try:
+                while time.perf_counter() < deadline:
+                    time.sleep(min(0.2, max(0.0, deadline - time.perf_counter())))
+            except KeyboardInterrupt:
+                pass
     if db.durable_store is not None:
         db.close()  # graceful shutdown: final checkpoint + WAL truncate
         print(
@@ -461,12 +595,16 @@ def cmd_events(args: argparse.Namespace) -> int:
     ``GraphflowDB(event_log=...)`` / ``serve --event-log``.  Reads rotated
     backups oldest-first, skips torn or malformed lines, and with
     ``--follow`` keeps polling the active file for appended events
-    (rotation-aware) until interrupted."""
+    (rotation-aware) until interrupted.
+
+    With ``--url`` the events stream over HTTP from a running server's ops
+    plane (``GET /events``) — the same filters apply, and ``--follow``
+    holds the NDJSON stream open until interrupted."""
     import json
     import os
     import time
 
-    from repro.obs.events import iter_events, tail_events
+    from repro.obs.events import follow_events, iter_events, tail_events
 
     types = (
         [t.strip() for t in args.type.split(",") if t.strip()] if args.type else None
@@ -483,6 +621,43 @@ def cmd_events(args: argparse.Namespace) -> int:
         )
         return f"{stamp}  {event.get('type', '?'):<20} {fields}"
 
+    if args.url:
+        from urllib.request import urlopen
+
+        url = _ops_url(
+            args.url,
+            "/events",
+            {
+                "type": args.type,
+                "tail": args.tail,
+                "follow": "1" if args.follow else None,
+            },
+        )
+        try:
+            # No timeout in follow mode: the stream stays open on purpose.
+            with urlopen(url, timeout=None if args.follow else 10.0) as response:
+                if response.status != 200:
+                    print(f"error: HTTP {response.status} from {url}", file=sys.stderr)
+                    return 1
+                for line in response:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line.decode("utf-8", errors="replace"))
+                    except ValueError:
+                        continue
+                    print(render(event), flush=True)
+        except KeyboardInterrupt:
+            pass
+        except OSError as exc:
+            print(f"error: {url}: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.path is None:
+        print("error: --path is required (or use --url for a remote server)", file=sys.stderr)
+        return 2
     if not os.path.exists(args.path):
         print(f"error: no event log at {args.path}", file=sys.stderr)
         return 1
@@ -495,33 +670,12 @@ def cmd_events(args: argparse.Namespace) -> int:
     if not args.follow:
         return 0
     try:
-        handle = open(args.path, "r", encoding="utf-8")
-        handle.seek(0, os.SEEK_END)
-        while True:
-            line = handle.readline()
-            if not line:
-                # Rotation check: the writer renamed our file away and
-                # started a fresh one at the same path.
-                try:
-                    if os.stat(args.path).st_ino != os.fstat(handle.fileno()).st_ino:
-                        handle.close()
-                        handle = open(args.path, "r", encoding="utf-8")
-                        continue
-                except OSError:
-                    pass
-                time.sleep(args.poll_interval)
-                continue
-            try:
-                event = json.loads(line)
-            except ValueError:
-                continue
-            if types is not None and event.get("type") not in types:
-                continue
+        for event in follow_events(
+            args.path, types=types, poll_interval=args.poll_interval
+        ):
             print(render(event), flush=True)
     except KeyboardInterrupt:
         pass
-    finally:
-        handle.close()
     return 0
 
 
@@ -604,6 +758,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     stats.add_argument(
+        "--url",
+        default=None,
+        metavar="HOST:PORT",
+        help="fetch /stats from a running server's ops plane instead of "
+        "running a local workload",
+    )
+    stats.add_argument(
         "--watch",
         type=float,
         default=None,
@@ -625,7 +786,26 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="execute one query and print its trace (spans + per-operator q-error)"
     )
     add_common(trace)
-    trace.add_argument("--query", required=True)
+    trace.add_argument("--query", default=None, help="query to execute and trace locally")
+    trace.add_argument(
+        "--url",
+        default=None,
+        metavar="HOST:PORT",
+        help="read traces from a running server's ops plane instead of "
+        "executing anything locally",
+    )
+    trace.add_argument(
+        "--id",
+        type=int,
+        default=None,
+        dest="trace_id",
+        help="with --url: fetch one full trace by id",
+    )
+    trace.add_argument(
+        "--slow",
+        action="store_true",
+        help="with --url: list the slow-query ring instead of recent traces",
+    )
     trace.add_argument("--adaptive", action="store_true")
     trace.add_argument("--workers", type=int, default=1)
     trace.add_argument(
@@ -794,12 +974,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream structured lifecycle events (query finishes, "
         "checkpoints, compactions, pool respawns) to this JSONL file",
     )
+    serve.add_argument(
+        "--ops-port",
+        type=int,
+        default=None,
+        dest="ops_port",
+        metavar="PORT",
+        help="start the HTTP ops plane on this port (0 for an ephemeral "
+        "one): /metrics, /healthz, /readyz, /stats, /traces, /events",
+    )
+    serve.add_argument(
+        "--ops-host",
+        default="127.0.0.1",
+        dest="ops_host",
+        help="bind address for --ops-port (default: loopback only)",
+    )
+    serve.add_argument(
+        "--hold-seconds",
+        type=float,
+        default=None,
+        dest="hold_seconds",
+        metavar="SECONDS",
+        help="after the workload, keep the service (and ops endpoints) up "
+        "for this long before shutting down (Ctrl-C ends it early)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     events = sub.add_parser(
         "events", help="tail / filter a structured event log (JSONL)"
     )
-    events.add_argument("--path", required=True, help="event log file path")
+    events.add_argument("--path", default=None, help="event log file path")
+    events.add_argument(
+        "--url",
+        default=None,
+        metavar="HOST:PORT",
+        help="stream /events from a running server's ops plane instead of "
+        "reading a local file",
+    )
     events.add_argument(
         "--type",
         default=None,

@@ -26,8 +26,15 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.obs.events import EVENT_SCHEMA_VERSION, EventLog, iter_events, tail_events
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    follow_events,
+    iter_events,
+    tail_events,
+)
 from repro.obs.feedback import CardinalityFeedback, PlanFeedback
+from repro.obs.health import CheckResult, HealthReport, HealthRegistry
 from repro.obs.registry import (
     LATENCY_BUCKETS,
     QERROR_BUCKETS,
@@ -51,6 +58,10 @@ __all__ = [
     "EVENT_SCHEMA_VERSION",
     "iter_events",
     "tail_events",
+    "follow_events",
+    "HealthRegistry",
+    "HealthReport",
+    "CheckResult",
     "MetricsRegistry",
     "Counter",
     "Gauge",

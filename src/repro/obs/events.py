@@ -31,7 +31,14 @@ import threading
 import time
 from typing import Iterator, List, Optional, Sequence
 
-__all__ = ["EVENT_SCHEMA_VERSION", "EVENT_TYPES", "EventLog", "iter_events", "tail_events"]
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "EventLog",
+    "follow_events",
+    "iter_events",
+    "tail_events",
+]
 
 #: Bump on incompatible record-shape changes; readers check ``record["v"]``.
 EVENT_SCHEMA_VERSION = 1
@@ -210,6 +217,130 @@ def iter_events(
         for record in _iter_file(file_path):
             if wanted is None or record.get("type") in wanted:
                 yield record
+
+
+def _open_rotation_successor(path: str, old_ino: int, max_backups: int = 16):
+    """Open the file that follows the one holding ``old_ino`` in the rotated
+    chain ``<path>.N … <path>.1, <path>`` (oldest → newest), or ``None``
+    when the old file fell out of retention (the follower then resumes at
+    the active file; the dropped interval is unrecoverable by design).
+
+    Racy by nature — the writer may rotate again between the stat scan and
+    the open — so the opened file's inode is re-verified and the scan
+    retried a few times before giving up."""
+    for _ in range(4):
+        entries = []
+        for candidate in [f"{path}.{i}" for i in range(max_backups, 0, -1)] + [path]:
+            try:
+                entries.append((candidate, os.stat(candidate).st_ino))
+            except OSError:
+                continue
+        index = next(
+            (k for k, (_, ino) in enumerate(entries) if ino == old_ino), None
+        )
+        if index is None or index + 1 >= len(entries):
+            return None
+        next_path, next_ino = entries[index + 1]
+        try:
+            handle = open(next_path, "rb")
+        except OSError:
+            continue
+        if os.fstat(handle.fileno()).st_ino == next_ino:
+            return handle
+        handle.close()
+    return None
+
+
+def follow_events(
+    path: str,
+    types: Optional[Sequence[str]] = None,
+    poll_interval: float = 0.25,
+    stop: Optional[object] = None,
+    start_at_end: bool = True,
+) -> Iterator[dict]:
+    """Yield records appended to the active log file as they arrive — the
+    ``tail -F`` of the event stream, shared by ``repro events --follow`` and
+    the ops server's ``/events?follow=1`` NDJSON endpoint.
+
+    Rotation-aware: when the writer renames the active file away
+    (:meth:`EventLog._rotate_locked` uses ``os.replace``) and starts a fresh
+    one at the same path, the follower drains the handle it holds to EOF —
+    every record written before the rotation is still read — then walks the
+    rotated chain by inode (``<path>.1`` upward) to the next file, so no
+    record is skipped or duplicated even when several rotations land between
+    two polls.  Only records rotated *past the backup retention* between
+    polls are unrecoverable.  A torn tail (the writer's line not yet fully
+    flushed) is re-read on the next poll instead of being dropped.
+    Malformed lines are skipped, matching :func:`iter_events`.
+
+    ``stop`` is an optional zero-argument callable polled between reads;
+    when it turns truthy the generator returns (the HTTP handler passes the
+    server's shutdown flag).  ``start_at_end=False`` replays the active
+    file from its beginning first.
+    """
+    wanted = set(types) if types else None
+    should_stop = stop if callable(stop) else (lambda: False)
+    handle = None
+    seek_end = start_at_end
+    try:
+        while True:
+            if should_stop():
+                return
+            if handle is None:
+                try:
+                    # Binary mode: tell()/seek() arithmetic on partial lines
+                    # is only defined for byte offsets.
+                    handle = open(path, "rb")
+                except FileNotFoundError:
+                    time.sleep(poll_interval)
+                    continue
+                if seek_end:
+                    handle.seek(0, os.SEEK_END)
+                # Files reached through the rotation chain are read from the
+                # start: everything in them is new to us.
+                seek_end = False
+            position = handle.tell()
+            line = handle.readline()
+            if not line:
+                # EOF on the handle we hold.  If the path now points at a
+                # different inode (or is briefly gone mid-rotation), the
+                # writer rotated: advance to our file's successor in the
+                # chain — possibly a sealed backup, whose own EOF lands back
+                # here and walks one more step toward the active file.
+                try:
+                    our_ino = os.fstat(handle.fileno()).st_ino
+                    rotated = os.stat(path).st_ino != our_ino
+                except OSError:
+                    our_ino = None
+                    rotated = True
+                if rotated:
+                    handle.close()
+                    handle = (
+                        _open_rotation_successor(path, our_ino)
+                        if our_ino is not None
+                        else None
+                    )
+                    continue
+                time.sleep(poll_interval)
+                continue
+            if not line.endswith(b"\n"):
+                # Torn tail: the writer is mid-append.  Rewind and retry so
+                # the record is yielded whole once the flush lands.
+                handle.seek(position)
+                time.sleep(poll_interval)
+                continue
+            try:
+                record = json.loads(line.decode("utf-8", errors="replace"))
+            except ValueError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if wanted is not None and record.get("type") not in wanted:
+                continue
+            yield record
+    finally:
+        if handle is not None:
+            handle.close()
 
 
 def tail_events(

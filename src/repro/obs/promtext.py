@@ -1,0 +1,301 @@
+"""A strict parser for the Prometheus text exposition format (0.0.4).
+
+The metrics registry *produces* the text format; this module *consumes* it,
+enforcing the spec rather than tolerating deviations:
+
+* metric and label names must match the spec's character classes;
+* label values must use only the three defined escapes (``\\\\``, ``\\"``,
+  ``\\n``) — an unknown escape or a raw newline is an error;
+* sample values must parse as floats (including ``+Inf`` / ``-Inf`` /
+  ``NaN``);
+* at most one ``# TYPE`` per family, before any of its samples;
+* no duplicate samples (same name + label set);
+* histogram families must expose cumulative, monotonically non-decreasing
+  ``_bucket`` series ending in ``le="+Inf"``, with the ``+Inf`` bucket equal
+  to ``_count``, plus ``_sum`` and ``_count`` series per label set.
+
+Three callers share it: the exposition-hardening tests round-trip
+``MetricsRegistry.expose_prometheus()`` through :func:`parse_exposition`,
+the CI ops-plane smoke pipes a live ``curl /metrics`` body through the CLI
+entry point (``python -m repro.obs.promtext <file>``), and anything
+building a scrape client gets the sample model for free.  Strictness is the
+point — a lenient parser here would let an invalid exposition reach a real
+Prometheus server before anything noticed.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ExpositionError", "MetricFamily", "Sample", "parse_exposition"]
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+class ExpositionError(ValueError):
+    """A violation of the 0.0.4 text format, with the offending line."""
+
+    def __init__(self, message: str, lineno: int, line: str = "") -> None:
+        super().__init__(f"line {lineno}: {message}" + (f" | {line!r}" if line else ""))
+        self.lineno = lineno
+        self.line = line
+
+
+@dataclass
+class Sample:
+    """One sample line: name, label dict, float value."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+    def key(self) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+        return self.name, tuple(sorted(self.labels.items()))
+
+
+@dataclass
+class MetricFamily:
+    """Samples grouped under one base family name.
+
+    For histograms the ``_bucket`` / ``_sum`` / ``_count`` series are folded
+    under the base name, mirroring how Prometheus itself groups them.
+    """
+
+    name: str
+    type: str = "untyped"
+    help: str = ""
+    samples: List[Sample] = field(default_factory=list)
+
+    def sample_values(self) -> Dict[Tuple[Tuple[str, str], ...], float]:
+        return {tuple(sorted(s.labels.items())): s.value for s in self.samples}
+
+
+def _parse_value(text: str, lineno: int, line: str) -> float:
+    stripped = text.strip()
+    if stripped == "+Inf":
+        return math.inf
+    if stripped == "-Inf":
+        return -math.inf
+    if stripped == "NaN":
+        return math.nan
+    try:
+        return float(stripped)
+    except ValueError:
+        raise ExpositionError(f"unparseable sample value {stripped!r}", lineno, line)
+
+
+def _parse_labels(text: str, lineno: int, line: str) -> Dict[str, str]:
+    """Parse the ``name="value",...`` body between the braces, honouring
+    exactly the spec's three escapes."""
+    labels: Dict[str, str] = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        match = re.match(r"\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*\"", text[i:])
+        if match is None:
+            raise ExpositionError(f"malformed label at offset {i}", lineno, line)
+        name = match.group(1)
+        if name in labels:
+            raise ExpositionError(f"duplicate label name {name!r}", lineno, line)
+        i += match.end()
+        value_chars: List[str] = []
+        while True:
+            if i >= n:
+                raise ExpositionError("unterminated label value", lineno, line)
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= n:
+                    raise ExpositionError("dangling escape in label value", lineno, line)
+                esc = text[i + 1]
+                if esc == "\\":
+                    value_chars.append("\\")
+                elif esc == '"':
+                    value_chars.append('"')
+                elif esc == "n":
+                    value_chars.append("\n")
+                else:
+                    raise ExpositionError(
+                        f"unknown escape \\{esc} in label value", lineno, line
+                    )
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            else:
+                value_chars.append(ch)
+                i += 1
+        labels[name] = "".join(value_chars)
+        rest = text[i:].lstrip()
+        if not rest:
+            break
+        if not rest.startswith(","):
+            raise ExpositionError("expected ',' between labels", lineno, line)
+        i = n - len(rest) + 1
+    return labels
+
+
+def _base_name(sample_name: str, typed_histograms: Dict[str, str]) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if typed_histograms.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def _check_histogram(family: MetricFamily) -> None:
+    """Per label set: buckets sorted and cumulative, +Inf present and equal
+    to _count, _sum present."""
+    buckets: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+    sums: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    for sample in family.samples:
+        if sample.name == f"{family.name}_bucket":
+            labels = dict(sample.labels)
+            if "le" not in labels:
+                raise ExpositionError(
+                    f"{sample.name} sample without an le label", 0
+                )
+            le_text = labels.pop("le")
+            bound = math.inf if le_text == "+Inf" else float(le_text)
+            buckets.setdefault(tuple(sorted(labels.items())), []).append(
+                (bound, sample.value)
+            )
+        elif sample.name == f"{family.name}_sum":
+            sums[sample.key()[1]] = sample.value
+        elif sample.name == f"{family.name}_count":
+            counts[sample.key()[1]] = sample.value
+    for key, series in buckets.items():
+        ordered = sorted(series, key=lambda pair: pair[0])
+        if ordered != series:
+            raise ExpositionError(
+                f"histogram {family.name}{dict(key)} buckets not in ascending le order", 0
+            )
+        running = -math.inf
+        for bound, cumulative in ordered:
+            if cumulative < running:
+                raise ExpositionError(
+                    f"histogram {family.name}{dict(key)} bucket counts decrease at le={bound}", 0
+                )
+            running = cumulative
+        if not ordered or ordered[-1][0] != math.inf:
+            raise ExpositionError(
+                f"histogram {family.name}{dict(key)} is missing the +Inf bucket", 0
+            )
+        if key not in counts:
+            raise ExpositionError(
+                f"histogram {family.name}{dict(key)} has buckets but no _count", 0
+            )
+        if key not in sums:
+            raise ExpositionError(
+                f"histogram {family.name}{dict(key)} has buckets but no _sum", 0
+            )
+        if ordered[-1][1] != counts[key]:
+            raise ExpositionError(
+                f"histogram {family.name}{dict(key)}: +Inf bucket "
+                f"{ordered[-1][1]} != _count {counts[key]}", 0
+            )
+
+
+def parse_exposition(text: str) -> Dict[str, MetricFamily]:
+    """Parse a full exposition body; raises :class:`ExpositionError` on the
+    first violation.  Returns families keyed by base name."""
+    families: Dict[str, MetricFamily] = {}
+    typed: Dict[str, str] = {}  # family name -> declared type
+    seen_samples: set = set()
+    samples_seen_for: set = set()
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3:
+                    raise ExpositionError(f"malformed # {parts[1]} line", lineno, line)
+                name = parts[2]
+                if not _METRIC_NAME_RE.match(name):
+                    raise ExpositionError(f"invalid metric name {name!r}", lineno, line)
+                family = families.setdefault(name, MetricFamily(name=name))
+                if parts[1] == "HELP":
+                    family.help = parts[3] if len(parts) > 3 else ""
+                else:
+                    declared = parts[3].strip() if len(parts) > 3 else ""
+                    if declared not in _TYPES:
+                        raise ExpositionError(
+                            f"unknown metric type {declared!r}", lineno, line
+                        )
+                    if name in typed and typed[name] != declared:
+                        raise ExpositionError(
+                            f"conflicting # TYPE for {name}", lineno, line
+                        )
+                    if name in typed:
+                        raise ExpositionError(
+                            f"duplicate # TYPE for {name}", lineno, line
+                        )
+                    if name in samples_seen_for:
+                        raise ExpositionError(
+                            f"# TYPE for {name} after its samples", lineno, line
+                        )
+                    typed[name] = declared
+                    family.type = declared
+            # Other comments are legal and ignored.
+            continue
+        # Sample line: name[{labels}] value [timestamp]
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)(\s+(-?\d+))?\s*$", line)
+        if match is None:
+            raise ExpositionError("unparseable sample line", lineno, line)
+        sample_name = match.group(1)
+        labels = _parse_labels(match.group(3), lineno, line) if match.group(2) else {}
+        value = _parse_value(match.group(4), lineno, line)
+        sample = Sample(name=sample_name, labels=labels, value=value)
+        if sample.key() in seen_samples:
+            raise ExpositionError(
+                f"duplicate sample {sample_name}{labels}", lineno, line
+            )
+        seen_samples.add(sample.key())
+        base = _base_name(sample_name, typed)
+        family = families.setdefault(base, MetricFamily(name=base))
+        if base in typed:
+            family.type = typed[base]
+        family.samples.append(sample)
+        samples_seen_for.add(base)
+        samples_seen_for.add(sample_name)
+    for family in families.values():
+        if family.type == "histogram":
+            _check_histogram(family)
+    return families
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.promtext [file]`` — parse an exposition body
+    (stdin when no file) and print a family/sample summary; exit 1 on the
+    first spec violation (the CI smoke's strict gate)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv:
+        with open(argv[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    try:
+        families = parse_exposition(text)
+    except ExpositionError as exc:
+        print(f"invalid exposition: {exc}", file=sys.stderr)
+        return 1
+    num_samples = sum(len(f.samples) for f in families.values())
+    histograms = sum(1 for f in families.values() if f.type == "histogram")
+    print(
+        f"valid Prometheus 0.0.4 exposition: {len(families)} families, "
+        f"{num_samples} samples, {histograms} histograms"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    sys.exit(main())

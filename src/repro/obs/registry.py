@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import re
 import threading
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -67,6 +68,29 @@ LATENCY_BUCKETS = log_buckets(1e-6, 4.0, 14)
 
 #: Default q-error buckets: 1 .. 2048 in x2 steps (q-error is always >= 1).
 QERROR_BUCKETS = log_buckets(1.0, 2.0, 12)
+
+
+#: Characters legal in a metric name past the first (0.0.4 spec); anything
+#: else in a collector-derived key is folded to ``_``.
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_VALID_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _sanitize_name(name: str) -> str:
+    """Force an arbitrary string into the exposition format's metric-name
+    charset (``[a-zA-Z_:][a-zA-Z0-9_:]*``).  Collector keys come from stats
+    dicts whose keys can hold dots, dashes, spaces, slashes, or leading
+    digits — none of which a strict scraper will accept."""
+    out = _INVALID_NAME_CHARS.sub("_", str(name))
+    if not out or not _VALID_NAME.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping per the 0.0.4 spec: backslash and newline only
+    (double quotes are legal in HELP, unlike in label values)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _format_value(value: float) -> str:
@@ -254,6 +278,10 @@ class MetricsRegistry:
     ) -> _Family:
         if kind not in _VALID_KINDS:  # pragma: no cover - internal misuse
             raise ValueError(f"unknown metric kind {kind!r}")
+        if not _VALID_NAME.match(name):
+            raise ValueError(
+                f"invalid metric name {name!r}: must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+            )
         with self._lock:
             family = self._families.get(name)
             if family is None:
@@ -307,7 +335,7 @@ class MetricsRegistry:
     def _flatten(prefix: str, mapping: Mapping, out: Dict[str, float]) -> None:
         for key, value in mapping.items():
             name = f"{prefix}_{key}" if prefix else str(key)
-            name = name.replace(".", "_").replace("-", "_").replace(" ", "_")
+            name = _sanitize_name(name)
             if isinstance(value, Mapping):
                 MetricsRegistry._flatten(name, value, out)
             elif isinstance(value, bool):
@@ -345,7 +373,7 @@ class MetricsRegistry:
         for name, family in families:
             qualified = self._qualified(name)
             if family.help:
-                lines.append(f"# HELP {qualified} {family.help}")
+                lines.append(f"# HELP {qualified} {_escape_help(family.help)}")
             lines.append(f"# TYPE {qualified} {family.kind}")
             for key, child in family.children():
                 labels = _format_labels(family.labelnames, key)

@@ -210,6 +210,10 @@ class DurableGraphStore:
         # Checkpoint-duration histogram (standalone; surfaced via stats()
         # quantiles and the database registry's persistence collector).
         self.checkpoint_seconds = Histogram()
+        # Checkpoint-age clock for the seconds_since_last_checkpoint gauge;
+        # recovery/bootstrap counts as the epoch (the recovered snapshot is
+        # as fresh as a checkpoint written now would be).
+        self._last_checkpoint_monotonic = time.monotonic()
         # A reader's WAL tail may legitimately end before the snapshot (a
         # writer's force_base case); never report a sequence below it.
         self._last_applied_seq = max(wal.last_seq, snapshot_seq)
@@ -465,6 +469,7 @@ class DurableGraphStore:
             self.last_checkpoint_seconds = elapsed
             self.total_checkpoint_seconds += elapsed
             self.checkpoint_seconds.observe(elapsed)
+            self._last_checkpoint_monotonic = time.monotonic()
             sink = self.event_sink
             if sink is not None:
                 sink(
@@ -530,6 +535,10 @@ class DurableGraphStore:
             "snapshot_seq": self.snapshot_seq,
             "wal_records_since_checkpoint": self._last_applied_seq - self.snapshot_seq,
             "wal_bytes": self.wal.size_bytes(),
+            "wal_active_bytes": self.wal.active_bytes(),
+            "wal_segments": self.wal.num_segments(),
+            "seconds_since_last_checkpoint": time.monotonic()
+            - self._last_checkpoint_monotonic,
             "checkpoints": self.checkpoints,
             "last_checkpoint_seconds": self.last_checkpoint_seconds,
             "total_checkpoint_seconds": self.total_checkpoint_seconds,

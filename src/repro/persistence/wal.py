@@ -353,6 +353,22 @@ class WriteAheadLog:
         """Total bytes across all segment files currently on disk."""
         return sum(os.path.getsize(path) for _, path in _list_segments(self.directory))
 
+    def num_segments(self) -> int:
+        """Segment files currently on disk (active + not-yet-pruned)."""
+        return len(_list_segments(self.directory))
+
+    def active_bytes(self) -> int:
+        """Bytes in the active segment alone — the number that grows with
+        every append until the next rotation, unlike :meth:`size_bytes`,
+        which also counts retained-but-sealed history."""
+        path = self._active_path
+        if path is None:
+            return 0
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return 0
+
     def append(
         self,
         inserts: Sequence[Tuple[int, int, int]] = (),

@@ -182,6 +182,17 @@ class QueryService:
         Cadence of the staleness check, pacing floor between installed
         refreshes, and the re-sample's sample count (``None`` keeps the
         catalogue's own ``z``).
+    ops_addr:
+        When set, start the HTTP ops plane (:class:`~repro.obs.http.OpsServer`)
+        alongside the service: an int port, a ``"port"`` / ``"host:port"``
+        string, or a ``(host, port)`` tuple (port 0 picks an ephemeral one;
+        the bound address is :attr:`ops_address`).  The server exposes
+        ``/metrics``, ``/healthz``, ``/readyz`` (the database's health
+        registry), ``/stats`` (this service's :meth:`stats`), the trace
+        rings, and ``/events`` streaming.  :meth:`close` marks the node
+        draining (``/readyz`` flips to 503) before tearing anything down,
+        then stops the server last, so a load balancer watching ``/readyz``
+        rotates the node out before in-flight queries finish draining.
     """
 
     def __init__(
@@ -214,6 +225,7 @@ class QueryService:
         tuning_poll_interval_seconds: float = 0.05,
         tuning_min_refresh_interval_seconds: float = 0.0,
         tuning_refresh_z: Optional[int] = None,
+        ops_addr: Optional[Union[int, str, Tuple[str, int]]] = None,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be at least 1")
@@ -288,6 +300,16 @@ class QueryService:
             self.catalogue_refresher.start()
             self._owns_tuning = True
             db.obs.registry.register_collector("tuning", self._collect_tuning_stats)
+            from repro.obs.health import thread_alive_check
+
+            db.health.register(
+                "catalogue_refresher",
+                thread_alive_check(
+                    lambda: self.catalogue_refresher is not None
+                    and self.catalogue_refresher.running,
+                    description="catalogue refresher",
+                ),
+            )
         self.metrics = ServiceMetrics(window_seconds=metrics_window_seconds)
         # Observability: the database owns the registry/trace ring/feedback
         # table; the service configures them and layers request-level data
@@ -316,6 +338,21 @@ class QueryService:
             STATUS_DEADLINE_EXCEEDED: 0,
             STATUS_ERROR: 0,
         }
+        # The HTTP ops plane starts last, once every subsystem (and its
+        # health check) is attached — the first /readyz can never observe a
+        # half-constructed service.
+        self.ops_server = None
+        if ops_addr is not None:
+            from repro.obs.http import OpsServer, parse_ops_addr
+
+            host, port = parse_ops_addr(ops_addr)
+            self.ops_server = OpsServer(
+                self.obs,
+                health=db.health,
+                stats_fn=self.stats,
+                host=host,
+                port=port,
+            )
 
     # ------------------------------------------------------------------ #
     # admission
@@ -692,6 +729,9 @@ class QueryService:
             if self.obs.event_log is not None
             else {"attached": False}
         )
+        out["health"] = self.db.health.run().as_dict()
+        if self.ops_server is not None:
+            out["ops"] = {"url": self.ops_server.url, "closed": self.ops_server.closed}
         return out
 
     def stats_rows(self) -> List[dict]:
@@ -778,7 +818,14 @@ class QueryService:
         """Stop accepting queries and (optionally) wait for in-flight ones;
         stops the background compaction manager if this service enabled it
         and, when this service attached durability, checkpoints and closes
-        the durable store (graceful shutdown: restart replays nothing)."""
+        the durable store (graceful shutdown: restart replays nothing).
+
+        With an ops server attached, the node is marked draining *first* —
+        ``/readyz`` flips to 503 while in-flight queries finish — and the
+        server itself stops *last*, so external probes watch the shutdown
+        all the way through."""
+        if self.ops_server is not None:
+            self.db.health.set_draining(True, reason="service closing")
         with self._slots_free:
             self._closed = True
             self._slots_free.notify_all()
@@ -787,6 +834,7 @@ class QueryService:
         if self._owns_tuning and self.catalogue_refresher is not None:
             self.catalogue_refresher.stop(wait=wait)
             self._owns_tuning = False
+            self.db.health.unregister("catalogue_refresher")
         self._pool.shutdown(wait=wait)
         if self._owns_process_pool:
             self.db.close_process_pool()
@@ -804,6 +852,13 @@ class QueryService:
             if log is not None:
                 log.close()
             self._owns_event_log = False
+        if self.ops_server is not None:
+            self.ops_server.close()
+
+    @property
+    def ops_address(self) -> Optional[Tuple[str, int]]:
+        """The ops server's bound ``(host, port)``, or ``None`` without one."""
+        return self.ops_server.address if self.ops_server is not None else None
 
     def __enter__(self) -> "QueryService":
         return self

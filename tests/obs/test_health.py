@@ -1,0 +1,226 @@
+"""Tests for the pluggable health-check registry (repro.obs.health)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.health import (
+    CheckResult,
+    HealthRegistry,
+    checkpoint_lag_check,
+    free_space_check,
+    process_pool_check,
+    recovery_check,
+    thread_alive_check,
+)
+
+
+class TestHealthRegistry:
+    def test_empty_registry_is_healthy(self):
+        report = HealthRegistry().run()
+        assert report.healthy
+        assert report.status == "ready"
+        assert report.checks == []
+
+    @pytest.mark.parametrize(
+        "outcome, healthy, detail",
+        [
+            (True, True, ""),
+            (None, True, ""),
+            (False, False, ""),
+            ((True, "all good"), True, "all good"),
+            ((False, "broken"), False, "broken"),
+            ("status-string", True, "status-string"),
+        ],
+    )
+    def test_outcome_interpretation(self, outcome, healthy, detail):
+        registry = HealthRegistry()
+        registry.register("probe", lambda: outcome)
+        report = registry.run()
+        assert report.healthy is healthy
+        (check,) = report.checks
+        assert check.healthy is healthy
+        assert check.detail == detail
+
+    def test_raising_check_reports_unhealthy_with_exception(self):
+        registry = HealthRegistry()
+
+        def broken():
+            raise RuntimeError("probe exploded")
+
+        registry.register("broken", broken)
+        report = registry.run()
+        assert not report.healthy
+        (check,) = report.checks
+        assert not check.healthy
+        assert "RuntimeError: probe exploded" in check.detail
+
+    def test_advisory_failure_does_not_flip_readiness(self):
+        registry = HealthRegistry()
+        registry.register("critical_ok", lambda: True)
+        registry.register("advisory_bad", lambda: False, critical=False)
+        report = registry.run()
+        assert report.healthy
+        assert [c.name for c in report.failing()] == ["advisory_bad"]
+
+    def test_critical_failure_flips_readiness(self):
+        registry = HealthRegistry()
+        registry.register("ok", lambda: True)
+        registry.register("bad", lambda: False)
+        assert not registry.run().healthy
+
+    def test_replace_semantics_and_unregister(self):
+        registry = HealthRegistry()
+        registry.register("probe", lambda: False)
+        registry.register("probe", lambda: True)  # replace
+        assert registry.run().healthy
+        assert registry.names() == ["probe"]
+        registry.unregister("probe")
+        registry.unregister("probe")  # idempotent
+        assert registry.names() == []
+
+    def test_non_callable_registration_rejected(self):
+        with pytest.raises(TypeError):
+            HealthRegistry().register("probe", "not-callable")
+
+    def test_draining_forces_unready_and_restores(self):
+        registry = HealthRegistry()
+        registry.register("ok", lambda: True)
+        registry.set_draining(True, reason="rolling restart")
+        report = registry.run()
+        assert not report.healthy
+        assert report.draining
+        assert report.drain_reason == "rolling restart"
+        # The underlying checks still ran and still pass.
+        assert all(c.healthy for c in report.checks)
+        registry.set_draining(False)
+        after = registry.run()
+        assert after.healthy
+        assert not after.draining
+        assert after.drain_reason == ""
+
+    def test_report_as_dict_keys_checks_by_name(self):
+        registry = HealthRegistry()
+        registry.register("a", lambda: True)
+        registry.register("b", lambda: (False, "nope"))
+        payload = registry.run().as_dict()
+        assert payload["status"] == "unready"
+        assert payload["checks"]["a"]["healthy"] is True
+        assert payload["checks"]["b"]["detail"] == "nope"
+        assert payload["checks"]["b"]["critical"] is True
+
+    def test_collect_flattens_to_gauge_friendly_numbers(self):
+        registry = HealthRegistry()
+        registry.register("probe", lambda: True)
+        collected = registry.collect()
+        assert collected["healthy"] is True
+        assert collected["draining"] is False
+        assert collected["probe"]["healthy"] is True
+        assert collected["probe"]["latency_seconds"] >= 0.0
+
+    def test_check_result_as_dict(self):
+        payload = CheckResult(
+            name="x", healthy=False, detail="d", latency_seconds=0.5, critical=False
+        ).as_dict()
+        assert payload == {
+            "name": "x",
+            "healthy": False,
+            "detail": "d",
+            "latency_seconds": 0.5,
+            "critical": False,
+        }
+
+
+class _FakeRecovery:
+    def describe(self):
+        return "recovered fine"
+
+
+class _FakeStore:
+    def __init__(self, closed=False, recovery=None, lag_records=0, lag_seconds=0.0):
+        self.closed = closed
+        self.recovery = recovery
+        self._lag_records = lag_records
+        self._lag_seconds = lag_seconds
+
+    def stats(self):
+        return {
+            "wal_records_since_checkpoint": self._lag_records,
+            "seconds_since_last_checkpoint": self._lag_seconds,
+        }
+
+
+class TestCheckFactories:
+    def test_recovery_check_states(self):
+        store = _FakeStore(recovery=_FakeRecovery())
+        ok, detail = recovery_check(store)()
+        assert ok and detail == "recovered fine"
+        ok, detail = recovery_check(_FakeStore(recovery=None))()
+        assert not ok and "not recovered" in detail
+        ok, detail = recovery_check(_FakeStore(closed=True, recovery=_FakeRecovery()))()
+        assert not ok and "closed" in detail
+
+    def test_free_space_check_against_real_fs(self, tmp_path):
+        ok, detail = free_space_check(str(tmp_path), min_free_bytes=1)()
+        assert ok and "MiB free" in detail
+        huge = 1 << 60  # an exbibyte: no CI disk has this much headroom
+        ok, _ = free_space_check(str(tmp_path), min_free_bytes=huge)()
+        assert not ok
+
+    def test_checkpoint_lag_record_ceiling(self):
+        check = checkpoint_lag_check(_FakeStore(recovery=_FakeRecovery(), lag_records=5), max_records=10)
+        ok, _ = check()
+        assert ok
+        check = checkpoint_lag_check(_FakeStore(recovery=_FakeRecovery(), lag_records=11), max_records=10)
+        ok, detail = check()
+        assert not ok and "ceiling" in detail
+
+    def test_checkpoint_lag_seconds_ceiling_only_when_dirty(self):
+        # An idle (clean) store is never "lagging", however old its snapshot.
+        clean = _FakeStore(recovery=_FakeRecovery(), lag_records=0, lag_seconds=9999.0)
+        ok, _ = checkpoint_lag_check(clean, max_seconds=60.0)()
+        assert ok
+        dirty = _FakeStore(recovery=_FakeRecovery(), lag_records=3, lag_seconds=9999.0)
+        ok, detail = checkpoint_lag_check(dirty, max_seconds=60.0)()
+        assert not ok and "age ceiling" in detail
+
+    def test_checkpoint_lag_closed_store(self):
+        ok, detail = checkpoint_lag_check(_FakeStore(closed=True))()
+        assert not ok and "closed" in detail
+
+    def test_process_pool_check_follows_getter(self):
+        class _FakePool:
+            closed = False
+
+            def stats(self):
+                return {"alive_workers": 2, "num_workers": 2, "generation": 1}
+
+        holder = {"pool": None}
+        check = process_pool_check(lambda: holder["pool"])
+        ok, detail = check()
+        assert not ok and "no process pool" in detail
+        holder["pool"] = _FakePool()
+        ok, detail = check()
+        assert ok and "2/2 workers alive" in detail
+        holder["pool"].closed = True
+        ok, detail = check()
+        assert not ok and "closed" in detail
+
+    def test_process_pool_check_dead_worker(self):
+        class _DegradedPool:
+            closed = False
+
+            def stats(self):
+                return {"alive_workers": 1, "num_workers": 2, "generation": 3}
+
+        ok, detail = process_pool_check(lambda: _DegradedPool())()
+        assert not ok and "1/2" in detail
+
+    def test_thread_alive_check(self):
+        running = {"value": True}
+        check = thread_alive_check(lambda: running["value"], description="compactor")
+        ok, detail = check()
+        assert ok and detail == "compactor"
+        running["value"] = False
+        ok, detail = check()
+        assert not ok and "not running" in detail

@@ -1,0 +1,178 @@
+"""Strict Prometheus 0.0.4 parser tests, plus the round-trip of the
+registry's own exposition (the hardening guarantee: everything
+``expose_prometheus`` emits must survive a spec-strict parse)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.promtext import ExpositionError, parse_exposition
+from repro.obs.registry import MetricsRegistry
+
+
+class TestParserAcceptance:
+    def test_minimal_counter(self):
+        families = parse_exposition(
+            "# HELP requests_total Total requests.\n"
+            "# TYPE requests_total counter\n"
+            "requests_total 42\n"
+        )
+        family = families["requests_total"]
+        assert family.type == "counter"
+        assert family.help == "Total requests."
+        assert family.samples[0].value == 42.0
+
+    def test_labels_with_all_three_escapes(self):
+        text = 'm{l="a\\\\b\\"c\\nd"} 1\n'
+        families = parse_exposition(text)
+        assert families["m"].samples[0].labels["l"] == 'a\\b"c\nd'
+
+    def test_special_float_values(self):
+        families = parse_exposition("a 1\nb +Inf\nc -Inf\nd NaN\n")
+        assert families["b"].samples[0].value == math.inf
+        assert families["c"].samples[0].value == -math.inf
+        assert math.isnan(families["d"].samples[0].value)
+
+    def test_histogram_series_fold_under_base(self):
+        text = (
+            "# TYPE latency histogram\n"
+            'latency_bucket{le="0.1"} 1\n'
+            'latency_bucket{le="+Inf"} 3\n'
+            "latency_sum 0.75\n"
+            "latency_count 3\n"
+        )
+        families = parse_exposition(text)
+        assert set(families) == {"latency"}
+        assert len(families["latency"].samples) == 4
+
+    def test_sample_with_timestamp(self):
+        families = parse_exposition("m 1 1700000000000\n")
+        assert families["m"].samples[0].value == 1.0
+
+    def test_non_help_type_comments_ignored(self):
+        families = parse_exposition("# just a comment\nm 1\n")
+        assert families["m"].samples[0].value == 1.0
+
+
+class TestParserRejections:
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            ("1badname 2\n", "unparseable sample line"),
+            ("# TYPE m wat\nm 1\n", "unknown metric type"),
+            ("# TYPE 1bad counter\n", "invalid metric name"),
+            ('m{l="a\\qb"} 1\n', "unknown escape"),
+            ('m{l="unterminated} 1', "unterminated label value"),
+            ('m{l="x",l="y"} 1\n', "duplicate label name"),
+            ('m{l="a"} 1\nm{l="a"} 2\n', "duplicate sample"),
+            ("m 1\nm 2\n", "duplicate sample"),
+            ("# TYPE m counter\n# TYPE m counter\nm 1\n", "duplicate # TYPE"),
+            ("# TYPE m counter\n# TYPE m gauge\n", "conflicting # TYPE"),
+            ("m 1\n# TYPE m counter\n", "after its samples"),
+            ("m notafloat\n", "unparseable sample value"),
+            ('m{l="a" q="b"} 1\n', "expected ','"),
+        ],
+    )
+    def test_violation_raises(self, text, fragment):
+        with pytest.raises(ExpositionError) as err:
+            parse_exposition(text)
+        assert fragment in str(err.value)
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 0.5\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(ExpositionError, match=r"\+Inf"):
+            parse_exposition(text)
+
+    def test_histogram_decreasing_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 0.5\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ExpositionError, match="decrease"):
+            parse_exposition(text)
+
+    def test_histogram_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 0.5\n"
+            "h_count 4\n"
+        )
+        with pytest.raises(ExpositionError, match="_count"):
+            parse_exposition(text)
+
+    def test_histogram_missing_sum(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="+Inf"} 1\n' "h_count 1\n"
+        with pytest.raises(ExpositionError, match="_sum"):
+            parse_exposition(text)
+
+
+class TestRegistryRoundTrip:
+    def test_basic_families_round_trip(self):
+        registry = MetricsRegistry(namespace="graphflow")
+        counter = registry.counter("requests_total", "Total requests.", labelnames=("status",))
+        counter.labels("ok").inc(3)
+        gauge = registry.gauge("in_flight", "In-flight queries.")
+        gauge.labels().set(2)
+        hist = registry.histogram("latency_seconds", "Latency.", buckets=(0.1, 1.0))
+        hist.labels().observe(0.05)
+        hist.labels().observe(5.0)
+        families = parse_exposition(registry.expose_prometheus())
+        assert families["graphflow_requests_total"].type == "counter"
+        assert families["graphflow_latency_seconds"].type == "histogram"
+
+    def test_nasty_label_values_survive_round_trip(self):
+        registry = MetricsRegistry(namespace="graphflow")
+        counter = registry.counter("events_total", "Events.", labelnames=("kind",))
+        nasty = 'back\\slash "quoted"\nnewline'
+        counter.labels(nasty).inc()
+        families = parse_exposition(registry.expose_prometheus())
+        sample = families["graphflow_events_total"].samples[0]
+        assert sample.labels["kind"] == nasty
+
+    def test_help_with_newline_and_backslash_survives(self):
+        registry = MetricsRegistry(namespace="graphflow")
+        registry.counter("c_total", "line one\nline two \\ backslash").labels().inc()
+        families = parse_exposition(registry.expose_prometheus())
+        assert "line one" in families["graphflow_c_total"].help
+
+    def test_collector_keys_are_sanitized_into_valid_names(self):
+        registry = MetricsRegistry(namespace="graphflow")
+        registry.register_collector(
+            "svc",
+            lambda: {
+                "latency.p50-ms": 1.5,
+                "weird key!": 2,
+                "nested": {"9starts_with_digit": 3},
+            },
+        )
+        text = registry.expose_prometheus()
+        families = parse_exposition(text)  # must not raise
+        names = set(families)
+        assert "graphflow_svc_latency_p50_ms" in names
+        assert "graphflow_svc_weird_key_" in names
+        # Joined with its prefix the digit-leading key is already valid.
+        assert "graphflow_svc_nested_9starts_with_digit" in names
+
+    def test_invalid_declared_family_name_rejected_at_source(self):
+        registry = MetricsRegistry(namespace="graphflow")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("has space", "Bad.")
+
+    def test_infinity_bucket_formatting(self):
+        registry = MetricsRegistry(namespace="graphflow")
+        hist = registry.histogram("h_seconds", "H.", buckets=(1.0,))
+        hist.labels().observe(0.5)
+        text = registry.expose_prometheus()
+        assert 'le="+Inf"' in text
+        parse_exposition(text)

@@ -263,3 +263,30 @@ class TestStoreLock:
         with pytest.raises(PersistenceError, match="no bootstrap graph"):
             DurableGraphStore.open(str(store_dir))
         assert not (store_dir / "LOCK").exists()
+
+
+class TestLagStats:
+    """The checkpoint-lag and WAL-size stats backing the ops-plane gauges
+    and the checkpoint_lag health check."""
+
+    def test_stats_expose_wal_and_checkpoint_lag(self, tmp_path, base_graph):
+        store = DurableGraphStore.open(str(tmp_path / "store"), graph=base_graph)
+        try:
+            stats = store.stats()
+            assert stats["wal_segments"] >= 1
+            assert stats["wal_active_bytes"] >= 0
+            # Bootstrap counts as the checkpoint epoch: the age starts near 0.
+            assert 0.0 <= stats["seconds_since_last_checkpoint"] < 60.0
+
+            before = store.stats()["wal_active_bytes"]
+            _store_apply(store, ([(0, 1, 0)], [], []))
+            after = store.stats()
+            assert after["wal_active_bytes"] > before
+            assert after["wal_records_since_checkpoint"] == 1
+
+            store.checkpoint()
+            fresh = store.stats()
+            assert fresh["wal_records_since_checkpoint"] == 0
+            assert fresh["seconds_since_last_checkpoint"] < 60.0
+        finally:
+            store.close()

@@ -276,3 +276,30 @@ class TestAppendFailureRewind:
         ]
         assert reopened.truncated_bytes == 0  # nothing torn on disk
         reopened.close()
+
+
+class TestSizeGauges:
+    """num_segments / active_bytes back the ops plane's WAL gauges."""
+
+    def test_track_appends_rotation_and_prune(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.open()
+        assert wal.num_segments() == 1
+        header = wal.active_bytes()  # a fresh segment is just its header
+        wal.append(inserts=[(0, 1, 0)])
+        after_one = wal.active_bytes()
+        assert after_one > header
+        assert after_one == os.path.getsize(wal.active_segment)
+        wal.rotate()
+        # The fresh active segment holds only a header; the sealed one
+        # still counts toward the segment gauge.
+        assert wal.num_segments() == 2
+        assert wal.active_bytes() == header
+        wal.append(inserts=[(1, 2, 0)])
+        assert wal.prune(upto_seq=1) == 1
+        assert wal.num_segments() == 1
+        wal.close()
+
+    def test_active_bytes_zero_when_never_opened(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        assert wal.active_bytes() == 0

@@ -297,3 +297,110 @@ class TestStatsWatch:
         assert code == 0
         assert out.count("service stats after") == 2
         assert "service stats after 4 queries" in out
+
+
+class TestOpsPlaneCLI:
+    """The --url remote modes: stats/trace/events against a live ops server."""
+
+    @pytest.fixture()
+    def ops(self, tmp_path):
+        from repro.obs import Observability
+        from repro.obs.events import EventLog
+        from repro.obs.http import OpsServer
+
+        obs = Observability()
+        log = obs.attach_event_log(EventLog(str(tmp_path / "events.jsonl")))
+        for i in range(4):
+            log.emit("tick", i=i)
+        server = OpsServer(
+            obs,
+            stats_fn=lambda: {"queries": 7, "latency": {"p50_ms": 1.5}},
+        )
+        yield server
+        server.close()
+
+    def _addr(self, server) -> str:
+        return f"{server.host}:{server.port}"
+
+    def test_stats_url_table(self, ops, capsys):
+        code = main(["stats", "--url", self._addr(ops)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"service stats from {self._addr(ops)}" in out
+        assert "latency.p50_ms" in out
+
+    def test_stats_url_json(self, ops, capsys):
+        code = main(["stats", "--url", self._addr(ops), "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert json.loads(out) == {"queries": 7, "latency": {"p50_ms": 1.5}}
+
+    def test_trace_url_empty_ring(self, ops, capsys):
+        code = main(["trace", "--url", self._addr(ops)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "none recorded" in out
+
+    def test_trace_url_missing_id_errors(self, ops, capsys):
+        code = main(["trace", "--url", self._addr(ops), "--id", "424242"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "424242" in captured.err
+
+    def test_trace_url_slow_json(self, ops, capsys):
+        code = main(["trace", "--url", self._addr(ops), "--slow", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert json.loads(out)["count"] == 0
+
+    def test_trace_requires_query_or_url(self, capsys):
+        code = main(["trace"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--query is required" in captured.err
+
+    def test_events_requires_path_or_url(self, capsys):
+        code = main(["events"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--path is required" in captured.err
+
+    def test_events_url_tail_json(self, ops, capsys):
+        code = main(
+            ["events", "--url", self._addr(ops), "--tail", "3", "--json", "--type", "tick"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        records = [json.loads(line) for line in out.splitlines() if line.strip()]
+        assert [r["i"] for r in records] == [1, 2, 3]
+
+    def test_events_url_unreachable_errors(self, capsys):
+        # Port 1 on loopback: nothing listens there.
+        code = main(["events", "--url", "127.0.0.1:1", "--tail", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+
+    def test_serve_with_ops_port_announces_url(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--dataset",
+                "epinions",
+                "--scale",
+                "0.1",
+                "--z",
+                "40",
+                "--queries",
+                "Q1",
+                "--clients",
+                "2",
+                "--requests",
+                "4",
+                "--ops-port",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ops plane listening on http://127.0.0.1:" in out
